@@ -1,0 +1,62 @@
+// Ablation (paper §III-C claim) — algorithm-directed ABFT-MM overhead vs rank
+// size: "a larger rank size results in a smaller runtime overhead, because the
+// algorithm does not need to frequently flush checksum cache blocks".
+//
+// Flags: --n=800 --ranks=25,50,100,200,400 --reps=2 --threads=1 --quick
+// (single-threaded by default, matching the Fig. 8 methodology)
+#include <omp.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "abft/abft_gemm.hpp"
+#include "common/options.hpp"
+#include "core/harness.hpp"
+#include "core/report.hpp"
+#include "mm/mm_cc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adcc;
+  const Options opts(argc, argv);
+  const bool quick = opts.get_bool("quick");
+  const std::size_t n = static_cast<std::size_t>(opts.get_int("n", quick ? 400 : 800));
+  std::vector<std::size_t> ranks;
+  {
+    std::stringstream ss(opts.get("ranks", quick ? "25,100,400" : "25,50,100,200,400"));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) ranks.push_back(std::min(std::stoul(tok), n));
+  }
+  const int reps = static_cast<int>(opts.get_int("reps", quick ? 1 : 2));
+  const int threads = static_cast<int>(opts.get_int("threads", 1));
+  if (threads > 0) omp_set_num_threads(threads);
+
+  linalg::Matrix a(n, n), b(n, n);
+  a.fill_random(3, -1, 1);
+  b.fill_random(4, -1, 1);
+
+  core::print_banner("Ablation", "algorithm-directed ABFT-MM overhead vs rank, n=" +
+                                     std::to_string(n));
+
+  core::Table table({"rank", "panels", "flush_lines", "native_s", "alg_s", "overhead"});
+  for (const std::size_t rank : ranks) {
+    const double native_s =
+        core::median_seconds([&] { abft::abft_gemm(a, b, rank); }, reps);
+    std::uint64_t flushed = 0;
+    const double alg_s = core::median_seconds(
+        [&] {
+          nvm::PerfModel perf(nvm::PerfConfig{.bandwidth_slowdown = 1.0, .enabled = false});
+          nvm::NvmRegion region(mm::mm_cc_native_arena_bytes(n, rank), perf);
+          flushed = mm::run_mm_cc_native(a, b, rank, region).checksum_lines_flushed;
+        },
+        reps);
+    const auto nt = core::normalize(alg_s, native_s);
+    table.add_row({std::to_string(rank), std::to_string((n + rank - 1) / rank),
+                   std::to_string(flushed), core::Table::fmt(native_s, 4),
+                   core::Table::fmt(alg_s, 4),
+                   core::Table::fmt(nt.overhead_percent(), 1) + "%"});
+  }
+  table.print();
+  std::printf("\nExpected: overhead falls as the rank grows (fewer checksum flushes and\n"
+              "fewer temporal matrices), the paper's 8.2%% -> 1.3%% trend.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) for the crash emulator itself: access
+// cost of the cache model, range notifications, clflush, and a full CG-like
+// streaming mix. The emulator's throughput bounds how large the Fig. 3/7/10
+// simulations can be.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "memsim/tracked.hpp"
+
+namespace {
+
+using namespace adcc;
+using namespace adcc::memsim;
+
+CacheConfig llc_8mb() {
+  CacheConfig c;
+  c.size_bytes = 8u << 20;
+  c.ways = 16;
+  return c;
+}
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  SetAssocCache cache(llc_8mb());
+  cache.access(0x10000, true);
+  for (auto _ : state) benchmark::DoNotOptimize(cache.access(0x10000, false).hit);
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStreamingMiss(benchmark::State& state) {
+  SetAssocCache cache(llc_8mb());
+  std::uintptr_t line = 0x100000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(line, true).evicted);
+    line += kCacheLine;
+  }
+}
+BENCHMARK(BM_CacheAccessStreamingMiss);
+
+void BM_CacheAccessRandom(benchmark::State& state) {
+  SetAssocCache cache(llc_8mb());
+  SplitMix64 rng(1);
+  for (auto _ : state) {
+    const std::uintptr_t line = 0x100000 + (rng.next_u64() % (1u << 24)) * kCacheLine;
+    benchmark::DoNotOptimize(cache.access(line, false).hit);
+  }
+}
+BENCHMARK(BM_CacheAccessRandom);
+
+void BM_SimTouchRange(benchmark::State& state) {
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  MemorySimulator sim(llc_8mb());
+  TrackedArray<double> arr(sim, "a", elems);
+  for (auto _ : state) arr.touch_write(0, elems);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+BENCHMARK(BM_SimTouchRange)->Range(64, 1 << 18);
+
+void BM_SimClflushRange(benchmark::State& state) {
+  const auto elems = static_cast<std::size_t>(state.range(0));
+  MemorySimulator sim(llc_8mb());
+  TrackedArray<double> arr(sim, "a", elems);
+  for (auto _ : state) {
+    arr.touch_write(0, elems);
+    arr.flush(0, elems);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+BENCHMARK(BM_SimClflushRange)->Range(64, 1 << 16);
+
+void BM_SimCgLikeIterationMix(benchmark::State& state) {
+  // A CG-iteration-shaped access mix: stream a big RO region, read one row,
+  // write another, flush one line — the emulator's hot path in Fig. 3.
+  constexpr std::size_t kN = 1u << 14;
+  MemorySimulator sim(llc_8mb());
+  TrackedArray<double> a(sim, "A", 8 * kN, /*read_only=*/true);
+  TrackedArray<double> p(sim, "p", kN);
+  TrackedArray<double> q(sim, "q", kN);
+  TrackedScalar<std::int64_t> iter(sim, "i", 0);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    iter.set_and_flush(++i);
+    a.touch_read(0, 8 * kN);
+    p.touch_read(0, kN);
+    q.touch_write(0, kN);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 10 * kN * 8);
+}
+BENCHMARK(BM_SimCgLikeIterationMix);
+
+void BM_SimDurableRead(benchmark::State& state) {
+  constexpr std::size_t kN = 1u << 14;
+  MemorySimulator sim(llc_8mb());
+  TrackedArray<double> p(sim, "p", kN);
+  std::vector<double> out(kN);
+  for (auto _ : state) {
+    p.durable_snapshot(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kN * 8);
+}
+BENCHMARK(BM_SimDurableRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

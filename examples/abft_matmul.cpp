@@ -1,0 +1,65 @@
+// Example — crash-consistent ABFT matrix multiplication (paper Fig. 6).
+//
+// Runs the two-loop checksum-flushing GEMM under the crash emulator, crashes
+// during the submatrix-multiplication loop, and lets the checksums classify
+// every temporal matrix as consistent / correctable / lost. Also demonstrates
+// pure checksum *correction* of an injected single-element inconsistency.
+//
+//   build/examples/abft_matmul [--n=512] [--rank=64] [--crash_panel=3] [--cache_kb=2048]
+#include <cstdio>
+
+#include "core/adcc.hpp"
+
+using namespace adcc;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(opts.get_int("n", 512));
+  const std::size_t rank = static_cast<std::size_t>(opts.get_int("rank", 64));
+  const auto crash_panel = static_cast<std::uint64_t>(opts.get_int("crash_panel", 3));
+  const std::size_t cache_kb = static_cast<std::size_t>(opts.get_int("cache_kb", 2048));
+
+  std::printf("crash-consistent ABFT GEMM: n=%zu, rank=%zu, crash after panel %llu\n\n", n,
+              rank, static_cast<unsigned long long>(crash_panel));
+
+  linalg::Matrix a(n, n), b(n, n), cref(n, n);
+  a.fill_random(1, -1, 1);
+  b.fill_random(2, -1, 1);
+  linalg::gemm(a, b, cref);
+
+  mm::MmCcConfig cfg;
+  cfg.n = n;
+  cfg.rank_k = rank;
+  cfg.cache.size_bytes = cache_kb << 10;
+  cfg.cache.ways = 8;
+
+  mm::MmCrashConsistent mm(a, b, cfg);
+  std::printf("loop 1 computes %zu temporal full-checksum matrices of %zu x %zu\n",
+              mm.num_panels(), n + 1, n + 1);
+  mm.sim().scheduler().arm_at_point(mm::MmCrashConsistent::kPointMultEnd, crash_panel);
+
+  if (mm.run()) {
+    std::printf("*** simulated crash at the end of submatrix multiplication %llu ***\n",
+                static_cast<unsigned long long>(crash_panel));
+    const mm::MmRecovery rec = mm.recover_and_resume();
+    std::printf("recovery: checksum verification over the NVM image classified the\n");
+    std::printf("          temporal matrices; %zu recomputed, %zu corrected in place\n",
+                rec.units_recomputed, rec.units_corrected);
+    std::printf("          detect %.4fs, catch-up %.4fs (one multiplication: %.4fs)\n",
+                rec.detect_seconds, rec.resume_seconds, mm.avg_mult_seconds());
+  }
+  std::printf("max |C - C_ref| after recovery: %.3e\n\n",
+              linalg::Matrix::max_abs_diff(mm.result(), cref));
+
+  // Bonus: pure checksum correction, no recomputation at all.
+  mm::MmCrashConsistent mm2(a, b, cfg);
+  mm2.run();
+  mm2.corrupt_element_for_test(1, 7, 9, -4242.0);
+  mm2.sim().crash();
+  const mm::MmRecovery rec2 = mm2.recover_and_resume();
+  std::printf("fault injection: 1 durable element damaged -> %zu unit(s) repaired purely\n"
+              "from checksums (recomputed: %zu); max |C - C_ref| = %.3e\n",
+              rec2.units_corrected, rec2.units_recomputed,
+              linalg::Matrix::max_abs_diff(mm2.result(), cref));
+  return 0;
+}

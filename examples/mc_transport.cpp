@@ -1,0 +1,74 @@
+// Example — crash-consistent Monte-Carlo transport (paper §III-D).
+//
+// Runs the XSBench-equivalent cross-section lookup kernel under the crash
+// emulator twice: with the paper's *basic idea* (trust MC statistics, flush
+// only the loop index) and with *selective flushing* of the tallies. The
+// basic idea visibly corrupts the tally distribution; selective flushing
+// recovers it exactly.
+//
+//   build/examples/mc_transport [--lookups=100000] [--crash_pct=10] [--cache_mb=4]
+#include <cstdio>
+
+#include "core/adcc.hpp"
+
+using namespace adcc;
+
+namespace {
+
+void print_tally(const char* label, const mc::Tally& t, std::uint64_t lookups) {
+  std::printf("%-28s", label);
+  const auto pct = t.percentages(lookups);
+  for (double p : pct) std::printf("  %6.2f%%", p);
+  std::printf("   (total %llu)\n", static_cast<unsigned long long>(t.total()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const auto lookups = static_cast<std::uint64_t>(opts.get_int("lookups", 100'000));
+  const double crash_pct = opts.get_double("crash_pct", 10.0);
+  const std::size_t cache_mb = static_cast<std::size_t>(opts.get_int("cache_mb", 4));
+  const auto crash_at =
+      static_cast<std::uint64_t>(static_cast<double>(lookups) * crash_pct / 100.0);
+
+  mc::XsConfig dc;
+  dc.n_nuclides = 24;
+  dc.gridpoints_per_nuclide = 500;
+  const mc::XsDataHost data(dc);
+  std::printf("MC transport: %llu lookups over %zu MB of grids, crash at %.0f%%\n\n",
+              static_cast<unsigned long long>(lookups), dc.footprint_bytes() >> 20, crash_pct);
+  std::printf("%-28s  %7s  %7s  %7s  %7s  %7s\n", "interaction-type tallies:", "t1", "t2",
+              "t3", "t4", "t5");
+
+  for (const auto policy : {mc::XsFlushPolicy::kBasicIdea, mc::XsFlushPolicy::kSelective}) {
+    mc::XsCcConfig cfg;
+    cfg.total_lookups = lookups;
+    cfg.policy = policy;
+    cfg.flush_interval = std::max<std::uint64_t>(1, lookups / 10'000);  // 0.01 %
+    cfg.cache.size_bytes = cache_mb << 20;
+    cfg.cache.ways = 8;
+    cfg.rng_seed = 31;
+
+    mc::XsCrashConsistent nocrash(data, cfg);
+    nocrash.run();
+
+    mc::XsCrashConsistent crashed(data, cfg);
+    crashed.sim().scheduler().arm_at_point(mc::XsCrashConsistent::kPointLookupEnd, crash_at);
+    crashed.run();
+    const mc::XsRecovery rec = crashed.recover_and_resume();
+
+    const bool basic = policy == mc::XsFlushPolicy::kBasicIdea;
+    std::printf("\n--- %s ---\n", basic ? "basic idea (flush loop index only)"
+                                        : "selective flushing (tallies every 0.01%)");
+    print_tally("no crash", nocrash.tally(), lookups);
+    print_tally("crash + restart", crashed.tally(), lookups);
+    std::printf("restart at lookup %llu; max per-type gap %.3f pp%s\n",
+                static_cast<unsigned long long>(rec.restart_lookup),
+                mc::max_percentage_gap(crashed.tally(), nocrash.tally(), lookups),
+                crashed.tally().counts == nocrash.tally().counts ? " — EXACT match" : "");
+  }
+  std::printf("\nThe statistics of MC do not protect the hot accumulators: they live in\n"
+              "cache, die with it, and must be selectively flushed (3 cache lines).\n");
+  return 0;
+}

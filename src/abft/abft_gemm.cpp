@@ -1,0 +1,50 @@
+#include "abft/abft_gemm.hpp"
+
+#include "common/check.hpp"
+
+namespace adcc::abft {
+
+using linalg::Matrix;
+
+AbftGemmResult abft_gemm(const Matrix& a, const Matrix& b, std::size_t rank_k,
+                         const ChecksumTolerance& tol) {
+  ADCC_CHECK(a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows(),
+             "square matrices of equal size required");
+  ADCC_CHECK(rank_k >= 1, "rank must be positive");
+  const std::size_t n = a.rows();
+
+  const Matrix ac = encode_column_checksum(a);  // (n+1)×n
+  const Matrix br = encode_row_checksum(b);     // n×(n+1)
+
+  AbftGemmResult out;
+  out.cf = Matrix(n + 1, n + 1);
+  out.cf.set_zero();
+
+  for (std::size_t s = 0; s < n; s += rank_k) {
+    // Line 2 of Fig. 5: verify the checksum relationship of Cf before the
+    // update (valid only at iteration boundaries; mid-iteration Cf is
+    // inconsistent by construction — the crash-consistency problem).
+    ChecksumReport rep = verify_full_checksums(out.cf, tol);
+    ++out.stats.verifications;
+    if (!rep.consistent()) {
+      out.stats.detected_errors += rep.bad_rows.size();
+      const std::size_t fixed = try_correct(out.cf, rep, tol);
+      out.stats.corrected_errors += fixed;
+      ADCC_CHECK(fixed > 0, "uncorrectable checksum error in ABFT GEMM");
+    }
+    const std::size_t k = std::min(rank_k, n - s);
+    linalg::gemm_panel(ac, s, k, br, s, out.cf, /*accumulate=*/true);
+  }
+  return out;
+}
+
+Matrix strip_checksums(const Matrix& cf) {
+  ADCC_CHECK(cf.rows() >= 2 && cf.cols() >= 2, "not a checksum matrix");
+  Matrix c(cf.rows() - 1, cf.cols() - 1);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) c(i, j) = cf(i, j);
+  }
+  return c;
+}
+
+}  // namespace adcc::abft

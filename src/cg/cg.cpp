@@ -1,0 +1,59 @@
+#include "cg/cg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::cg {
+
+using linalg::CsrMatrix;
+
+void cg_init(const CsrMatrix& a, std::span<const double> b, CgState& s) {
+  const std::size_t n = a.rows();
+  ADCC_CHECK(b.size() == n, "rhs size mismatch");
+  s.p.assign(b.begin(), b.end());  // x0 = 0 → r0 = b, p1 = r0.
+  s.r.assign(b.begin(), b.end());
+  s.q.assign(n, 0.0);
+  s.z.assign(n, 0.0);
+  s.rho = linalg::dot(s.r, s.r);
+  s.iter = 0;
+}
+
+void cg_step(const CsrMatrix& a, CgState& s) {
+  a.spmv(s.p, s.q);                               // q ← A·p
+  const double pq = linalg::dot(s.p, s.q);
+  ADCC_CHECK(pq > 0, "A is not positive definite along p");
+  const double alpha = s.rho / pq;
+  linalg::axpy(alpha, s.p, s.z);                  // z ← z + α·p
+  linalg::axpy(-alpha, s.q, s.r);                 // r ← r − α·q
+  const double rho_new = linalg::dot(s.r, s.r);
+  const double beta = rho_new / s.rho;
+  s.rho = rho_new;
+  linalg::xpay(s.r, beta, s.p, s.p);              // p ← r + β·p
+  ++s.iter;
+}
+
+CgResult cg_solve(const CsrMatrix& a, std::span<const double> b, std::size_t iters) {
+  CgState s;
+  cg_init(a, b, s);
+  for (std::size_t i = 0; i < iters; ++i) cg_step(a, s);
+  CgResult res;
+  res.x = std::move(s.z);
+  res.iters = iters;
+  res.residual_norm = true_residual(a, b, res.x);
+  return res;
+}
+
+double true_residual(const CsrMatrix& a, std::span<const double> b, std::span<const double> x) {
+  std::vector<double> ax(a.rows());
+  a.spmv(x, ax);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double d = b[i] - ax[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace adcc::cg

@@ -1,0 +1,45 @@
+// Conjugate Gradient (paper Fig. 1) for sparse SPD systems A·x = b.
+//
+// The iteration state is exactly the paper's four vectors:
+//   p — search direction, q = A·p, r — residual, z — solution accumulator
+// plus the scalar rho = rᵀr. cg_step advances one iteration in place; all
+// crash-consistency variants (checkpointed, transactional, algorithm-directed)
+// are thin wrappers around the same numerical kernel, so their overheads are
+// directly comparable.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace adcc::cg {
+
+/// Volatile CG state (one iteration's worth).
+struct CgState {
+  std::vector<double> p, q, r, z;
+  double rho = 0.0;
+  std::size_t iter = 0;  ///< Completed iterations.
+};
+
+/// Initializes state for x₀ = 0: r = b, p = r, z = 0, rho = rᵀr.
+void cg_init(const linalg::CsrMatrix& a, std::span<const double> b, CgState& s);
+
+/// One CG iteration (paper Fig. 1 lines 3–10), updating p/q/r/z/rho in place.
+void cg_step(const linalg::CsrMatrix& a, CgState& s);
+
+struct CgResult {
+  std::vector<double> x;      ///< Solution estimate (the paper's z).
+  double residual_norm = 0.;  ///< ‖b − A·x‖₂ recomputed from scratch.
+  std::size_t iters = 0;
+};
+
+/// Runs `iters` CG iterations (no early exit — matches the paper's fixed-trip
+/// main loops) and returns the solution estimate.
+CgResult cg_solve(const linalg::CsrMatrix& a, std::span<const double> b, std::size_t iters);
+
+/// ‖b − A·x‖₂.
+double true_residual(const linalg::CsrMatrix& a, std::span<const double> b,
+                     std::span<const double> x);
+
+}  // namespace adcc::cg

@@ -1,0 +1,67 @@
+#include "cg/cg_ckpt.hpp"
+
+#include "common/check.hpp"
+
+namespace adcc::cg {
+
+namespace {
+
+struct CkptScalars {
+  double rho;
+  std::uint64_t iter;
+};
+
+void register_state(checkpoint::CheckpointSet& set, CgState& s, CkptScalars& scalars) {
+  set.add("p", s.p.data(), s.p.size() * sizeof(double));
+  set.add("r", s.r.data(), s.r.size() * sizeof(double));
+  set.add("z", s.z.data(), s.z.size() * sizeof(double));
+  set.add("scalars", &scalars, sizeof(scalars));
+}
+
+}  // namespace
+
+CgCkptResult run_cg_checkpointed(const linalg::CsrMatrix& a, std::span<const double> b,
+                                 std::size_t iters, checkpoint::Backend& backend) {
+  CgState s;
+  cg_init(a, b, s);
+  CkptScalars scalars{s.rho, 0};
+  checkpoint::CheckpointSet set(backend);
+  register_state(set, s, scalars);
+
+  CgCkptResult out;
+  for (std::size_t i = 0; i < iters; ++i) {
+    cg_step(a, s);
+    scalars = {s.rho, s.iter};
+    set.save();
+    ++out.checkpoints;
+  }
+  out.cg.x = std::move(s.z);
+  out.cg.iters = iters;
+  out.cg.residual_norm = true_residual(a, b, out.cg.x);
+  return out;
+}
+
+CgResult resume_cg_checkpointed(const linalg::CsrMatrix& a, std::span<const double> b,
+                                std::size_t iters, checkpoint::Backend& backend) {
+  CgState s;
+  cg_init(a, b, s);
+  CkptScalars scalars{s.rho, 0};
+  checkpoint::CheckpointSet set(backend);
+  register_state(set, s, scalars);
+
+  if (set.restore() != 0) {
+    s.rho = scalars.rho;
+    s.iter = scalars.iter;
+    // q and the dependent state are reconstructed by the next cg_step; p was
+    // checkpointed so the step sequence continues exactly.
+  }
+  while (s.iter < iters) cg_step(a, s);
+
+  CgResult res;
+  res.x = std::move(s.z);
+  res.iters = iters;
+  res.residual_norm = true_residual(a, b, res.x);
+  return res;
+}
+
+}  // namespace adcc::cg

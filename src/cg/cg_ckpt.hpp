@@ -1,0 +1,29 @@
+// CG with traditional per-iteration checkpointing (paper test cases 2–4).
+//
+// At the end of every iteration the three restart vectors p, r, z plus the
+// scalars (rho, iter) are checkpointed — the paper's configuration giving the
+// same one-iteration recomputation bound as the algorithm-directed scheme, for
+// a fair runtime comparison.
+#pragma once
+
+#include "cg/cg.hpp"
+#include "checkpoint/checkpoint_set.hpp"
+
+namespace adcc::cg {
+
+struct CgCkptResult {
+  CgResult cg;
+  std::uint64_t checkpoints = 0;
+};
+
+/// Runs `iters` iterations, checkpointing after each through `backend`.
+CgCkptResult run_cg_checkpointed(const linalg::CsrMatrix& a, std::span<const double> b,
+                                 std::size_t iters, checkpoint::Backend& backend);
+
+/// Restart path: restores the newest checkpoint into `state` (returns the
+/// completed-iteration count, 0 if no checkpoint exists) and finishes the
+/// remaining iterations.
+CgResult resume_cg_checkpointed(const linalg::CsrMatrix& a, std::span<const double> b,
+                                std::size_t iters, checkpoint::Backend& backend);
+
+}  // namespace adcc::cg

@@ -1,0 +1,66 @@
+#include "cg/cg_online_abft.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::cg {
+
+namespace {
+
+bool residual_invariant_holds(const linalg::CsrMatrix& a, std::span<const double> b,
+                              const CgState& s, double rel_tol, std::vector<double>& scratch) {
+  a.spmv(s.z, scratch);
+  double err2 = 0.0;
+  double b2 = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double d = s.r[i] - (b[i] - scratch[i]);
+    err2 += d * d;
+    b2 += b[i] * b[i];
+  }
+  return std::sqrt(err2) <= rel_tol * std::sqrt(b2);
+}
+
+}  // namespace
+
+OnlineAbftResult run_cg_online_abft(const linalg::CsrMatrix& a, std::span<const double> b,
+                                    std::size_t iters, const OnlineAbftConfig& cfg,
+                                    const FaultInjector& inject) {
+  ADCC_CHECK(cfg.check_every >= 1, "check interval must be positive");
+  OnlineAbftResult out;
+  CgState s;
+  cg_init(a, b, s);
+  CgState verified = s;  // Last state known to satisfy the invariant.
+  std::vector<double> scratch(a.rows());
+
+  std::size_t retries_at_checkpoint = 0;
+  while (s.iter < iters) {
+    cg_step(a, s);
+    if (inject) inject(s.iter, s);
+
+    const bool boundary = s.iter % cfg.check_every == 0 || s.iter == iters;
+    if (!boundary) continue;
+
+    ++out.checks;
+    if (residual_invariant_holds(a, b, s, cfg.rel_tol, scratch)) {
+      verified = s;
+      retries_at_checkpoint = 0;
+      continue;
+    }
+    ++out.detections;
+    ++out.rollbacks;
+    ++retries_at_checkpoint;
+    ADCC_CHECK(retries_at_checkpoint <= cfg.max_retries,
+               "persistent invariant violation: soft error not recoverable by rollback");
+    out.wasted_iterations += s.iter - verified.iter;
+    s = verified;  // Online-ABFT rollback: re-execute from the verified state.
+  }
+
+  out.cg.x = std::move(s.z);
+  out.cg.iters = iters;
+  out.cg.residual_norm = true_residual(a, b, out.cg.x);
+  return out;
+}
+
+}  // namespace adcc::cg

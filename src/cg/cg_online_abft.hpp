@@ -1,0 +1,44 @@
+// Online algorithm-based fault tolerance for CG (paper Fig. 1 line 11 and the
+// Online-ABFT lineage the paper builds on, refs. [16]-[20]).
+//
+// The same residual invariant the crash-recovery path uses —
+// r = b − A·z — doubles as an *online soft-error detector*: verify it every
+// `check_every` iterations; on violation, roll back to the last verified
+// state (kept as an in-memory copy, the scheme of Chen's Online-ABFT) and
+// re-execute. This module closes the loop between the paper's two worlds:
+// the crash-consistency invariants are exactly the fault-tolerance
+// invariants, applied at a different moment.
+#pragma once
+
+#include <functional>
+
+#include "cg/cg.hpp"
+
+namespace adcc::cg {
+
+struct OnlineAbftConfig {
+  std::size_t check_every = 1;   ///< Verify the invariant every k iterations.
+  double rel_tol = 1e-8;         ///< ‖r − (b − A·z)‖ ≤ rel_tol · ‖b‖.
+  std::size_t max_retries = 8;   ///< Give up (throw) after this many rollbacks.
+};
+
+struct OnlineAbftResult {
+  CgResult cg;
+  std::uint64_t checks = 0;
+  std::uint64_t detections = 0;   ///< Invariant violations observed.
+  std::uint64_t rollbacks = 0;    ///< Recovery re-executions performed.
+  std::size_t wasted_iterations = 0;  ///< Iterations discarded by rollbacks.
+};
+
+/// Injects faults for tests/demos: called after every completed iteration
+/// with the mutable CG state; corrupt it to emulate a silent soft error.
+using FaultInjector = std::function<void(std::size_t iter, CgState& state)>;
+
+/// Runs `iters` CG iterations with online invariant verification and
+/// rollback-based soft-error recovery. Throws ContractViolation if a
+/// persistent error defeats `max_retries` rollbacks.
+OnlineAbftResult run_cg_online_abft(const linalg::CsrMatrix& a, std::span<const double> b,
+                                    std::size_t iters, const OnlineAbftConfig& cfg = {},
+                                    const FaultInjector& inject = nullptr);
+
+}  // namespace adcc::cg

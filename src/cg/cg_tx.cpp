@@ -1,0 +1,76 @@
+#include "cg/cg_tx.hpp"
+
+#include "common/align.hpp"
+#include "common/check.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::cg {
+
+std::size_t cg_tx_data_bytes(std::size_t n) {
+  return round_up(4 * n * sizeof(double), kCacheLine) + 16 * kCacheLine;
+}
+
+std::size_t cg_tx_log_bytes(std::size_t n) {
+  // Three snapshotted vectors, plus per-4KB-chunk headers/padding (~2 %),
+  // plus slack for the scalar entries.
+  const std::size_t payload = 3 * n * sizeof(double);
+  return round_up(payload + payload / 32, kCacheLine) + 128 * kCacheLine;
+}
+
+CgTxResult run_cg_tx(const linalg::CsrMatrix& a, std::span<const double> b, std::size_t iters,
+                     pmemtx::PersistentHeap& heap) {
+  const std::size_t n = a.rows();
+  ADCC_CHECK(b.size() == n, "rhs size mismatch");
+
+  // Persistent restart vectors.
+  std::span<double> p = heap.allocate<double>(n);
+  std::span<double> r = heap.allocate<double>(n);
+  std::span<double> z = heap.allocate<double>(n);
+  std::span<double> scalars = heap.allocate<double>(2);  // rho, iter
+  // q is reconstructible (q = A·p): volatile, as the paper checkpoints 3 arrays.
+  std::vector<double> q(n);
+
+  linalg::copy(b, p);
+  linalg::copy(b, r);
+  linalg::zero(z);
+  double rho = linalg::dot(r, r);
+  scalars[0] = rho;
+  scalars[1] = 0.0;
+  heap.region().persist(p.data(), p.size_bytes());
+  heap.region().persist(r.data(), r.size_bytes());
+  heap.region().persist(z.data(), z.size_bytes());
+  heap.region().persist(scalars.data(), scalars.size_bytes());
+
+  pmemtx::UndoLog log(heap);
+  for (std::size_t i = 0; i < iters; ++i) {
+    pmemtx::Transaction tx(log);
+    tx.add(p);
+    tx.add(r);
+    tx.add(z);
+    tx.add(scalars);
+
+    a.spmv(p, q);
+    const double pq = linalg::dot(std::span<const double>(p), std::span<const double>(q));
+    ADCC_CHECK(pq > 0, "A is not positive definite along p");
+    const double alpha = rho / pq;
+    linalg::axpy(alpha, p, z);
+    linalg::axpy(-alpha, q, r);
+    const double rho_new = linalg::dot(std::span<const double>(r), std::span<const double>(r));
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    linalg::xpay(std::span<const double>(r), beta, std::span<const double>(p), p);
+    scalars[0] = rho;
+    scalars[1] = static_cast<double>(i + 1);
+
+    tx.commit();
+  }
+
+  CgTxResult out;
+  out.cg.x.assign(z.begin(), z.end());
+  out.cg.iters = iters;
+  out.cg.residual_norm = true_residual(a, b, out.cg.x);
+  out.log_stats = log.stats();
+  return out;
+}
+
+}  // namespace adcc::cg

@@ -1,0 +1,29 @@
+// CG on the PMEM-style undo-log transaction system (paper test case 5).
+//
+// The three restart vectors live in a persistent heap; each CG iteration is
+// one transaction with transactional updates on p, r, z (the paper's PMEM
+// configuration, recomputation bounded to one iteration). The measured ~4.3×
+// slowdown comes from snapshotting + flushing three full vectors per
+// iteration.
+#pragma once
+
+#include "cg/cg.hpp"
+#include "pmemtx/tx.hpp"
+
+namespace adcc::cg {
+
+struct CgTxResult {
+  CgResult cg;
+  pmemtx::UndoLogStats log_stats;
+};
+
+/// Runs `iters` transactional CG iterations. The heap must be able to hold
+/// 4 vectors of n doubles; sizing helper below.
+CgTxResult run_cg_tx(const linalg::CsrMatrix& a, std::span<const double> b, std::size_t iters,
+                     pmemtx::PersistentHeap& heap);
+
+/// Bytes of heap data space / log space needed for a system of n rows.
+std::size_t cg_tx_data_bytes(std::size_t n);
+std::size_t cg_tx_log_bytes(std::size_t n);
+
+}  // namespace adcc::cg

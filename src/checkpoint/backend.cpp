@@ -1,0 +1,11 @@
+#include "checkpoint/backend.hpp"
+
+namespace adcc::checkpoint {
+
+std::size_t total_bytes(std::span<const ObjectView> objs) {
+  std::size_t n = 0;
+  for (const ObjectView& o : objs) n += o.bytes;
+  return n;
+}
+
+}  // namespace adcc::checkpoint

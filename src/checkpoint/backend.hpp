@@ -1,0 +1,62 @@
+// Checkpoint backends — the paper's traditional-checkpoint baselines.
+//
+// A checkpoint is an atomic durable copy of a set of application objects.
+// Three media are modelled, matching the paper's test cases (2)-(4):
+//   * FileBackend   — local hard drive (write + fdatasync, optional HDD throttle)
+//   * NvmBackend    — NVM-only main memory (memcpy + CLFLUSH + fence)
+//   * HeteroBackend — heterogeneous NVM/DRAM (copy into the DRAM cache, then
+//                     drain the DRAM cache through to NVM)
+//
+// All backends are double-buffer safe: CheckpointSet alternates slots and
+// commits a version marker last, so a crash mid-checkpoint leaves the previous
+// checkpoint intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace adcc::checkpoint {
+
+/// A view of one application object included in checkpoints.
+struct ObjectView {
+  std::string name;
+  void* data = nullptr;
+  std::size_t bytes = 0;
+};
+
+struct BackendStats {
+  std::uint64_t saves = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t bytes_saved = 0;
+  std::uint64_t bytes_loaded = 0;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Durably stores the objects as `slot` and then durably records
+  /// (slot, version) as the newest checkpoint. `slot` is 0 or 1.
+  virtual void save(int slot, std::uint64_t version, std::span<const ObjectView> objs) = 0;
+
+  /// Loads slot contents back into the object pointers (sizes must match the
+  /// saved layout). Returns the version stored with the slot.
+  virtual std::uint64_t load(int slot, std::span<const ObjectView> objs) = 0;
+
+  /// Newest committed (slot, version); version 0 means "no checkpoint yet".
+  virtual std::pair<int, std::uint64_t> latest() const = 0;
+
+  const BackendStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ protected:
+  BackendStats stats_;
+};
+
+/// Total payload bytes of an object set.
+std::size_t total_bytes(std::span<const ObjectView> objs);
+
+}  // namespace adcc::checkpoint

@@ -1,0 +1,31 @@
+#include "checkpoint/checkpoint_set.hpp"
+
+#include "common/check.hpp"
+
+namespace adcc::checkpoint {
+
+void CheckpointSet::add(std::string name, void* data, std::size_t bytes) {
+  ADCC_CHECK(!frozen_, "objects must be registered before the first save");
+  ADCC_CHECK(data != nullptr && bytes > 0, "object must be non-empty");
+  objs_.push_back({std::move(name), data, bytes});
+}
+
+std::uint64_t CheckpointSet::save() {
+  ADCC_CHECK(!objs_.empty(), "no objects registered");
+  frozen_ = true;
+  ++version_;
+  backend_.save(static_cast<int>(version_ % 2), version_, objs_);
+  return version_;
+}
+
+std::uint64_t CheckpointSet::restore() {
+  ADCC_CHECK(!objs_.empty(), "no objects registered");
+  const auto [slot, ver] = backend_.latest();
+  if (ver == 0) return 0;
+  const std::uint64_t loaded = backend_.load(slot, objs_);
+  version_ = loaded;
+  frozen_ = true;
+  return loaded;
+}
+
+}  // namespace adcc::checkpoint

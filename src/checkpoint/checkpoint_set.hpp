@@ -1,0 +1,45 @@
+// CheckpointSet — application-facing checkpoint manager.
+//
+// Registers the critical data objects once, then `save()` writes them all to
+// the backend with alternating slots and monotonically increasing versions
+// (classic double buffering: a crash mid-save leaves the previous checkpoint
+// committed). `restore()` loads the newest committed checkpoint back into the
+// registered objects and returns its version (0 = nothing to restore).
+#pragma once
+
+#include <vector>
+
+#include "checkpoint/backend.hpp"
+
+namespace adcc::checkpoint {
+
+class CheckpointSet {
+ public:
+  explicit CheckpointSet(Backend& backend) : backend_(backend) {}
+
+  /// Registers an object; must happen before the first save.
+  void add(std::string name, void* data, std::size_t bytes);
+
+  template <typename T>
+  void add(std::string name, std::span<T> s) {
+    add(std::move(name), s.data(), s.size_bytes());
+  }
+
+  /// Checkpoints all registered objects; returns the new version.
+  std::uint64_t save();
+
+  /// Restores the newest committed checkpoint; returns its version
+  /// (0 = no checkpoint, objects untouched).
+  std::uint64_t restore();
+
+  std::size_t payload_bytes() const { return total_bytes(objs_); }
+  std::uint64_t version() const { return version_; }
+
+ private:
+  Backend& backend_;
+  std::vector<ObjectView> objs_;
+  std::uint64_t version_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace adcc::checkpoint

@@ -1,0 +1,37 @@
+// Local hard-drive checkpointing (the paper's test case 2).
+//
+// Data is written to per-slot files and synced with fdatasync. Because modern
+// CI storage is much faster than the 2017 local HDD the paper measured, an
+// optional software bandwidth throttle (default 150 MB/s) preserves the
+// figure's shape; pass 0 to disable and measure the real device.
+#pragma once
+
+#include <filesystem>
+
+#include "checkpoint/backend.hpp"
+
+namespace adcc::checkpoint {
+
+struct FileBackendConfig {
+  std::filesystem::path directory;          ///< Created if absent.
+  double throttle_bytes_per_s = 150e6;      ///< 0 → no throttle.
+  bool sync = true;                         ///< fdatasync after write.
+};
+
+class FileBackend final : public Backend {
+ public:
+  explicit FileBackend(const FileBackendConfig& cfg);
+  ~FileBackend() override;
+
+  void save(int slot, std::uint64_t version, std::span<const ObjectView> objs) override;
+  std::uint64_t load(int slot, std::span<const ObjectView> objs) override;
+  std::pair<int, std::uint64_t> latest() const override;
+
+ private:
+  std::filesystem::path slot_path(int slot) const;
+  std::filesystem::path meta_path() const;
+
+  FileBackendConfig cfg_;
+};
+
+}  // namespace adcc::checkpoint

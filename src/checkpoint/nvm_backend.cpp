@@ -1,0 +1,49 @@
+#include "checkpoint/nvm_backend.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace adcc::checkpoint {
+
+NvmBackend::NvmBackend(nvm::NvmRegion& region, std::size_t capacity_per_slot) : region_(region) {
+  slots_[0] = region_.allocate<std::byte>(capacity_per_slot);
+  slots_[1] = region_.allocate<std::byte>(capacity_per_slot);
+  meta_ = region_.allocate<std::uint64_t>(2);
+  meta_[0] = 0;
+  meta_[1] = 0;
+  region_.persist(meta_.data(), meta_.size_bytes());
+}
+
+void NvmBackend::save(int slot, std::uint64_t version, std::span<const ObjectView> objs) {
+  ADCC_CHECK(slot == 0 || slot == 1, "two slots");
+  ADCC_CHECK(total_bytes(objs) <= slots_[slot].size(), "checkpoint exceeds slot capacity");
+  std::size_t off = 0;
+  for (const ObjectView& o : objs) {
+    // memcpy + flush + fence + NVM bandwidth charge.
+    region_.write_durable(slots_[slot].data() + off, o.data, o.bytes);
+    off += o.bytes;
+  }
+  meta_[0] = static_cast<std::uint64_t>(slot);
+  meta_[1] = version;
+  region_.persist(meta_.data(), meta_.size_bytes());
+  ++stats_.saves;
+  stats_.bytes_saved += off;
+}
+
+std::uint64_t NvmBackend::load(int slot, std::span<const ObjectView> objs) {
+  std::size_t off = 0;
+  for (const ObjectView& o : objs) {
+    std::memcpy(o.data, slots_[slot].data() + off, o.bytes);
+    off += o.bytes;
+  }
+  ++stats_.loads;
+  stats_.bytes_loaded += off;
+  return meta_[1];
+}
+
+std::pair<int, std::uint64_t> NvmBackend::latest() const {
+  return {static_cast<int>(meta_[0]), meta_[1]};
+}
+
+}  // namespace adcc::checkpoint

@@ -1,0 +1,34 @@
+#include "common/align.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace adcc {
+
+std::size_t lines_spanned(const void* p, std::size_t bytes) {
+  if (bytes == 0) return 0;
+  const std::uintptr_t first = line_of(p);
+  const std::uintptr_t last = line_of(static_cast<const std::byte*>(p) + bytes - 1);
+  return (last - first) / kCacheLine + 1;
+}
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes) : bytes_(bytes) {
+  if (bytes_ == 0) return;
+  auto* p = static_cast<std::byte*>(::operator new[](bytes_, std::align_val_t{kCacheLine}));
+  std::memset(p, 0, bytes_);
+  data_.reset(p);
+}
+
+AlignedBuffer::AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.bytes_) {
+  if (bytes_ != 0) std::memcpy(data_.get(), other.data_.get(), bytes_);
+}
+
+AlignedBuffer& AlignedBuffer::operator=(const AlignedBuffer& other) {
+  if (this == &other) return *this;
+  AlignedBuffer tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+}  // namespace adcc

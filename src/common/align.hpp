@@ -1,0 +1,94 @@
+// Cache-line-aligned buffers.
+//
+// Every data object whose durability the library reasons about is allocated at
+// cache-line granularity so that a simulated (or real) CLFLUSH of one object
+// never touches bytes of a neighbouring object ("false persistence").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+
+namespace adcc {
+
+/// Cache line size assumed throughout the library (x86 and most ARM servers).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Rounds `n` up to a multiple of `align` (power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Address of the cache line containing `p`.
+inline std::uintptr_t line_of(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) & ~static_cast<std::uintptr_t>(kCacheLine - 1);
+}
+
+/// Number of cache lines overlapped by [p, p+bytes).
+std::size_t lines_spanned(const void* p, std::size_t bytes);
+
+/// A cache-line aligned, zero-initialized byte buffer with value semantics.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes);
+
+  AlignedBuffer(const AlignedBuffer& other);
+  AlignedBuffer& operator=(const AlignedBuffer& other);
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::move(other.data_)), bytes_(std::exchange(other.bytes_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    data_ = std::move(other.data_);
+    bytes_ = std::exchange(other.bytes_, 0);
+    return *this;
+  }
+
+  std::byte* data() { return data_.get(); }
+  const std::byte* data() const { return data_.get(); }
+  std::size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+
+  std::span<std::byte> span() { return {data_.get(), bytes_}; }
+  std::span<const std::byte> span() const { return {data_.get(), bytes_}; }
+
+ private:
+  struct Free {
+    void operator()(std::byte* p) const noexcept { ::operator delete[](p, std::align_val_t{kCacheLine}); }
+  };
+  std::unique_ptr<std::byte[], Free> data_;
+  std::size_t bytes_ = 0;
+};
+
+/// Typed cache-line aligned array of trivially-copyable T, zero-initialized.
+template <typename T>
+class AlignedArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  AlignedArray() = default;
+  explicit AlignedArray(std::size_t n) : buf_(round_up(n * sizeof(T), kCacheLine)), n_(n) {}
+
+  T* data() { return reinterpret_cast<T*>(buf_.data()); }
+  const T* data() const { return reinterpret_cast<const T*>(buf_.data()); }
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  std::span<T> span() { return {data(), n_}; }
+  std::span<const T> span() const { return {data(), n_}; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + n_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + n_; }
+
+ private:
+  AlignedBuffer buf_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace adcc

@@ -1,0 +1,16 @@
+#include "common/check.hpp"
+
+#include <sstream>
+
+namespace adcc {
+
+void contract_failure(const char* expr, const char* msg, std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << ": contract `" << expr << "` violated";
+  if (msg != nullptr && *msg != '\0') {
+    os << " — " << msg;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace adcc

@@ -1,0 +1,46 @@
+#include "common/options.hpp"
+
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace adcc {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    ADCC_CHECK(arg.starts_with("--"), "options must look like --key=value or --flag");
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_[std::string(arg)] = "1";
+    } else {
+      kv_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return kv_.contains(key); }
+
+std::string Options::get(const std::string& key, const std::string& fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stoll(it->second);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& key, bool fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  return it->second != "0" && it->second != "false";
+}
+
+}  // namespace adcc

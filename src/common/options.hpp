@@ -1,0 +1,29 @@
+// Minimal CLI option parsing for the benchmark/example binaries.
+//
+// Syntax: --key=value or --flag. Unrecognized positional arguments are an
+// error; benchmarks opt into a "quick" mode via --quick for CI runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace adcc {
+
+class Options {
+ public:
+  Options() = default;
+  /// Parses argv; throws ContractViolation on malformed arguments.
+  Options(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace adcc

@@ -1,0 +1,21 @@
+#include "common/rng.hpp"
+
+#include "common/check.hpp"
+
+namespace adcc {
+
+std::uint64_t SplitMix64::next_below(std::uint64_t bound) {
+  ADCC_CHECK(bound > 0, "next_below requires a positive bound");
+  // 128-bit multiply trick (Lemire); bias is negligible for our bounds.
+  const unsigned __int128 m = static_cast<unsigned __int128>(next_u64()) * bound;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t CounterRng::below(std::uint64_t counter, std::uint64_t bound,
+                                std::uint64_t lane) const {
+  ADCC_CHECK(bound > 0, "below requires a positive bound");
+  const unsigned __int128 m = static_cast<unsigned __int128>(u64(counter, lane)) * bound;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace adcc

@@ -1,0 +1,68 @@
+// Deterministic random number generation.
+//
+// Two flavours:
+//  * SplitMix64 — a tiny sequential PRNG for data generation.
+//  * CounterRng — a *counter-based* generator: sample k of stream (seed, i) is a
+//    pure function of (seed, i, k). The Monte-Carlo reproduction depends on this:
+//    lookup i must draw identical inputs whether or not a crash/restart happened
+//    in between (the paper runs both Fig. 10 curves on "the same randomly
+//    sampled inputs").
+#pragma once
+
+#include <cstdint>
+
+namespace adcc {
+
+/// One mixing step of SplitMix64; a high-quality 64-bit finalizer.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Sequential PRNG with SplitMix64 state transition.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound) without modulo bias for bound << 2^64.
+  std::uint64_t next_below(std::uint64_t bound);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Counter-based generator: value = f(seed, counter, lane).
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t u64(std::uint64_t counter, std::uint64_t lane = 0) const {
+    return splitmix64(splitmix64(seed_ ^ (counter * 0xA24BAED4963EE407ULL)) ^
+                      (lane * 0x9FB21C651E98DF25ULL));
+  }
+
+  double uniform(std::uint64_t counter, std::uint64_t lane = 0) const {
+    return static_cast<double>(u64(counter, lane) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t counter, std::uint64_t bound, std::uint64_t lane = 0) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace adcc

@@ -1,0 +1,19 @@
+#include "common/timer.hpp"
+
+namespace adcc {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+void spin_for(double seconds) {
+  if (seconds <= 0.0) return;
+  const double deadline = now_seconds() + seconds;
+  while (now_seconds() < deadline) {
+    // Busy wait: the throttle models media occupancy, so yielding would
+    // under-charge the emulated cost.
+  }
+}
+
+}  // namespace adcc

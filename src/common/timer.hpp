@@ -1,0 +1,47 @@
+// Monotonic wall-clock timing utilities used by the benchmark harnesses and the
+// NVM performance throttle.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace adcc {
+
+/// Seconds since an arbitrary monotonic epoch.
+double now_seconds();
+
+/// Simple stopwatch; started on construction.
+class Timer {
+ public:
+  Timer() : start_(now_seconds()) {}
+  void reset() { start_ = now_seconds(); }
+  double elapsed() const { return now_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+/// Accumulates time across multiple start/stop windows (e.g. the "detect" vs
+/// "resume" phases of a recovery).
+class PhaseTimer {
+ public:
+  void start() { begin_ = now_seconds(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += now_seconds() - begin_;
+      running_ = false;
+    }
+  }
+  double total() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+ private:
+  double begin_ = 0.0;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+/// Busy-waits for `seconds`; used by the NVM throttle to emulate slower media.
+void spin_for(double seconds);
+
+}  // namespace adcc

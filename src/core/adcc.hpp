@@ -1,0 +1,63 @@
+// Umbrella header for the ADCC library — algorithm-directed crash consistency
+// in non-volatile memory for HPC (reproduction of Yang et al., CLUSTER 2017).
+//
+// Layered API:
+//   adcc::memsim     — crash emulator (cache model + dual-image regions)
+//   adcc::nvm        — flush primitives, NVM perf throttle, arenas, DRAM cache
+//   adcc::pmemtx     — undo-log transactions (PMEM-library baseline)
+//   adcc::checkpoint — disk/NVM/hetero checkpoint backends
+//   adcc::linalg     — CSR/dense kernels, SPD generator
+//   adcc::abft       — checksum encodings + ABFT GEMM
+//   adcc::cg         — CG variants, incl. the Fig. 2 crash-consistent solver
+//   adcc::mm         — ABFT-MM variants, incl. the Fig. 6 two-loop algorithm
+//   adcc::mc         — XSBench-equivalent MC, incl. selective flushing
+//   adcc::core       — the seven evaluation modes, harness, reporting
+#pragma once
+
+#include "abft/abft_gemm.hpp"
+#include "abft/checksum.hpp"
+#include "cg/cg.hpp"
+#include "cg/cg_cc.hpp"
+#include "cg/cg_ckpt.hpp"
+#include "cg/cg_online_abft.hpp"
+#include "cg/cg_tx.hpp"
+#include "checkpoint/backend.hpp"
+#include "checkpoint/checkpoint_set.hpp"
+#include "checkpoint/file_backend.hpp"
+#include "checkpoint/hetero_backend.hpp"
+#include "checkpoint/incremental.hpp"
+#include "checkpoint/nvm_backend.hpp"
+#include "common/align.hpp"
+#include "common/check.hpp"
+#include "common/options.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "core/harness.hpp"
+#include "core/modes.hpp"
+#include "core/report.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/spgen.hpp"
+#include "linalg/vec_ops.hpp"
+#include "mc/mc_ckpt.hpp"
+#include "mc/tally.hpp"
+#include "mc/xs_cc.hpp"
+#include "mc/xs_data.hpp"
+#include "mc/xs_kernel.hpp"
+#include "memsim/cache.hpp"
+#include "memsim/crash.hpp"
+#include "memsim/memsim.hpp"
+#include "memsim/tracked.hpp"
+#include "mm/mm_cc.hpp"
+#include "mm/mm_ckpt.hpp"
+#include "mm/mm_tx.hpp"
+#include "nvm/dram_cache.hpp"
+#include "nvm/epoch.hpp"
+#include "nvm/flush.hpp"
+#include "nvm/nvm_region.hpp"
+#include "nvm/perf_model.hpp"
+#include "pmemtx/pheap.hpp"
+#include "pmemtx/tx.hpp"
+#include "pmemtx/undo_log.hpp"

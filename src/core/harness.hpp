@@ -1,0 +1,43 @@
+// Measurement harness shared by the benchmark binaries: repeated timed runs,
+// normalization against a native baseline, and the detect/resume recovery
+// breakdown structure reported by the Fig. 3 / Fig. 7 benches.
+#pragma once
+
+#include <functional>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace adcc::core {
+
+/// Wall-clock seconds of one invocation of `fn`.
+double time_seconds(const std::function<void()>& fn);
+
+/// Runs `fn` `reps` times and returns the median wall time (first run can be
+/// discarded as warmup with `warmup=true`).
+double median_seconds(const std::function<void()>& fn, int reps, bool warmup = true);
+
+/// A runtime measurement normalized against the native baseline — the y-axis
+/// of Figs. 4, 8 and 13.
+struct NormalizedTime {
+  double seconds = 0.0;
+  double normalized = 0.0;  ///< seconds / native_seconds.
+  double overhead_percent() const { return (normalized - 1.0) * 100.0; }
+};
+
+NormalizedTime normalize(double seconds, double native_seconds);
+
+/// The Fig. 3 / Fig. 7 recomputation breakdown, normalized by the mean cost of
+/// one work unit (CG iteration, submatrix multiplication/addition).
+struct RecomputationBreakdown {
+  double detect_seconds = 0.0;
+  double resume_seconds = 0.0;
+  double unit_seconds = 0.0;   ///< Normalizer.
+  std::size_t units_lost = 0;
+
+  double detect_normalized() const { return unit_seconds > 0 ? detect_seconds / unit_seconds : 0; }
+  double resume_normalized() const { return unit_seconds > 0 ? resume_seconds / unit_seconds : 0; }
+  double total_normalized() const { return detect_normalized() + resume_normalized(); }
+};
+
+}  // namespace adcc::core

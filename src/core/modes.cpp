@@ -1,0 +1,80 @@
+#include "core/modes.hpp"
+
+#include "checkpoint/file_backend.hpp"
+#include "checkpoint/hetero_backend.hpp"
+#include "checkpoint/nvm_backend.hpp"
+#include "common/check.hpp"
+
+namespace adcc::core {
+
+std::string mode_name(Mode m) {
+  switch (m) {
+    case Mode::kNative: return "native";
+    case Mode::kCkptDisk: return "ckpt-disk";
+    case Mode::kCkptNvm: return "ckpt-nvm";
+    case Mode::kCkptHetero: return "ckpt-nvm/dram";
+    case Mode::kPmemTx: return "pmem-tx";
+    case Mode::kAlgNvm: return "alg-nvm";
+    case Mode::kAlgHetero: return "alg-nvm/dram";
+  }
+  ADCC_CHECK(false, "unknown mode");
+}
+
+std::vector<Mode> all_modes() {
+  return {Mode::kNative,     Mode::kCkptDisk, Mode::kCkptNvm, Mode::kCkptHetero,
+          Mode::kPmemTx,     Mode::kAlgNvm,   Mode::kAlgHetero};
+}
+
+bool is_checkpoint_mode(Mode m) {
+  return m == Mode::kCkptDisk || m == Mode::kCkptNvm || m == Mode::kCkptHetero;
+}
+
+bool is_algorithm_mode(Mode m) { return m == Mode::kAlgNvm || m == Mode::kAlgHetero; }
+
+ModeEnv make_env(Mode mode, const ModeEnvConfig& cfg) {
+  ModeEnv env;
+  env.mode = mode;
+  if (mode == Mode::kNative) return env;
+
+  // NVM-only modes assume NVM as fast as DRAM (paper's optimistic
+  // configuration); hetero modes throttle to 1/8 bandwidth.
+  const bool hetero = mode == Mode::kCkptHetero || mode == Mode::kAlgHetero;
+  nvm::PerfConfig pc;
+  pc.dram_bw_bytes_per_s = cfg.dram_bw_bytes_per_s;
+  pc.bandwidth_slowdown = hetero ? cfg.nvm_bandwidth_slowdown : 1.0;
+  pc.enabled = hetero;
+  env.perf = std::make_unique<nvm::PerfModel>(pc);
+
+  if (mode != Mode::kCkptDisk) {
+    env.region = std::make_unique<nvm::NvmRegion>(cfg.arena_bytes, *env.perf,
+                                                  mode_name(mode) + ".arena");
+  }
+  if (hetero) {
+    ADCC_CHECK(env.region != nullptr, "hetero modes need an arena");
+    env.dram = std::make_unique<nvm::DramCache>(cfg.dram_cache_bytes, *env.region);
+  }
+
+  switch (mode) {
+    case Mode::kCkptDisk: {
+      checkpoint::FileBackendConfig fc;
+      fc.directory = cfg.scratch_dir.empty()
+                         ? std::filesystem::temp_directory_path() / "adcc_ckpt"
+                         : cfg.scratch_dir;
+      fc.throttle_bytes_per_s = cfg.disk_throttle_bytes_per_s;
+      env.backend = std::make_unique<checkpoint::FileBackend>(fc);
+      break;
+    }
+    case Mode::kCkptNvm:
+      env.backend = std::make_unique<checkpoint::NvmBackend>(*env.region, cfg.slot_bytes);
+      break;
+    case Mode::kCkptHetero:
+      env.backend =
+          std::make_unique<checkpoint::HeteroBackend>(*env.region, *env.dram, cfg.slot_bytes);
+      break;
+    default:
+      break;  // Tx and algorithm modes build workload-specific state on the arena.
+  }
+  return env;
+}
+
+}  // namespace adcc::core

@@ -1,0 +1,63 @@
+// The paper's seven evaluation configurations (§III-A) as a first-class enum,
+// plus a factory assembling the substrate stack each mode needs.
+//
+//   1. kNative     — no durability mechanism at all
+//   2. kCkptDisk   — checkpoint to a local hard drive
+//   3. kCkptNvm    — checkpoint into NVM-only main memory (NVM as fast as DRAM)
+//   4. kCkptHetero — checkpoint into heterogeneous NVM/DRAM (NVM at 1/8 DRAM
+//                    bandwidth, 32 MB DRAM cache in front)
+//   5. kPmemTx     — Intel-PMEM-style undo-log transactions on NVM-only
+//   6. kAlgNvm     — algorithm-directed approach on NVM-only
+//   7. kAlgHetero  — algorithm-directed approach on heterogeneous NVM/DRAM
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/backend.hpp"
+#include "nvm/dram_cache.hpp"
+#include "nvm/nvm_region.hpp"
+
+namespace adcc::core {
+
+enum class Mode {
+  kNative,
+  kCkptDisk,
+  kCkptNvm,
+  kCkptHetero,
+  kPmemTx,
+  kAlgNvm,
+  kAlgHetero,
+};
+
+std::string mode_name(Mode m);
+std::vector<Mode> all_modes();
+
+bool is_checkpoint_mode(Mode m);
+bool is_algorithm_mode(Mode m);
+
+struct ModeEnvConfig {
+  std::size_t arena_bytes = 64u << 20;   ///< NVM arena capacity.
+  std::size_t slot_bytes = 16u << 20;    ///< Per-slot checkpoint capacity.
+  std::filesystem::path scratch_dir;     ///< For kCkptDisk (default: tmp).
+  double nvm_bandwidth_slowdown = 8.0;   ///< Hetero modes (paper: 8).
+  double dram_bw_bytes_per_s = 0.0;      ///< 0 → calibrate with a memcpy sweep.
+  double disk_throttle_bytes_per_s = 150e6;
+  std::size_t dram_cache_bytes = 32u << 20;  ///< Paper: 32 MB.
+};
+
+/// Everything a mode needs, wired together. Members not used by the mode stay
+/// null (e.g. no NVM arena in kNative, no backend in kAlgNvm).
+struct ModeEnv {
+  Mode mode = Mode::kNative;
+  std::unique_ptr<nvm::PerfModel> perf;
+  std::unique_ptr<nvm::NvmRegion> region;
+  std::unique_ptr<nvm::DramCache> dram;
+  std::unique_ptr<checkpoint::Backend> backend;
+};
+
+ModeEnv make_env(Mode mode, const ModeEnvConfig& cfg);
+
+}  // namespace adcc::core

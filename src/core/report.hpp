@@ -1,0 +1,31 @@
+// Plain-text table reporting for the figure-reproduction benches: every bench
+// prints the same rows/series the paper's figure shows, in a stable,
+// grep-friendly format that EXPERIMENTS.md references.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adcc::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);  ///< 0.082 → "8.2%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the standard bench banner (figure id + workload description).
+void print_banner(const std::string& figure, const std::string& description);
+
+}  // namespace adcc::core

@@ -1,0 +1,64 @@
+#include "linalg/csr.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace adcc::linalg {
+
+CsrMatrix::CsrMatrix(std::size_t n, std::vector<std::size_t> row_ptr,
+                     std::vector<std::uint32_t> col_idx, std::vector<double> values)
+    : n_(n), row_ptr_(std::move(row_ptr)), col_idx_(std::move(col_idx)), values_(std::move(values)) {
+  ADCC_CHECK(row_ptr_.size() == n_ + 1, "row_ptr must have n+1 entries");
+  ADCC_CHECK(row_ptr_.front() == 0 && row_ptr_.back() == values_.size(), "row_ptr bounds");
+  ADCC_CHECK(col_idx_.size() == values_.size(), "col/val size mismatch");
+}
+
+void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
+  ADCC_DCHECK(x.size() == n_ && y.size() == n_, "dimension mismatch");
+#pragma omp parallel for schedule(static) if (n_ >= 4096)
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+}
+
+double CsrMatrix::spmv_row(std::size_t row, std::span<const double> x) const {
+  double acc = 0.0;
+  for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k) {
+    acc += values_[k] * x[col_idx_[k]];
+  }
+  return acc;
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> upper;
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint32_t c = col_idx_[k];
+      if (c > r) upper[{static_cast<std::uint32_t>(r), c}] = values_[k];
+    }
+  }
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::uint32_t c = col_idx_[k];
+      if (c < r) {
+        auto it = upper.find({c, static_cast<std::uint32_t>(r)});
+        if (it == upper.end() || std::fabs(it->second - values_[k]) > tol) return false;
+        upper.erase(it);
+      }
+    }
+  }
+  return upper.empty();
+}
+
+std::size_t CsrMatrix::footprint_bytes() const {
+  return row_ptr_.size() * sizeof(std::size_t) + col_idx_.size() * sizeof(std::uint32_t) +
+         values_.size() * sizeof(double);
+}
+
+}  // namespace adcc::linalg

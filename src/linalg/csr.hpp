@@ -1,0 +1,44 @@
+// Compressed sparse row matrices and SpMV.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adcc::linalg {
+
+/// Square CSR matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t n, std::vector<std::size_t> row_ptr, std::vector<std::uint32_t> col_idx,
+            std::vector<double> values);
+
+  std::size_t rows() const { return n_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  std::span<const std::size_t> row_ptr() const { return row_ptr_; }
+  std::span<const std::uint32_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// y ← A·x (OpenMP over rows).
+  void spmv(std::span<const double> x, std::span<double> y) const;
+
+  /// y ← A·x for a single row (used by instrumented kernels).
+  double spmv_row(std::size_t row, std::span<const double> x) const;
+
+  /// True if the sparsity pattern and values are symmetric (within tol).
+  bool is_symmetric(double tol = 1e-12) const;
+
+  /// Total bytes of the three CSR arrays (working-set estimation).
+  std::size_t footprint_bytes() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace adcc::linalg

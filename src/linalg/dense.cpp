@@ -1,0 +1,32 @@
+#include "linalg/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace adcc::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+void Matrix::set_zero() { std::memset(data_.data(), 0, rows_ * cols_ * sizeof(double)); }
+
+void Matrix::fill_random(std::uint64_t seed, double lo, double hi) {
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < rows_ * cols_; ++i) {
+    data_[i] = lo + (hi - lo) * rng.next_double();
+  }
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  ADCC_CHECK(a.rows_ == b.rows_ && a.cols_ == b.cols_, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows_ * a.cols_; ++i) {
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace adcc::linalg

@@ -1,0 +1,48 @@
+// Row-major dense matrices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/align.hpp"
+
+namespace adcc::linalg {
+
+/// Row-major dense matrix with cache-line-aligned rows storage.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size_bytes() const { return rows_ * cols_ * sizeof(double); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  std::span<double> flat() { return data_.span(); }
+  std::span<const double> flat() const { return data_.span(); }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void set_zero();
+
+  /// Fills with deterministic pseudo-random values in [lo, hi).
+  void fill_random(std::uint64_t seed, double lo = 0.0, double hi = 1.0);
+
+  /// max_{i,j} |a_ij − b_ij|; matrices must have equal shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedArray<double> data_;
+};
+
+}  // namespace adcc::linalg

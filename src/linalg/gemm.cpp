@@ -1,0 +1,45 @@
+#include "linalg/gemm.hpp"
+
+#include "common/check.hpp"
+
+namespace adcc::linalg {
+
+void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
+                Matrix& c, bool accumulate) {
+  ADCC_CHECK(ac0 + k <= a.cols(), "panel exceeds A columns");
+  ADCC_CHECK(br0 + k <= b.rows(), "panel exceeds B rows");
+  ADCC_CHECK(c.rows() == a.rows() && c.cols() == b.cols(), "C shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = b.cols();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c.row(i).data();
+    if (!accumulate) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a(i, ac0 + kk);
+      const double* brow = b.row(br0 + kk).data();
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  ADCC_CHECK(a.cols() == b.rows(), "inner dimension mismatch");
+  gemm_panel(a, 0, a.cols(), b, 0, c, /*accumulate=*/false);
+}
+
+void gemm_reference(const Matrix& a, const Matrix& b, Matrix& c) {
+  ADCC_CHECK(a.cols() == b.rows(), "inner dimension mismatch");
+  ADCC_CHECK(c.rows() == a.rows() && c.cols() == b.cols(), "C shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk) acc += a(i, kk) * b(kk, j);
+      c(i, j) = acc;
+    }
+  }
+}
+
+}  // namespace adcc::linalg

@@ -1,0 +1,24 @@
+// Dense matrix multiplication kernels.
+//
+// gemm_panel is the building block of the ABFT rank-k update (paper Figs. 5/6):
+// C (+)= A[:, ac0:ac0+k] × B[br0:br0+k, :]. The i-k-j loop order streams B rows
+// and C rows — the "streaming-like" access pattern the paper's §III-C analysis
+// relies on — and parallelizes over C rows with OpenMP.
+#pragma once
+
+#include "linalg/dense.hpp"
+
+namespace adcc::linalg {
+
+/// C ← A×B (full product; shapes must agree).
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C (+)= A[:, ac0 : ac0+k] × B[br0 : br0+k, :].
+/// If `accumulate` is false, C is overwritten by the panel product.
+void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
+                Matrix& c, bool accumulate);
+
+/// Reference triple-loop product for validation (no blocking, no OpenMP).
+void gemm_reference(const Matrix& a, const Matrix& b, Matrix& c);
+
+}  // namespace adcc::linalg

@@ -1,0 +1,36 @@
+// Dense vector kernels (OpenMP) used by CG and the ABFT checksum machinery.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace adcc::linalg {
+
+/// y ← x
+void copy(std::span<const double> x, std::span<double> y);
+
+/// Sum of elements.
+double sum(std::span<const double> x);
+
+/// xᵀ·y
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// ‖x‖₂
+double norm2(std::span<const double> x);
+
+/// y ← a·x + y
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// z ← x + a·y (out-of-place)
+void xpay(std::span<const double> x, double a, std::span<const double> y, std::span<double> z);
+
+/// x ← a·x
+void scale(double a, std::span<double> x);
+
+/// x ← 0
+void zero(std::span<double> x);
+
+/// max_i |x_i − y_i|
+double max_abs_diff(std::span<const double> x, std::span<const double> y);
+
+}  // namespace adcc::linalg

@@ -1,0 +1,40 @@
+// Native-mode XSBench runners for the Fig. 13 runtime comparison.
+//
+// All variants execute the identical lookup kernel; they differ only in how
+// the restart state (macro_xs_vector + five counters + lookup index) is made
+// durable every `interval` lookups:
+//   run_xs_native        — not at all (test case 1)
+//   run_xs_checkpointed  — via a checkpoint backend (test cases 2–4)
+//   run_xs_tx            — one undo-log transaction per interval (test case 5)
+//   run_xs_cc_native     — CLFLUSH of the three cache lines (test cases 6–7)
+#pragma once
+
+#include "checkpoint/checkpoint_set.hpp"
+#include "mc/tally.hpp"
+#include "mc/xs_kernel.hpp"
+#include "nvm/nvm_region.hpp"
+#include "pmemtx/tx.hpp"
+
+namespace adcc::mc {
+
+struct XsRunResult {
+  Tally tally;
+  std::uint64_t durability_events = 0;  ///< Checkpoints / transactions / flush batches.
+};
+
+XsRunResult run_xs_native(const XsDataHost& data, std::uint64_t lookups, std::uint64_t seed);
+
+XsRunResult run_xs_checkpointed(const XsDataHost& data, std::uint64_t lookups, std::uint64_t seed,
+                                std::uint64_t interval, checkpoint::Backend& backend);
+
+XsRunResult run_xs_tx(const XsDataHost& data, std::uint64_t lookups, std::uint64_t seed,
+                      std::uint64_t interval, pmemtx::PersistentHeap& heap);
+
+XsRunResult run_xs_cc_native(const XsDataHost& data, std::uint64_t lookups, std::uint64_t seed,
+                             std::uint64_t interval, nvm::NvmRegion& region);
+
+/// Heap sizing for run_xs_tx.
+std::size_t xs_tx_data_bytes();
+std::size_t xs_tx_log_bytes();
+
+}  // namespace adcc::mc

@@ -1,0 +1,29 @@
+#include "mc/tally.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adcc::mc {
+
+std::array<double, kChannels> Tally::percentages(std::uint64_t denominator) const {
+  std::array<double, kChannels> out{};
+  if (denominator == 0) return out;
+  for (int c = 0; c < kChannels; ++c) {
+    out[static_cast<std::size_t>(c)] =
+        100.0 * static_cast<double>(counts[static_cast<std::size_t>(c)]) /
+        static_cast<double>(denominator);
+  }
+  return out;
+}
+
+double max_percentage_gap(const Tally& a, const Tally& b, std::uint64_t denominator) {
+  const auto pa = a.percentages(denominator);
+  const auto pb = b.percentages(denominator);
+  double m = 0.0;
+  for (int c = 0; c < kChannels; ++c) {
+    m = std::max(m, std::fabs(pa[static_cast<std::size_t>(c)] - pb[static_cast<std::size_t>(c)]));
+  }
+  return m;
+}
+
+}  // namespace adcc::mc

@@ -1,0 +1,29 @@
+// Interaction-type tallies (the paper's five counters) and the comparison
+// metrics used by Figs. 10 and 12.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "mc/xs_data.hpp"
+
+namespace adcc::mc {
+
+struct Tally {
+  std::array<std::uint64_t, kChannels> counts{};
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+
+  /// Per-type share of `denominator` lookups, in percent (the figures'
+  /// y-axis: counts normalized by the total number of lookups).
+  std::array<double, kChannels> percentages(std::uint64_t denominator) const;
+};
+
+/// max_c |a_c − b_c| of the percentage vectors (percentage points).
+double max_percentage_gap(const Tally& a, const Tally& b, std::uint64_t denominator);
+
+}  // namespace adcc::mc

@@ -1,0 +1,173 @@
+#include "mc/xs_cc.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace adcc::mc {
+
+namespace {
+// Progress encoding: 2i = lookup i in flight (basic idea flushes at the top of
+// the iteration); 2i+1 = tallies through lookup i are durable (selective
+// policies flush after the tally update).
+std::int64_t started(std::uint64_t i) { return static_cast<std::int64_t>(2 * i); }
+std::int64_t completed(std::uint64_t i) { return static_cast<std::int64_t>(2 * i + 1); }
+}  // namespace
+
+XsCrashConsistent::XsCrashConsistent(const XsDataHost& data, const XsCcConfig& cfg)
+    : data_(data),
+      cfg_(cfg),
+      rng_(cfg.rng_seed),
+      sim_(cfg.cache),
+      unionized_(sim_, "xs.unionized", data.unionized_energy().size(), /*read_only=*/true),
+      index_grid_(sim_, "xs.index_grid", data.index_grid().size(), /*read_only=*/true),
+      grids_(sim_, "xs.nuclide_grids", data.nuclide_grids().size(), /*read_only=*/true),
+      macro_(sim_, "xs.macro_xs", kChannels),
+      counters_(sim_, "xs.counters", kChannels),
+      snap_macro_(sim_, "xs.macro_xs.snap", kChannels),
+      snap_counters_(sim_, "xs.counters.snap", kChannels) {
+  std::memcpy(unionized_.data(), data.unionized_energy().data(),
+              data.unionized_energy().size() * sizeof(double));
+  std::memcpy(index_grid_.data(), data.index_grid().data(),
+              data.index_grid().size() * sizeof(std::int32_t));
+  std::memcpy(grids_.data(), data.nuclide_grids().data(),
+              data.nuclide_grids().size() * sizeof(NuclideGridPoint));
+  progress_ = std::make_unique<memsim::TrackedScalar<std::int64_t>>(sim_, "xs.progress", 0);
+  if (cfg_.policy == XsFlushPolicy::kSelective) {
+    ADCC_CHECK(cfg_.flush_interval >= 1, "flush interval must be positive");
+  }
+}
+
+void XsCrashConsistent::flush_tallies() {
+  // The paper's "flush macro_xs_vector, the five counters and i": the flushed
+  // copy goes to dedicated snapshot lines so the durable restart state is the
+  // boundary state regardless of when the hot lines were last evicted.
+  for (int c = 0; c < kChannels; ++c) {
+    snap_macro_.data()[c] = macro_.data()[c];
+    snap_counters_.data()[c] = counters_.data()[c];
+  }
+  snap_macro_.touch_write(0, kChannels);
+  snap_counters_.touch_write(0, kChannels);
+  snap_macro_.flush(0, kChannels);
+  snap_counters_.flush(0, kChannels);
+  sim_.sfence();
+}
+
+void XsCrashConsistent::lookup(std::uint64_t i) {
+  // Fig. 9/11 line 1-2: under the basic idea the loop index is made durable
+  // every iteration. The selective policies touch the progress line only at
+  // flush boundaries so its durable value is always a boundary value.
+  if (cfg_.policy == XsFlushPolicy::kBasicIdea) {
+    progress_->set_and_flush(started(i));
+  }
+
+  const LookupSample s = sample_lookup(rng_, i, data_);
+
+  // Binary search on the unionized grid, replaying the probe sequence as
+  // tracked reads (the accesses that create — or fail to create — the cache
+  // pressure the paper's analysis discusses).
+  probe_scratch_.clear();
+  const std::size_t u = grid_search(data_.unionized_energy(), s.energy, &probe_scratch_);
+  for (const std::size_t p : probe_scratch_) unionized_.touch_read(p, 1);
+
+  const std::size_t nn = data_.config().n_nuclides;
+  const std::size_t gp = data_.config().gridpoints_per_nuclide;
+  double local[kChannels] = {0, 0, 0, 0, 0};
+  for (const auto& [nuc, density] : data_.material(s.material)) {
+    const std::size_t cell = u * nn + static_cast<std::size_t>(nuc);
+    index_grid_.touch_read(cell, 1);
+    const auto base = static_cast<std::size_t>(index_grid_.data()[cell]);
+    const std::size_t pos = static_cast<std::size_t>(nuc) * gp + base;
+    grids_.touch_read(pos, 2);
+    const NuclideGridPoint& p0 = grids_.data()[pos];
+    const NuclideGridPoint& p1 = grids_.data()[pos + 1];
+    const double span = p1.energy - p0.energy;
+    const double f = span > 0 ? std::clamp((s.energy - p0.energy) / span, 0.0, 1.0) : 0.0;
+    for (int c = 0; c < kChannels; ++c) {
+      local[c] += density * (p0.xs[c] + f * (p1.xs[c] - p0.xs[c]));
+    }
+  }
+
+  // Fig. 9 line 7: accumulate into macro_xs_vector.
+  macro_.touch_read(0, kChannels);
+  for (int c = 0; c < kChannels; ++c) macro_.data()[c] += local[c];
+  macro_.touch_write(0, kChannels);
+
+  // Tally extension: CDF over the accumulated vector, pick a type.
+  const double uu = rng_.uniform(i, /*lane=*/2);
+  const int type = tally_select(macro_.data(), uu);
+  counters_.touch_read(static_cast<std::size_t>(type), 1);
+  counters_.data()[static_cast<std::size_t>(type)] += 1;
+  counters_.touch_write(static_cast<std::size_t>(type), 1);
+
+  // Fig. 11 lines 8-9: the selective flush.
+  const bool boundary = cfg_.policy == XsFlushPolicy::kEveryIteration ||
+                        (cfg_.policy == XsFlushPolicy::kSelective &&
+                         (i + 1) % cfg_.flush_interval == 0);
+  if (boundary) {
+    flush_tallies();
+    progress_->set_and_flush(completed(i));
+  }
+
+  cursor_ = i + 1;
+  sim_.crash_point(kPointLookupEnd);
+}
+
+bool XsCrashConsistent::run() {
+  try {
+    for (std::uint64_t i = cursor_; i < cfg_.total_lookups; ++i) lookup(i);
+  } catch (const memsim::CrashException&) {
+    return true;
+  }
+  return false;
+}
+
+XsRecovery XsCrashConsistent::recover_and_resume() {
+  ADCC_CHECK(sim_.crashed(), "recover_and_resume requires a prior crash");
+  XsRecovery rec;
+  rec.crash_lookup = cursor_;  // The in-flight lookup.
+
+  Timer detect;
+  const std::int64_t v = progress_->durable();
+  if (v % 2 == 1) {
+    rec.restart_lookup = static_cast<std::uint64_t>(v / 2) + 1;  // Tallies durable through v/2.
+  } else {
+    rec.restart_lookup = static_cast<std::uint64_t>(v / 2);  // Re-execute the in-flight lookup.
+  }
+  rec.detect_seconds = detect.elapsed();
+
+  Timer resume;
+  sim_.reset_after_crash();
+  sim_.restore_all();  // Live tallies/accumulator reload from NVM.
+  if (cfg_.policy != XsFlushPolicy::kBasicIdea) {
+    // Selective policies: the authoritative restart state is the boundary
+    // snapshot (durably zero before the first boundary), not the hot lines'
+    // (ill-defined) eviction residue.
+    std::vector<double> m(kChannels);
+    std::vector<std::uint64_t> c(kChannels);
+    snap_macro_.durable_snapshot(m);
+    snap_counters_.durable_snapshot(c);
+    for (int ch = 0; ch < kChannels; ++ch) {
+      macro_.data()[static_cast<std::size_t>(ch)] = m[static_cast<std::size_t>(ch)];
+      counters_.data()[static_cast<std::size_t>(ch)] = c[static_cast<std::size_t>(ch)];
+    }
+    macro_.touch_write(0, kChannels);
+    counters_.touch_write(0, kChannels);
+  }
+  cursor_ = rec.restart_lookup;
+  run();
+  rec.resume_seconds = resume.elapsed();
+  return rec;
+}
+
+Tally XsCrashConsistent::tally() const {
+  Tally t;
+  for (int c = 0; c < kChannels; ++c) {
+    t.counts[static_cast<std::size_t>(c)] = counters_.data()[static_cast<std::size_t>(c)];
+  }
+  return t;
+}
+
+}  // namespace adcc::mc

@@ -1,0 +1,82 @@
+#include "mc/xs_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace adcc::mc {
+
+XsDataHost::XsDataHost(const XsConfig& cfg) : cfg_(cfg) {
+  ADCC_CHECK(cfg_.n_nuclides >= 4, "need at least 4 nuclides");
+  ADCC_CHECK(cfg_.gridpoints_per_nuclide >= 8, "grids too small");
+  SplitMix64 rng(cfg_.seed);
+
+  const std::size_t nn = cfg_.n_nuclides;
+  const std::size_t gp = cfg_.gridpoints_per_nuclide;
+
+  // Per-nuclide grids: sorted uniform energies; channel magnitudes differ per
+  // nuclide and channel (real cross sections span decades), values jitter
+  // around the channel scale.
+  nuclide_grids_.resize(nn * gp);
+  std::vector<double> energies(gp);
+  for (std::size_t n = 0; n < nn; ++n) {
+    for (double& e : energies) e = rng.next_double();
+    std::sort(energies.begin(), energies.end());
+    double scale[kChannels];
+    for (double& s : scale) s = std::pow(10.0, 2.0 * rng.next_double() - 1.0);  // 0.1 … 10
+    for (std::size_t g = 0; g < gp; ++g) {
+      NuclideGridPoint& pt = nuclide_grids_[n * gp + g];
+      pt.energy = energies[g];
+      for (int c = 0; c < kChannels; ++c) {
+        pt.xs[c] = scale[c] * (0.5 + rng.next_double());
+      }
+    }
+  }
+
+  // Unionized grid: sorted union of all energies + per-nuclide bounding index.
+  unionized_energy_.resize(nn * gp);
+  for (std::size_t n = 0; n < nn; ++n) {
+    for (std::size_t g = 0; g < gp; ++g) unionized_energy_[n * gp + g] = nuclide_grids_[n * gp + g].energy;
+  }
+  std::sort(unionized_energy_.begin(), unionized_energy_.end());
+
+  index_grid_.assign(unionized_energy_.size() * nn, 0);
+  std::vector<std::size_t> cursor(nn, 0);
+  for (std::size_t u = 0; u < unionized_energy_.size(); ++u) {
+    const double e = unionized_energy_[u];
+    for (std::size_t n = 0; n < nn; ++n) {
+      // Advance to the last nuclide point with energy <= e, clamped so that
+      // index+1 is always a valid interpolation partner.
+      while (cursor[n] + 2 < gp && nuclide_grids_[n * gp + cursor[n] + 1].energy <= e) ++cursor[n];
+      index_grid_[u * nn + n] = static_cast<std::int32_t>(cursor[n]);
+    }
+  }
+
+  // Hoogenboom–Martin-like materials: material 0 (fuel) holds half the
+  // nuclides; the others hold small subsets. Densities in (0, 1).
+  materials_.resize(kMaterials);
+  const std::size_t fuel_count = std::max<std::size_t>(2, nn / 2);
+  for (std::size_t n = 0; n < fuel_count; ++n) {
+    materials_[0].emplace_back(static_cast<std::int32_t>(n), 0.05 + rng.next_double());
+  }
+  for (int m = 1; m < kMaterials; ++m) {
+    const std::size_t count = 2 + rng.next_below(8);
+    for (std::size_t t = 0; t < count; ++t) {
+      materials_[static_cast<std::size_t>(m)].emplace_back(
+          static_cast<std::int32_t>(rng.next_below(nn)), 0.05 + rng.next_double());
+    }
+  }
+
+  // XSBench-like lookup distribution: fuel ~40 %, the rest split evenly.
+  material_cdf_.resize(kMaterials);
+  double acc = 0.0;
+  for (int m = 0; m < kMaterials; ++m) {
+    acc += (m == 0) ? 0.40 : 0.60 / (kMaterials - 1);
+    material_cdf_[static_cast<std::size_t>(m)] = acc;
+  }
+  material_cdf_.back() = 1.0;
+}
+
+}  // namespace adcc::mc

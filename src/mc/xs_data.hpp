@@ -1,0 +1,81 @@
+// Synthetic XSBench-equivalent data model (paper §III-D).
+//
+// XSBench's memory footprint is dominated by two large read-only structures:
+//   * per-nuclide pointwise cross-section grids — for each nuclide, energy-
+//     sorted points carrying 5 reaction-channel cross sections;
+//   * the *unionized* energy grid — the sorted union of all nuclide energies,
+//     where each unionized point stores, per nuclide, the index of the
+//     bounding point in that nuclide's grid (this index table is what made the
+//     paper's configuration 246 MB).
+// Materials are Hoogenboom–Martin-like: 12 materials, the fuel containing the
+// largest nuclide set. Sizes are configurable; defaults are scaled so the
+// grids greatly exceed the simulated LLC — the property the paper's analysis
+// depends on — while fitting CI memory/time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace adcc::mc {
+
+/// One pointwise cross-section entry: energy + 5 reaction channels
+/// (total, elastic, absorption, fission, nu-fission).
+struct NuclideGridPoint {
+  double energy;
+  double xs[5];
+};
+
+inline constexpr int kChannels = 5;
+inline constexpr int kMaterials = 12;
+
+struct XsConfig {
+  std::size_t n_nuclides = 68;
+  std::size_t gridpoints_per_nuclide = 2000;
+  std::uint64_t seed = 1234;
+
+  std::size_t unionized_points() const { return n_nuclides * gridpoints_per_nuclide; }
+  /// Bytes of the two big structures (for reporting).
+  std::size_t footprint_bytes() const {
+    return unionized_points() * sizeof(double) +
+           unionized_points() * n_nuclides * sizeof(std::int32_t) +
+           n_nuclides * gridpoints_per_nuclide * sizeof(NuclideGridPoint);
+  }
+};
+
+/// Host-side (uninstrumented) XS data; the simulated driver registers views of
+/// these buffers as read-only regions.
+class XsDataHost {
+ public:
+  explicit XsDataHost(const XsConfig& cfg);
+
+  const XsConfig& config() const { return cfg_; }
+
+  /// Sorted unionized energies, ascending in (0, 1).
+  const std::vector<double>& unionized_energy() const { return unionized_energy_; }
+
+  /// Row-major [unionized_points][n_nuclides]: bounding index into each
+  /// nuclide's grid for that unionized energy.
+  const std::vector<std::int32_t>& index_grid() const { return index_grid_; }
+
+  /// Concatenated per-nuclide grids: nuclide n's points occupy
+  /// [n*gridpoints, (n+1)*gridpoints), energy-sorted.
+  const std::vector<NuclideGridPoint>& nuclide_grids() const { return nuclide_grids_; }
+
+  /// Material composition: list of (nuclide id, number density).
+  const std::vector<std::pair<std::int32_t, double>>& material(int m) const {
+    return materials_[static_cast<std::size_t>(m)];
+  }
+
+  /// Material sampling weights (fuel is looked up most often, as in XSBench).
+  const std::vector<double>& material_cdf() const { return material_cdf_; }
+
+ private:
+  XsConfig cfg_;
+  std::vector<double> unionized_energy_;
+  std::vector<std::int32_t> index_grid_;
+  std::vector<NuclideGridPoint> nuclide_grids_;
+  std::vector<std::vector<std::pair<std::int32_t, double>>> materials_;
+  std::vector<double> material_cdf_;
+};
+
+}  // namespace adcc::mc

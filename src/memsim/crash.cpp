@@ -1,0 +1,37 @@
+#include "memsim/crash.hpp"
+
+#include "common/check.hpp"
+
+namespace adcc::memsim {
+
+void CrashScheduler::arm_at_access(std::uint64_t n) {
+  ADCC_CHECK(n > 0, "access trigger must be positive");
+  mode_ = Mode::kAccess;
+  target_access_ = n;
+  seen_ = 0;
+}
+
+void CrashScheduler::arm_at_point(std::string name, std::uint64_t occurrence) {
+  ADCC_CHECK(!name.empty(), "crash point name must be non-empty");
+  ADCC_CHECK(occurrence > 0, "occurrence is 1-based");
+  mode_ = Mode::kPoint;
+  point_name_ = std::move(name);
+  target_occurrence_ = occurrence;
+  seen_ = 0;
+}
+
+void CrashScheduler::disarm() {
+  mode_ = Mode::kNone;
+  seen_ = 0;
+}
+
+bool CrashScheduler::on_access(std::uint64_t total_accesses) {
+  return mode_ == Mode::kAccess && total_accesses >= target_access_;
+}
+
+bool CrashScheduler::on_point(const std::string& name) {
+  if (mode_ != Mode::kPoint || name != point_name_) return false;
+  return ++seen_ >= target_occurrence_;
+}
+
+}  // namespace adcc::memsim

@@ -1,0 +1,59 @@
+// Crash triggering, mirroring the two modes of the paper's crash emulator:
+//  (1) crash right after a user-named statement (`crash_point` API), and
+//  (2) crash after a given number of memory accesses ("instructions").
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace adcc::memsim {
+
+/// Thrown by the simulator at the crash instant. The volatile cache has
+/// already been discarded when this propagates; only durable images survive.
+class CrashException : public std::runtime_error {
+ public:
+  CrashException(std::string point, std::uint64_t access_count)
+      : std::runtime_error("simulated crash at '" + point + "' after " +
+                           std::to_string(access_count) + " accesses"),
+        point_(std::move(point)),
+        access_count_(access_count) {}
+
+  const std::string& point() const { return point_; }
+  std::uint64_t access_count() const { return access_count_; }
+
+ private:
+  std::string point_;
+  std::uint64_t access_count_;
+};
+
+/// Decides when the crash fires. At most one trigger may be armed.
+class CrashScheduler {
+ public:
+  /// Crash once the total access count reaches `n` (fires on access #n).
+  void arm_at_access(std::uint64_t n);
+
+  /// Crash at the `occurrence`-th (1-based) hit of crash_point(`name`).
+  void arm_at_point(std::string name, std::uint64_t occurrence = 1);
+
+  void disarm();
+  bool armed() const { return mode_ != Mode::kNone; }
+
+  /// Called by the simulator on every access; returns true when the crash
+  /// should fire now.
+  bool on_access(std::uint64_t total_accesses);
+
+  /// Called by the simulator from crash_point(); returns true when the crash
+  /// should fire now.
+  bool on_point(const std::string& name);
+
+ private:
+  enum class Mode { kNone, kAccess, kPoint };
+  Mode mode_ = Mode::kNone;
+  std::uint64_t target_access_ = 0;
+  std::string point_name_;
+  std::uint64_t target_occurrence_ = 0;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace adcc::memsim

@@ -1,0 +1,206 @@
+#include "memsim/memsim.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace adcc::memsim {
+
+MemorySimulator::MemorySimulator(const CacheConfig& cfg) : cache_(cfg) {}
+
+RegionId MemorySimulator::register_region(std::string name, void* base, std::size_t bytes,
+                                          bool read_only) {
+  ADCC_CHECK(base != nullptr && bytes > 0, "region must be non-empty");
+  const auto addr = reinterpret_cast<std::uintptr_t>(base);
+  ADCC_CHECK(addr % kCacheLine == 0, "regions must be cache-line aligned (use AlignedArray)");
+  // Reject overlap with any active region.
+  for (const Region& r : regions_) {
+    if (!r.active) continue;
+    const bool disjoint = addr + bytes <= r.base || r.base + r.bytes <= addr;
+    ADCC_CHECK(disjoint, "regions must not overlap");
+  }
+  Region r;
+  r.name = std::move(name);
+  r.base = addr;
+  r.bytes = bytes;
+  r.read_only = read_only;
+  if (!read_only) {
+    r.durable = AlignedBuffer(bytes);
+    std::memcpy(r.durable.data(), base, bytes);
+  }
+  regions_.push_back(std::move(r));
+  const RegionId id = regions_.size() - 1;
+  by_base_[addr] = id;
+  return id;
+}
+
+void MemorySimulator::unregister_region(RegionId id) {
+  ADCC_CHECK(id < regions_.size() && regions_[id].active, "unknown region");
+  by_base_.erase(regions_[id].base);
+  regions_[id].active = false;
+  regions_[id].durable = AlignedBuffer();
+}
+
+std::size_t MemorySimulator::num_regions() const {
+  std::size_t n = 0;
+  for (const Region& r : regions_) {
+    if (r.active) ++n;
+  }
+  return n;
+}
+
+MemorySimulator::Region* MemorySimulator::region_of(std::uintptr_t addr) {
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) return nullptr;
+  --it;
+  Region& r = regions_[it->second];
+  if (!r.active || addr < r.base || addr >= r.base + r.bytes) return nullptr;
+  return &r;
+}
+
+const MemorySimulator::Region* MemorySimulator::region_of(std::uintptr_t addr) const {
+  return const_cast<MemorySimulator*>(this)->region_of(addr);
+}
+
+void MemorySimulator::writeback_line(std::uintptr_t line_addr) {
+  Region* r = region_of(line_addr);
+  if (r == nullptr || r->read_only) return;
+  // Clip the 64B line to the region (regions are line-aligned; the final line
+  // may be partially owned if bytes is not a line multiple).
+  const std::uintptr_t begin = line_addr;
+  const std::uintptr_t end = std::min(line_addr + kCacheLine, r->base + r->bytes);
+  const std::size_t off = begin - r->base;
+  std::memcpy(r->durable.data() + off, reinterpret_cast<const void*>(begin), end - begin);
+  ++stats_.writebacks;
+}
+
+void MemorySimulator::account_access(std::uintptr_t addr, std::size_t bytes, bool is_write) {
+  const std::uintptr_t first = addr & ~static_cast<std::uintptr_t>(kCacheLine - 1);
+  const std::uintptr_t last =
+      (addr + bytes - 1) & ~static_cast<std::uintptr_t>(kCacheLine - 1);
+  for (std::uintptr_t line = first; line <= last; line += kCacheLine) {
+    ++stats_.lines_touched;
+    const AccessResult res = cache_.access(line, is_write);
+    if (res.evicted && res.evicted_dirty) writeback_line(res.evicted_line);
+  }
+}
+
+void MemorySimulator::maybe_crash_on_access() {
+  if (scheduler_.on_access(stats_.accesses())) {
+    crash();
+    throw CrashException("<access-trigger>", stats_.accesses());
+  }
+}
+
+void MemorySimulator::on_read(const void* p, std::size_t bytes) {
+  if (bytes == 0 || crashed_) return;
+  ++stats_.reads;
+  account_access(reinterpret_cast<std::uintptr_t>(p), bytes, /*is_write=*/false);
+  maybe_crash_on_access();
+}
+
+void MemorySimulator::on_write(void* p, std::size_t bytes) {
+  if (bytes == 0 || crashed_) return;
+  ++stats_.writes;
+  account_access(reinterpret_cast<std::uintptr_t>(p), bytes, /*is_write=*/true);
+  maybe_crash_on_access();
+}
+
+void MemorySimulator::clflush(const void* p, std::size_t bytes) {
+  if (bytes == 0 || crashed_) return;
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = addr & ~static_cast<std::uintptr_t>(kCacheLine - 1);
+  const std::uintptr_t last =
+      (addr + bytes - 1) & ~static_cast<std::uintptr_t>(kCacheLine - 1);
+  for (std::uintptr_t line = first; line <= last; line += kCacheLine) {
+    ++stats_.flush_lines;
+    if (cache_.flush_line(line)) {
+      writeback_line(line);
+      ++stats_.flush_writebacks;
+    }
+  }
+}
+
+void MemorySimulator::sfence() { ++stats_.fences; }
+
+void MemorySimulator::crash_point(const std::string& name) {
+  ++stats_.crash_points;
+  if (scheduler_.on_point(name)) {
+    crash();
+    throw CrashException(name, stats_.accesses());
+  }
+}
+
+void MemorySimulator::crash() {
+  crash_census_ = dirty_line_census();  // Record what is about to die.
+  cache_.invalidate_all();  // Dirty lines die with the cache: NVM keeps stale bytes.
+  crashed_ = true;
+}
+
+void MemorySimulator::restore_region(RegionId id) {
+  ADCC_CHECK(id < regions_.size() && regions_[id].active, "unknown region");
+  Region& r = regions_[id];
+  if (r.read_only) return;  // Live bytes were never diverged for RO regions.
+  std::memcpy(reinterpret_cast<void*>(r.base), r.durable.data(), r.bytes);
+}
+
+void MemorySimulator::restore_all() {
+  for (RegionId id = 0; id < regions_.size(); ++id) {
+    if (regions_[id].active) restore_region(id);
+  }
+}
+
+void MemorySimulator::durable_read(const void* p, void* out, std::size_t bytes) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const Region* r = region_of(addr);
+  ADCC_CHECK(r != nullptr, "durable_read outside any tracked region");
+  ADCC_CHECK(addr + bytes <= r->base + r->bytes, "durable_read crosses region end");
+  if (r->read_only) {
+    std::memcpy(out, p, bytes);
+    return;
+  }
+  std::memcpy(out, r->durable.data() + (addr - r->base), bytes);
+}
+
+bool MemorySimulator::line_dirty(const void* p) const {
+  return cache_.dirty(line_of(p));
+}
+
+void MemorySimulator::drain() {
+  for (const std::uintptr_t line : cache_.dirty_lines()) {
+    writeback_line(line);
+    cache_.flush_line(line);
+  }
+}
+
+void MemorySimulator::reset_after_crash() {
+  cache_.invalidate_all();
+  scheduler_.disarm();
+  crashed_ = false;
+}
+
+std::vector<MemorySimulator::RegionCensus> MemorySimulator::dirty_line_census() const {
+  std::vector<RegionCensus> out;
+  std::vector<std::size_t> index_of_region(regions_.size(), 0);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (!regions_[i].active) continue;
+    index_of_region[i] = out.size();
+    out.push_back({regions_[i].name, lines_spanned(reinterpret_cast<void*>(regions_[i].base),
+                                                   regions_[i].bytes),
+                   0});
+  }
+  for (const std::uintptr_t line : cache_.dirty_lines()) {
+    const Region* r = region_of(line);
+    if (r == nullptr) continue;
+    const std::size_t ri = static_cast<std::size_t>(r - regions_.data());
+    ++out[index_of_region[ri]].dirty_lines;
+  }
+  return out;
+}
+
+void MemorySimulator::reset_stats() {
+  stats_ = {};
+  cache_.reset_stats();
+}
+
+}  // namespace adcc::memsim

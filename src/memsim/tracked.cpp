@@ -1,0 +1,15 @@
+// TrackedArray/TrackedScalar are header-only templates; this TU pins explicit
+// instantiations of the common type parameters so template errors surface when
+// building the library rather than in every client.
+#include <cstdint>
+
+#include "memsim/tracked.hpp"
+
+namespace adcc::memsim {
+
+template class TrackedArray<double>;
+template class TrackedArray<float>;
+template class TrackedArray<std::uint64_t>;
+template class TrackedArray<std::int64_t>;
+
+}  // namespace adcc::memsim

@@ -1,0 +1,119 @@
+// Tracked containers: typed arrays/scalars living in simulator-registered
+// memory. They are the instrumentation layer the paper gets from PIN — every
+// access performed through these wrappers is announced to the cache model.
+//
+// Hot kernels may also use raw spans plus explicit touch_read/touch_write
+// range notifications (one cache-model access per overlapped line), which is
+// exactly the granularity the model operates at.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/align.hpp"
+#include "memsim/memsim.hpp"
+
+namespace adcc::memsim {
+
+/// Fixed-size array of trivially-copyable T registered with a simulator.
+template <typename T>
+class TrackedArray {
+ public:
+  TrackedArray() = default;
+
+  TrackedArray(MemorySimulator& sim, std::string name, std::size_t n, bool read_only = false)
+      : sim_(&sim), data_(n) {
+    if (n > 0) id_ = sim_->register_region(std::move(name), data_.data(), n * sizeof(T), read_only);
+  }
+
+  TrackedArray(const TrackedArray&) = delete;
+  TrackedArray& operator=(const TrackedArray&) = delete;
+  TrackedArray(TrackedArray&&) = delete;
+  TrackedArray& operator=(TrackedArray&&) = delete;
+
+  ~TrackedArray() {
+    if (sim_ != nullptr && data_.size() > 0) sim_->unregister_region(id_);
+  }
+
+  std::size_t size() const { return data_.size(); }
+
+  /// Instrumented element access.
+  T read(std::size_t i) const {
+    sim_->on_read(&data_[i], sizeof(T));
+    return data_[i];
+  }
+  void write(std::size_t i, const T& v) {
+    data_[i] = v;
+    sim_->on_write(&data_[i], sizeof(T));
+  }
+
+  /// Range notifications for kernels that operate on raw spans.
+  void touch_read(std::size_t first, std::size_t count) const {
+    if (count > 0) sim_->on_read(&data_[first], count * sizeof(T));
+  }
+  void touch_write(std::size_t first, std::size_t count) {
+    if (count > 0) sim_->on_write(&data_[first], count * sizeof(T));
+  }
+
+  /// Flushes the lines covering [first, first+count) (CLFLUSH semantics).
+  void flush(std::size_t first, std::size_t count) {
+    if (count > 0) sim_->clflush(&data_[first], count * sizeof(T));
+  }
+  void flush_all() { flush(0, size()); }
+
+  /// The value NVM currently holds for element i (recovery-side view).
+  T durable(std::size_t i) const { return sim_->durable_value(&data_[i]); }
+
+  /// Bulk durable read into `out` (size() elements).
+  void durable_snapshot(std::span<T> out) const {
+    sim_->durable_read(data_.data(), out.data(), size() * sizeof(T));
+  }
+
+  /// Reloads live bytes from NVM (what a restarted process would see/mmap).
+  void restore() { sim_->restore_region(id_); }
+
+  /// Uninstrumented access to live memory (initialization & verification).
+  std::span<T> raw() { return data_.span(); }
+  std::span<const T> raw() const { return data_.span(); }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  MemorySimulator& sim() const { return *sim_; }
+
+ private:
+  MemorySimulator* sim_ = nullptr;
+  AlignedArray<T> data_;
+  RegionId id_ = 0;
+};
+
+/// A single tracked value occupying its own cache line (so flushing it never
+/// drags neighbours along) — e.g. the paper's loop-index variable.
+template <typename T>
+class TrackedScalar {
+  static_assert(sizeof(T) <= kCacheLine);
+
+ public:
+  TrackedScalar(MemorySimulator& sim, std::string name, const T& init = T{})
+      : arr_(sim, std::move(name), kCacheLine / sizeof(T)) {
+    arr_.raw()[0] = init;
+    // The initial value was captured as durable at registration time.
+  }
+
+  T get() const { return arr_.read(0); }
+  void set(const T& v) { arr_.write(0, v); }
+
+  /// set + clflush: the paper's "flush the cache line containing i".
+  void set_and_flush(const T& v) {
+    set(v);
+    arr_.flush(0, 1);
+    arr_.sim().sfence();
+  }
+
+  T durable() const { return arr_.durable(0); }
+  void restore() { arr_.restore(); }
+
+ private:
+  TrackedArray<T> arr_;
+};
+
+}  // namespace adcc::memsim

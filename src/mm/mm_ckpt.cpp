@@ -1,0 +1,38 @@
+#include "mm/mm_ckpt.hpp"
+
+#include "common/check.hpp"
+#include "linalg/gemm.hpp"
+
+namespace adcc::mm {
+
+using linalg::Matrix;
+
+MmCkptResult run_mm_checkpointed(const Matrix& a, const Matrix& b, std::size_t rank_k,
+                                 checkpoint::Backend& backend) {
+  ADCC_CHECK(a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows(),
+             "square matrices of equal size required");
+  const std::size_t n = a.rows();
+
+  const Matrix ac = abft::encode_column_checksum(a);
+  const Matrix br = abft::encode_row_checksum(b);
+  Matrix cf(n + 1, n + 1);
+  cf.set_zero();
+  std::uint64_t step = 0;
+
+  checkpoint::CheckpointSet set(backend);
+  set.add("Cf", cf.data(), cf.size_bytes());
+  set.add("step", &step, sizeof(step));
+
+  MmCkptResult out;
+  for (std::size_t s = 0; s < n; s += rank_k) {
+    const std::size_t k = std::min(rank_k, n - s);
+    linalg::gemm_panel(ac, s, k, br, s, cf, /*accumulate=*/true);
+    ++step;
+    set.save();
+    ++out.checkpoints;
+  }
+  out.c = abft::strip_checksums(cf);
+  return out;
+}
+
+}  // namespace adcc::mm

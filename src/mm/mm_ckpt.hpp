@@ -1,0 +1,21 @@
+// Traditional checkpointing baseline for ABFT matrix multiplication (paper
+// Fig. 8, test cases 2–4): the original Fig. 5 rank-k algorithm with the
+// full-checksum accumulator Cf checkpointed at the end of every submatrix
+// multiplication, matching the one-submultiplication recomputation bound of
+// the algorithm-directed scheme.
+#pragma once
+
+#include "abft/abft_gemm.hpp"
+#include "checkpoint/checkpoint_set.hpp"
+
+namespace adcc::mm {
+
+struct MmCkptResult {
+  linalg::Matrix c;  ///< n×n product (checksums stripped).
+  std::uint64_t checkpoints = 0;
+};
+
+MmCkptResult run_mm_checkpointed(const linalg::Matrix& a, const linalg::Matrix& b,
+                                 std::size_t rank_k, checkpoint::Backend& backend);
+
+}  // namespace adcc::mm

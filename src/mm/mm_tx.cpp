@@ -1,0 +1,60 @@
+#include "mm/mm_tx.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "linalg/gemm.hpp"
+
+namespace adcc::mm {
+
+using linalg::Matrix;
+
+std::size_t mm_tx_data_bytes(std::size_t n) {
+  return round_up((n + 1) * (n + 1) * sizeof(double), kCacheLine) + 16 * kCacheLine;
+}
+
+std::size_t mm_tx_log_bytes(std::size_t n) {
+  const std::size_t payload = (n + 1) * (n + 1) * sizeof(double);
+  return round_up(payload + payload / 32, kCacheLine) + 128 * kCacheLine;
+}
+
+MmTxResult run_mm_tx(const Matrix& a, const Matrix& b, std::size_t rank_k,
+                     pmemtx::PersistentHeap& heap) {
+  ADCC_CHECK(a.rows() == a.cols() && b.rows() == b.cols() && a.rows() == b.rows(),
+             "square matrices of equal size required");
+  const std::size_t n = a.rows();
+  const std::size_t nc = n + 1;
+
+  const Matrix ac = abft::encode_column_checksum(a);
+  const Matrix br = abft::encode_row_checksum(b);
+
+  std::span<double> cf = heap.allocate<double>(nc * nc);
+  std::memset(cf.data(), 0, cf.size_bytes());
+  heap.region().persist(cf.data(), cf.size_bytes());
+
+  pmemtx::UndoLog log(heap);
+  for (std::size_t s = 0; s < n; s += rank_k) {
+    const std::size_t k = std::min(rank_k, n - s);
+    pmemtx::Transaction tx(log);
+    tx.add(cf);  // Snapshot the whole accumulator (undo log).
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < nc; ++i) {
+      double* ci = cf.data() + i * nc;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double aik = ac(i, s + kk);
+        const double* brow = br.row(s + kk).data();
+        for (std::size_t j = 0; j < nc; ++j) ci[j] += aik * brow[j];
+      }
+    }
+    tx.commit();
+  }
+
+  MmTxResult out;
+  Matrix cfm(nc, nc);
+  std::memcpy(cfm.data(), cf.data(), cf.size_bytes());
+  out.c = abft::strip_checksums(cfm);
+  out.log_stats = log.stats();
+  return out;
+}
+
+}  // namespace adcc::mm

@@ -1,0 +1,25 @@
+// PMEM undo-log transaction baseline for ABFT matrix multiplication (paper
+// Fig. 8, test case 5): Cf lives in a persistent heap; each submatrix
+// multiplication is one transaction with a transactional update of the full
+// accumulator — the configuration whose logging traffic produces the paper's
+// ~5.5× slowdown.
+#pragma once
+
+#include "abft/abft_gemm.hpp"
+#include "pmemtx/tx.hpp"
+
+namespace adcc::mm {
+
+struct MmTxResult {
+  linalg::Matrix c;
+  pmemtx::UndoLogStats log_stats;
+};
+
+MmTxResult run_mm_tx(const linalg::Matrix& a, const linalg::Matrix& b, std::size_t rank_k,
+                     pmemtx::PersistentHeap& heap);
+
+/// Heap sizing helpers for an n×n product.
+std::size_t mm_tx_data_bytes(std::size_t n);
+std::size_t mm_tx_log_bytes(std::size_t n);
+
+}  // namespace adcc::mm

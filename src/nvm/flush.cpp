@@ -1,0 +1,66 @@
+#include "nvm/flush.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/align.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define ADCC_X86 1
+#else
+#define ADCC_X86 0
+#endif
+
+namespace adcc::nvm {
+
+bool native_flush_available() { return ADCC_X86 != 0; }
+
+namespace {
+
+inline void flush_one(const void* line, FlushInstruction ins) {
+#if ADCC_X86
+  switch (ins) {
+    case FlushInstruction::kClflush:
+      _mm_clflush(line);
+      break;
+    case FlushInstruction::kClflushopt:
+      // CLFLUSHOPT requires a CPU flag; CLFLUSH is a safe superset behaviourally.
+      _mm_clflush(line);
+      break;
+    case FlushInstruction::kClwb:
+      _mm_clflush(line);
+      break;
+  }
+#else
+  (void)line;
+  (void)ins;
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+}  // namespace
+
+void flush_range(const void* p, std::size_t bytes, FlushInstruction ins) {
+  if (bytes == 0) return;
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t first = addr & ~static_cast<std::uintptr_t>(kCacheLine - 1);
+  const std::uintptr_t last = (addr + bytes - 1) & ~static_cast<std::uintptr_t>(kCacheLine - 1);
+  for (std::uintptr_t line = first; line <= last; line += kCacheLine) {
+    flush_one(reinterpret_cast<const void*>(line), ins);
+  }
+}
+
+void store_fence() {
+#if ADCC_X86
+  _mm_sfence();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+std::size_t flush_line_count(const void* p, std::size_t bytes) {
+  return lines_spanned(p, bytes);
+}
+
+}  // namespace adcc::nvm

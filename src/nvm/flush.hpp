@@ -1,0 +1,31 @@
+// Native cache-flush and fence primitives (the persistence ISA extensions).
+//
+// The paper uses CLFLUSH, the most widely available flush instruction, and
+// discusses CLFLUSHOPT/CLWB as future improvements. On x86-64 we emit the real
+// instructions; elsewhere a portable compiler-barrier fallback keeps the code
+// path exercised (costs are then modelled purely by nvm::PerfModel).
+#pragma once
+
+#include <cstddef>
+
+namespace adcc::nvm {
+
+enum class FlushInstruction {
+  kClflush,     ///< Serializing flush (paper's choice).
+  kClflushopt,  ///< Weakly-ordered flush (paper: "should further improve performance").
+  kClwb,        ///< Write-back without invalidate.
+};
+
+/// True if this build can execute real flush instructions.
+bool native_flush_available();
+
+/// Flushes every cache line overlapping [p, p+bytes) with `ins`.
+void flush_range(const void* p, std::size_t bytes, FlushInstruction ins = FlushInstruction::kClflush);
+
+/// Store fence ordering flushed lines before subsequent stores.
+void store_fence();
+
+/// Number of cache lines flush_range would touch for [p, p+bytes).
+std::size_t flush_line_count(const void* p, std::size_t bytes);
+
+}  // namespace adcc::nvm

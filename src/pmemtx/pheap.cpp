@@ -1,0 +1,14 @@
+#include "pmemtx/pheap.hpp"
+
+#include "common/check.hpp"
+
+namespace adcc::pmemtx {
+
+PersistentHeap::PersistentHeap(std::size_t data_bytes, std::size_t log_bytes,
+                               nvm::PerfModel& model)
+    : region_(data_bytes + log_bytes + 4 * kCacheLine, model, "pheap"), log_bytes_(log_bytes) {
+  ADCC_CHECK(log_bytes >= kCacheLine, "log area too small");
+  log_area_ = static_cast<std::byte*>(region_.allocate_bytes(log_bytes_));
+}
+
+}  // namespace adcc::pmemtx

@@ -1,0 +1,6 @@
+// Transaction is header-only; this TU anchors the pmemtx target.
+#include "pmemtx/tx.hpp"
+
+namespace adcc::pmemtx {
+// Intentionally empty.
+}  // namespace adcc::pmemtx

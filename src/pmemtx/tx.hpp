@@ -1,0 +1,49 @@
+// RAII transaction wrapper over UndoLog, mirroring libpmemobj's TX_BEGIN /
+// TX_ADD / TX_END usage.
+#pragma once
+
+#include <span>
+
+#include "pmemtx/undo_log.hpp"
+
+namespace adcc::pmemtx {
+
+class Transaction {
+ public:
+  explicit Transaction(UndoLog& log) : log_(log) { log_.begin(); }
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Snapshot a raw range before modifying it.
+  void add(void* p, std::size_t bytes) { log_.add_range(p, bytes); }
+
+  /// Snapshot a typed span before modifying it.
+  template <typename T>
+  void add(std::span<T> s) {
+    log_.add_range(s.data(), s.size_bytes());
+  }
+
+  /// Transactional store: snapshot + assign in one call.
+  template <typename T>
+  void store(T& dst, const T& value) {
+    log_.add_range(&dst, sizeof(T));
+    dst = value;
+  }
+
+  void commit() {
+    log_.commit();
+    done_ = true;
+  }
+
+  /// Uncommitted transactions roll back on scope exit (exception safety).
+  ~Transaction() {
+    if (!done_ && log_.in_tx()) log_.abort();
+  }
+
+ private:
+  UndoLog& log_;
+  bool done_ = false;
+};
+
+}  // namespace adcc::pmemtx

@@ -1,0 +1,137 @@
+// Tests for the CG variants: plain, checkpointed, transactional.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "cg/cg.hpp"
+#include "cg/cg_ckpt.hpp"
+#include "cg/cg_tx.hpp"
+#include "checkpoint/nvm_backend.hpp"
+#include "linalg/spgen.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::cg {
+namespace {
+
+nvm::PerfModel& model() {
+  static nvm::PerfModel m(
+      nvm::PerfConfig{.dram_bw_bytes_per_s = 10e9, .bandwidth_slowdown = 1.0, .enabled = false});
+  return m;
+}
+
+struct Problem {
+  linalg::CsrMatrix a;
+  std::vector<double> b;
+};
+
+Problem make_problem(std::size_t n = 600) {
+  return {linalg::make_spd(n, 9, 21), linalg::make_rhs(n, 22)};
+}
+
+TEST(CgInit, StateMatchesDefinition) {
+  const Problem p = make_problem(100);
+  CgState s;
+  cg_init(p.a, p.b, s);
+  EXPECT_EQ(s.iter, 0u);
+  EXPECT_DOUBLE_EQ(s.rho, linalg::dot(p.b, p.b));
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(s.r[i], p.b[i]);
+    EXPECT_DOUBLE_EQ(s.p[i], p.b[i]);
+    EXPECT_DOUBLE_EQ(s.z[i], 0.0);
+  }
+}
+
+TEST(CgStep, ReducesResidualNorm) {
+  const Problem p = make_problem();
+  CgState s;
+  cg_init(p.a, p.b, s);
+  const double before = std::sqrt(s.rho);
+  for (int i = 0; i < 5; ++i) cg_step(p.a, s);
+  EXPECT_LT(std::sqrt(s.rho), before);
+  EXPECT_EQ(s.iter, 5u);
+}
+
+TEST(CgSolve, ConvergesTowardSolution) {
+  const Problem p = make_problem();
+  const auto res5 = cg_solve(p.a, p.b, 5);
+  const auto res40 = cg_solve(p.a, p.b, 40);
+  EXPECT_LT(res40.residual_norm, res5.residual_norm);
+  EXPECT_LT(res40.residual_norm, 1e-6 * linalg::norm2(p.b));
+}
+
+TEST(CgSolve, InternalResidualTracksTrueResidual) {
+  const Problem p = make_problem(300);
+  CgState s;
+  cg_init(p.a, p.b, s);
+  for (int i = 0; i < 10; ++i) cg_step(p.a, s);
+  const double true_r = true_residual(p.a, p.b, s.z);
+  EXPECT_NEAR(std::sqrt(s.rho), true_r, 1e-8 * linalg::norm2(p.b) + 1e-10);
+}
+
+TEST(CgSolve, RhsSizeMismatchThrows) {
+  const Problem p = make_problem(100);
+  std::vector<double> bad(50, 1.0);
+  EXPECT_THROW(cg_solve(p.a, bad, 3), ContractViolation);
+}
+
+TEST(CgCkpt, ResultIdenticalToPlainCg) {
+  const Problem p = make_problem(400);
+  nvm::NvmRegion region(16u << 20, model());
+  checkpoint::NvmBackend backend(region, 4u << 20);
+  const auto plain = cg_solve(p.a, p.b, 12);
+  const auto ck = run_cg_checkpointed(p.a, p.b, 12, backend);
+  EXPECT_EQ(ck.checkpoints, 12u);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(plain.x, ck.cg.x), 0.0);  // Same op sequence.
+}
+
+TEST(CgCkpt, ResumeContinuesFromLatestCheckpoint) {
+  const Problem p = make_problem(400);
+  nvm::NvmRegion region(16u << 20, model());
+  checkpoint::NvmBackend backend(region, 4u << 20);
+  // "Crash" after 7 of 12 iterations: run only 7, then resume to 12.
+  run_cg_checkpointed(p.a, p.b, 7, backend);
+  const auto resumed = resume_cg_checkpointed(p.a, p.b, 12, backend);
+  const auto full = cg_solve(p.a, p.b, 12);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(resumed.x, full.x), 0.0);
+}
+
+TEST(CgCkpt, ResumeWithNoCheckpointRunsFromScratch) {
+  const Problem p = make_problem(200);
+  nvm::NvmRegion region(16u << 20, model());
+  checkpoint::NvmBackend backend(region, 4u << 20);
+  const auto resumed = resume_cg_checkpointed(p.a, p.b, 6, backend);
+  const auto full = cg_solve(p.a, p.b, 6);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(resumed.x, full.x), 0.0);
+}
+
+TEST(CgTx, ResultIdenticalToPlainCg) {
+  const Problem p = make_problem(300);
+  pmemtx::PersistentHeap heap(cg_tx_data_bytes(300), cg_tx_log_bytes(300), model());
+  const auto plain = cg_solve(p.a, p.b, 10);
+  const auto tx = run_cg_tx(p.a, p.b, 10, heap);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(plain.x, tx.cg.x), 0.0);
+}
+
+TEST(CgTx, LogsThreeVectorsPlusScalarsPerIteration) {
+  const Problem p = make_problem(200);
+  pmemtx::PersistentHeap heap(cg_tx_data_bytes(200), cg_tx_log_bytes(200), model());
+  const auto tx = run_cg_tx(p.a, p.b, 8, heap);
+  EXPECT_EQ(tx.log_stats.transactions, 8u);
+  EXPECT_EQ(tx.log_stats.ranges_logged, 8u * 4);
+  // Per iteration: 3 vectors of n doubles + 2 scalars.
+  EXPECT_EQ(tx.log_stats.bytes_logged, 8u * (3 * 200 * 8 + 16));
+}
+
+TEST(TrueResidual, ZeroForExactSolution) {
+  // A = I system: x = b exactly.
+  std::vector<std::size_t> rp = {0, 1, 2};
+  std::vector<std::uint32_t> ci = {0, 1};
+  std::vector<double> v = {1.0, 1.0};
+  linalg::CsrMatrix eye(2, std::move(rp), std::move(ci), std::move(v));
+  std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(true_residual(eye, b, b), 0.0);
+}
+
+}  // namespace
+}  // namespace adcc::cg

@@ -1,0 +1,188 @@
+// Unit tests for the checkpoint backends and CheckpointSet, parameterized over
+// all three media (file / NVM-only / heterogeneous NVM-DRAM).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "checkpoint/checkpoint_set.hpp"
+#include "checkpoint/file_backend.hpp"
+#include "checkpoint/hetero_backend.hpp"
+#include "checkpoint/nvm_backend.hpp"
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace adcc::checkpoint {
+namespace {
+
+enum class Kind { kFile, kNvm, kHetero };
+
+struct BackendBundle {
+  std::unique_ptr<nvm::PerfModel> perf;
+  std::unique_ptr<nvm::NvmRegion> region;
+  std::unique_ptr<nvm::DramCache> dram;
+  std::unique_ptr<Backend> backend;
+};
+
+BackendBundle make_backend(Kind kind, double throttle = 0.0) {
+  BackendBundle b;
+  nvm::PerfConfig pc;
+  pc.dram_bw_bytes_per_s = 10e9;
+  pc.bandwidth_slowdown = 1.0;
+  pc.enabled = false;
+  b.perf = std::make_unique<nvm::PerfModel>(pc);
+  switch (kind) {
+    case Kind::kFile: {
+      FileBackendConfig fc;
+      fc.directory = std::filesystem::temp_directory_path() /
+                     ("adcc_test_ckpt_" + std::to_string(::getpid()));
+      fc.throttle_bytes_per_s = throttle;
+      b.backend = std::make_unique<FileBackend>(fc);
+      break;
+    }
+    case Kind::kNvm:
+      b.region = std::make_unique<nvm::NvmRegion>(8u << 20, *b.perf);
+      b.backend = std::make_unique<NvmBackend>(*b.region, 1u << 20);
+      break;
+    case Kind::kHetero:
+      b.region = std::make_unique<nvm::NvmRegion>(8u << 20, *b.perf);
+      b.dram = std::make_unique<nvm::DramCache>(1u << 20, *b.region);
+      b.backend = std::make_unique<HeteroBackend>(*b.region, *b.dram, 1u << 20);
+      break;
+  }
+  return b;
+}
+
+class BackendTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(BackendTest, SaveLoadRoundtrip) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(100, 1.5), y(50, 2.5);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}, {"y", y.data(), y.size() * 8}};
+  b.backend->save(0, 1, objs);
+  std::fill(x.begin(), x.end(), 0.0);
+  std::fill(y.begin(), y.end(), 0.0);
+  EXPECT_EQ(b.backend->load(0, objs), 1u);
+  EXPECT_DOUBLE_EQ(x[99], 1.5);
+  EXPECT_DOUBLE_EQ(y[49], 2.5);
+}
+
+TEST_P(BackendTest, LatestTracksCommittedVersion) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(10, 1.0);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  EXPECT_EQ(b.backend->latest().second, 0u);
+  b.backend->save(0, 1, objs);
+  b.backend->save(1, 2, objs);
+  const auto [slot, ver] = b.backend->latest();
+  EXPECT_EQ(slot, 1);
+  EXPECT_EQ(ver, 2u);
+}
+
+TEST_P(BackendTest, DoubleBufferingPreservesOlderSlot) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(10, 1.0);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  b.backend->save(0, 1, objs);  // slot 0 holds 1.0
+  std::fill(x.begin(), x.end(), 2.0);
+  b.backend->save(1, 2, objs);  // slot 1 holds 2.0
+  std::fill(x.begin(), x.end(), 0.0);
+  b.backend->load(0, objs);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  b.backend->load(1, objs);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+}
+
+TEST_P(BackendTest, StatsCountTraffic) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(10, 1.0);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  b.backend->save(0, 1, objs);
+  b.backend->load(0, objs);
+  EXPECT_EQ(b.backend->stats().saves, 1u);
+  EXPECT_EQ(b.backend->stats().loads, 1u);
+  EXPECT_EQ(b.backend->stats().bytes_saved, 80u);
+  EXPECT_EQ(b.backend->stats().bytes_loaded, 80u);
+}
+
+TEST_P(BackendTest, CheckpointSetSaveRestoreCycle) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(64, 0.0);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  for (int it = 1; it <= 3; ++it) {
+    std::fill(x.begin(), x.end(), static_cast<double>(it));
+    EXPECT_EQ(set.save(), static_cast<std::uint64_t>(it));
+  }
+  std::fill(x.begin(), x.end(), -1.0);
+  EXPECT_EQ(set.restore(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+}
+
+TEST_P(BackendTest, RestoreWithoutCheckpointReturnsZero) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(8, 5.0);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.restore(), 0u);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);  // Untouched.
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMedia, BackendTest,
+                         ::testing::Values(Kind::kFile, Kind::kNvm, Kind::kHetero),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Kind::kFile: return "File";
+                             case Kind::kNvm: return "Nvm";
+                             case Kind::kHetero: return "Hetero";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(CheckpointSet, AddAfterFirstSaveThrows) {
+  auto b = make_backend(Kind::kNvm);
+  std::vector<double> x(8), y(8);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), 64);
+  set.save();
+  EXPECT_THROW(set.add("y", y.data(), 64), ContractViolation);
+}
+
+TEST(CheckpointSet, PayloadBytesSumsObjects) {
+  auto b = make_backend(Kind::kNvm);
+  std::vector<double> x(8), y(4);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), 64);
+  set.add("y", y.data(), 32);
+  EXPECT_EQ(set.payload_bytes(), 96u);
+}
+
+TEST(NvmBackend, OversizedCheckpointRejected) {
+  auto b = make_backend(Kind::kNvm);
+  std::vector<double> big((2u << 20) / 8, 1.0);
+  std::vector<ObjectView> objs = {{"big", big.data(), big.size() * 8}};
+  EXPECT_THROW(b.backend->save(0, 1, objs), ContractViolation);
+}
+
+TEST(FileBackend, ThrottleBoundsBandwidth) {
+  auto b = make_backend(Kind::kFile, /*throttle=*/50e6);  // 50 MB/s
+  std::vector<double> x((4u << 20) / 8, 1.0);             // 4 MB → ≥ 80 ms
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  Timer t;
+  b.backend->save(0, 1, objs);
+  EXPECT_GE(t.elapsed(), 0.07);
+}
+
+TEST(HeteroBackend, DramCacheSeesBothCopies) {
+  auto b = make_backend(Kind::kHetero);
+  std::vector<double> x(1024, 1.0);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  b.backend->save(0, 1, objs);
+  EXPECT_EQ(b.dram->stats().staged_bytes, 8192u);
+  EXPECT_EQ(b.dram->stats().drained_bytes, 8192u);
+  EXPECT_EQ(b.dram->pending(), 0u);
+}
+
+}  // namespace
+}  // namespace adcc::checkpoint

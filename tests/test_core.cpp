@@ -1,0 +1,132 @@
+// Tests for the core facade: modes, environment factory, harness, reporting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "core/harness.hpp"
+#include "core/modes.hpp"
+#include "core/report.hpp"
+
+namespace adcc::core {
+namespace {
+
+TEST(Modes, SevenDistinctModesWithUniqueNames) {
+  const auto modes = all_modes();
+  EXPECT_EQ(modes.size(), 7u);  // The paper's seven test cases.
+  std::set<std::string> names;
+  for (Mode m : modes) names.insert(mode_name(m));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(Modes, Classification) {
+  EXPECT_TRUE(is_checkpoint_mode(Mode::kCkptDisk));
+  EXPECT_TRUE(is_checkpoint_mode(Mode::kCkptNvm));
+  EXPECT_TRUE(is_checkpoint_mode(Mode::kCkptHetero));
+  EXPECT_FALSE(is_checkpoint_mode(Mode::kAlgNvm));
+  EXPECT_TRUE(is_algorithm_mode(Mode::kAlgNvm));
+  EXPECT_TRUE(is_algorithm_mode(Mode::kAlgHetero));
+  EXPECT_FALSE(is_algorithm_mode(Mode::kNative));
+}
+
+ModeEnvConfig small_env() {
+  ModeEnvConfig c;
+  c.arena_bytes = 4u << 20;
+  c.slot_bytes = 1u << 20;
+  c.dram_cache_bytes = 1u << 20;
+  c.scratch_dir = std::filesystem::temp_directory_path() / "adcc_core_test";
+  return c;
+}
+
+TEST(MakeEnv, NativeHasNoSubstrate) {
+  const ModeEnv env = make_env(Mode::kNative, small_env());
+  EXPECT_EQ(env.perf, nullptr);
+  EXPECT_EQ(env.region, nullptr);
+  EXPECT_EQ(env.backend, nullptr);
+}
+
+TEST(MakeEnv, CkptDiskHasBackendWithoutArena) {
+  const ModeEnv env = make_env(Mode::kCkptDisk, small_env());
+  EXPECT_NE(env.backend, nullptr);
+  EXPECT_EQ(env.region, nullptr);
+}
+
+TEST(MakeEnv, CkptNvmIsFullSpeedNvm) {
+  const ModeEnv env = make_env(Mode::kCkptNvm, small_env());
+  ASSERT_NE(env.perf, nullptr);
+  EXPECT_FALSE(env.perf->config().enabled);  // NVM == DRAM assumption.
+  EXPECT_NE(env.region, nullptr);
+  EXPECT_NE(env.backend, nullptr);
+  EXPECT_EQ(env.dram, nullptr);
+}
+
+TEST(MakeEnv, CkptHeteroThrottlesAndStagesThroughDram) {
+  const ModeEnv env = make_env(Mode::kCkptHetero, small_env());
+  ASSERT_NE(env.perf, nullptr);
+  EXPECT_TRUE(env.perf->config().enabled);
+  EXPECT_DOUBLE_EQ(env.perf->config().bandwidth_slowdown, 8.0);
+  EXPECT_NE(env.dram, nullptr);
+  EXPECT_NE(env.backend, nullptr);
+}
+
+TEST(MakeEnv, AlgorithmModesHaveArenaButNoBackend) {
+  for (Mode m : {Mode::kAlgNvm, Mode::kAlgHetero, Mode::kPmemTx}) {
+    const ModeEnv env = make_env(m, small_env());
+    EXPECT_NE(env.region, nullptr) << mode_name(m);
+    EXPECT_EQ(env.backend, nullptr) << mode_name(m);
+  }
+}
+
+TEST(Harness, TimeSecondsMeasuresWork) {
+  const double t = time_seconds([] { spin_for(0.002); });
+  EXPECT_GE(t, 0.0018);
+}
+
+TEST(Harness, MedianSecondsIsRobustToOneSlowRun) {
+  int call = 0;
+  const double t = median_seconds([&] { spin_for(++call == 1 ? 0.01 : 0.001); }, 3,
+                                  /*warmup=*/false);
+  EXPECT_LT(t, 0.006);
+}
+
+TEST(Harness, NormalizeComputesOverheadPercent) {
+  const NormalizedTime n = normalize(1.25, 1.0);
+  EXPECT_DOUBLE_EQ(n.normalized, 1.25);
+  EXPECT_NEAR(n.overhead_percent(), 25.0, 1e-12);
+}
+
+TEST(Harness, RecomputationBreakdownNormalizesByUnit) {
+  RecomputationBreakdown b;
+  b.detect_seconds = 0.5;
+  b.resume_seconds = 1.5;
+  b.unit_seconds = 0.5;
+  b.units_lost = 3;
+  EXPECT_DOUBLE_EQ(b.detect_normalized(), 1.0);
+  EXPECT_DOUBLE_EQ(b.resume_normalized(), 3.0);
+  EXPECT_DOUBLE_EQ(b.total_normalized(), 4.0);
+}
+
+TEST(Report, TableRejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Report, FormattingHelpers) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.082), "8.2%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Report, TablePrintsAllRows) {
+  Table t({"col1", "col2"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "2"});
+  testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("col1"), std::string::npos);
+  EXPECT_NE(out.find("y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adcc::core

@@ -1,0 +1,193 @@
+// Crash-fuzzing property tests: the central safety property of the library —
+// *recovery is correct no matter when the machine dies* — exercised with
+// access-count crash triggers at pseudo-random points for all three
+// algorithms. Unlike the named-crash-point sweeps in the per-module tests,
+// these crashes land mid-kernel, between arbitrary line accesses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cg/cg.hpp"
+#include "cg/cg_cc.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "linalg/gemm.hpp"
+#include "linalg/spgen.hpp"
+#include "linalg/vec_ops.hpp"
+#include "mc/xs_cc.hpp"
+#include "mm/mm_cc.hpp"
+
+namespace adcc {
+namespace {
+
+class CgFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgFuzz, RandomAccessCrashAlwaysRecovers) {
+  const std::size_t n = 600, iters = 8;
+  const auto a = linalg::make_spd(n, 9, 7);
+  const auto b = linalg::make_rhs(n, 8);
+  const auto golden = cg::cg_solve(a, b, iters);
+
+  // Measure the uncrashed access count once to place crashes inside the run.
+  static std::uint64_t total_accesses = 0;
+  cg::CgCcConfig cfg;
+  cfg.n_iters = iters;
+  cfg.cache.ways = 8;
+  cfg.cache.size_bytes = 128u << 10;
+  if (total_accesses == 0) {
+    cg::CgCrashConsistent probe(a, b, cfg);
+    ASSERT_FALSE(probe.run());
+    total_accesses = probe.sim().access_count();
+  }
+
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const std::uint64_t crash_at = 1 + rng.next_below(total_accesses - 1);
+
+  cg::CgCrashConsistent cc(a, b, cfg);
+  cc.sim().scheduler().arm_at_access(crash_at);
+  ASSERT_TRUE(cc.run()) << "crash_at=" << crash_at;
+  const cg::CgRecovery rec = cc.recover_and_resume();
+  cc.finish();
+  EXPECT_LT(linalg::max_abs_diff(cc.solution(), golden.x), 1e-9)
+      << "crash_at=" << crash_at << " restart=" << rec.restart_iter;
+  EXPECT_LE(rec.restart_iter, rec.crash_iter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgFuzz, ::testing::Range(0, 12));
+
+class MmFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MmFuzz, RandomAccessCrashAlwaysRecovers) {
+  const std::size_t n = 64, k = 16;
+  static linalg::Matrix a, b, golden;
+  if (a.rows() == 0) {
+    a = linalg::Matrix(n, n);
+    b = linalg::Matrix(n, n);
+    golden = linalg::Matrix(n, n);
+    a.fill_random(21, -1, 1);
+    b.fill_random(22, -1, 1);
+    linalg::gemm_reference(a, b, golden);
+  }
+
+  mm::MmCcConfig cfg;
+  cfg.n = n;
+  cfg.rank_k = k;
+  cfg.cache.ways = 4;
+  cfg.cache.size_bytes = 32u << 10;
+
+  static std::uint64_t total_accesses = 0;
+  if (total_accesses == 0) {
+    mm::MmCrashConsistent probe(a, b, cfg);
+    ASSERT_FALSE(probe.run());
+    total_accesses = probe.sim().access_count();
+  }
+
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const std::uint64_t crash_at = 1 + rng.next_below(total_accesses - 1);
+
+  mm::MmCrashConsistent mm(a, b, cfg);
+  mm.sim().scheduler().arm_at_access(crash_at);
+  ASSERT_TRUE(mm.run()) << "crash_at=" << crash_at;
+  mm.recover_and_resume();
+  EXPECT_LT(linalg::Matrix::max_abs_diff(mm.result(), golden), 1e-10)
+      << "crash_at=" << crash_at;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmFuzz, ::testing::Range(0, 12));
+
+class XsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(XsFuzz, RandomAccessCrashRecoversExactTallies) {
+  static const mc::XsDataHost data([] {
+    mc::XsConfig c;
+    c.n_nuclides = 10;
+    c.gridpoints_per_nuclide = 128;
+    c.seed = 2;
+    return c;
+  }());
+
+  mc::XsCcConfig cfg;
+  cfg.total_lookups = 2500;
+  cfg.policy = mc::XsFlushPolicy::kSelective;
+  cfg.flush_interval = 25;
+  cfg.cache.ways = 4;
+  cfg.cache.size_bytes = 32u << 10;
+  cfg.rng_seed = 5;
+
+  static mc::Tally reference;
+  static std::uint64_t total_accesses = 0;
+  if (total_accesses == 0) {
+    mc::XsCrashConsistent probe(data, cfg);
+    ASSERT_FALSE(probe.run());
+    reference = probe.tally();
+    total_accesses = probe.sim().access_count();
+  }
+
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 1299709 + 17);
+  const std::uint64_t crash_at = 1 + rng.next_below(total_accesses - 1);
+
+  mc::XsCrashConsistent xs(data, cfg);
+  xs.sim().scheduler().arm_at_access(crash_at);
+  ASSERT_TRUE(xs.run()) << "crash_at=" << crash_at;
+  xs.recover_and_resume();
+  EXPECT_EQ(xs.tally().counts, reference.counts) << "crash_at=" << crash_at;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XsFuzz, ::testing::Range(0, 12));
+
+// Simulator oracle: under any random write/flush/crash interleaving, the
+// durable value of each element is sandwiched between the last value that was
+// explicitly flushed for it and the last value written — NVM can lag, and can
+// opportunistically run ahead via evictions, but can never invent values or
+// forget an explicit flush.
+class SimOracleFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimOracleFuzz, DurableBoundedByFlushAndWriteHistory) {
+  memsim::CacheConfig cache;
+  cache.ways = 2;
+  cache.size_bytes = 2 * 4 * kCacheLine;  // Tiny: lots of evictions.
+  memsim::MemorySimulator sim(cache);
+  constexpr std::size_t kElems = 64;  // 8 lines.
+  memsim::TrackedArray<double> arr(sim, "fuzz", kElems);
+
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 11);
+  std::vector<double> last_written(kElems, 0.0);
+  std::vector<double> last_flushed(kElems, 0.0);
+
+  const int ops = 2000;
+  const int crash_op = 200 + static_cast<int>(rng.next_below(ops - 200));
+  for (int op = 0; op < ops; ++op) {
+    const std::size_t i = rng.next_below(kElems);
+    const auto action = rng.next_below(8);
+    if (op == crash_op) {
+      sim.crash();
+      break;
+    }
+    if (action < 6) {  // Write a strictly increasing value per element.
+      last_written[i] += 1.0;
+      arr.write(i, last_written[i]);
+    } else if (action == 6) {
+      arr.flush(i, 1);
+      // Flushing element i persists its whole line: every element sharing the
+      // line is now durable at its latest written value.
+      const std::size_t line0 = (i / 8) * 8;
+      for (std::size_t j = line0; j < line0 + 8; ++j) last_flushed[j] = last_written[j];
+    } else {
+      arr.touch_read(i, 1);
+    }
+  }
+  sim.crash();  // Idempotent if the loop already crashed.
+
+  for (std::size_t i = 0; i < kElems; ++i) {
+    const double d = arr.durable(i);
+    EXPECT_GE(d, last_flushed[i]) << "element " << i << ": explicit flush forgotten";
+    EXPECT_LE(d, last_written[i]) << "element " << i << ": NVM invented a value";
+    // Values are integers by construction: durable must be one of them.
+    EXPECT_DOUBLE_EQ(d, std::floor(d)) << "element " << i << ": torn value";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimOracleFuzz, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace adcc

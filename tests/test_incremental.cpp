@@ -1,0 +1,179 @@
+// Tests for incremental checkpointing and epoch-batched persistence.
+#include <gtest/gtest.h>
+
+#include "checkpoint/incremental.hpp"
+#include "common/check.hpp"
+#include "nvm/epoch.hpp"
+
+namespace adcc {
+namespace {
+
+nvm::PerfModel& model() {
+  static nvm::PerfModel m(
+      nvm::PerfConfig{.dram_bw_bytes_per_s = 10e9, .bandwidth_slowdown = 1.0, .enabled = false});
+  return m;
+}
+
+using checkpoint::IncrementalCheckpointSet;
+constexpr std::size_t kBlock = IncrementalCheckpointSet::kBlock;
+
+TEST(Incremental, FirstSaveWritesEverything) {
+  nvm::NvmRegion region(4u << 20, model());
+  std::vector<double> x(2 * kBlock / 8, 1.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.save(), x.size() * 8);  // Mirror starts zeroed; all blocks differ.
+  EXPECT_EQ(set.version(), 1u);
+}
+
+TEST(Incremental, UnchangedDataWritesNothing) {
+  nvm::NvmRegion region(4u << 20, model());
+  std::vector<double> x(2 * kBlock / 8, 1.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();
+  EXPECT_EQ(set.save(), 0u);
+  EXPECT_EQ(set.stats().saves, 2u);
+}
+
+TEST(Incremental, OnlyModifiedBlocksAreWritten) {
+  nvm::NvmRegion region(8u << 20, model());
+  std::vector<double> x(8 * kBlock / 8, 1.0);  // 8 blocks.
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();
+  x[0] = 2.0;                    // Block 0.
+  x[5 * kBlock / 8] = 3.0;       // Block 5.
+  EXPECT_EQ(set.save(), 2 * kBlock);
+  EXPECT_EQ(set.stats().blocks_written, 8u + 2u);
+}
+
+TEST(Incremental, RestoreRecoversLatestCheckpoint) {
+  nvm::NvmRegion region(4u << 20, model());
+  std::vector<double> x(kBlock / 8, 0.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  std::fill(x.begin(), x.end(), 7.0);
+  set.save();
+  std::fill(x.begin(), x.end(), -1.0);  // "Lost" post-checkpoint work.
+  EXPECT_EQ(set.restore(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+}
+
+TEST(Incremental, RestoreBeforeAnySaveIsNoop) {
+  nvm::NvmRegion region(4u << 20, model());
+  std::vector<double> x(kBlock / 8, 5.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.restore(), 0u);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+}
+
+TEST(Incremental, HintedSaveWritesOnlyHintedBlocks) {
+  nvm::NvmRegion region(8u << 20, model());
+  std::vector<double> x(8 * kBlock / 8, 1.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();
+  x[0] = 2.0;
+  x[3 * kBlock / 8] = 4.0;
+  const IncrementalCheckpointSet::DirtyRange hints[] = {
+      {0, 0, 8}, {0, 3 * kBlock, 16}};
+  EXPECT_EQ(set.save(hints), 2 * kBlock);
+  // A hinted save never scans the other 6 blocks.
+  EXPECT_EQ(set.stats().blocks_total, 8u + 2u);
+}
+
+TEST(Incremental, HintSpanningBlockBoundaryCoversBothBlocks) {
+  nvm::NvmRegion region(8u << 20, model());
+  std::vector<double> x(4 * kBlock / 8, 1.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();
+  x[kBlock / 8 - 1] = 9.0;  // Last double of block 0.
+  x[kBlock / 8] = 9.0;      // First double of block 1.
+  const IncrementalCheckpointSet::DirtyRange hints[] = {{0, kBlock - 8, 16}};
+  EXPECT_EQ(set.save(hints), 2 * kBlock);
+}
+
+TEST(Incremental, MultipleObjectsTrackedIndependently) {
+  nvm::NvmRegion region(8u << 20, model());
+  std::vector<double> x(kBlock / 8, 1.0), y(kBlock / 8, 2.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  set.add("y", y.data(), y.size() * 8);
+  set.save();
+  y[0] = 5.0;
+  EXPECT_EQ(set.save(), kBlock);  // Only y's block.
+  x[0] = -1.0;
+  y[0] = -1.0;
+  set.restore();
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(Incremental, HintValidation) {
+  nvm::NvmRegion region(4u << 20, model());
+  std::vector<double> x(kBlock / 8, 1.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();
+  const IncrementalCheckpointSet::DirtyRange bad_obj[] = {{3, 0, 8}};
+  EXPECT_THROW(set.save(bad_obj), ContractViolation);
+  const IncrementalCheckpointSet::DirtyRange oob[] = {{0, kBlock, 8}};
+  EXPECT_THROW(set.save(oob), ContractViolation);
+}
+
+TEST(Incremental, AddAfterSaveRejected) {
+  nvm::NvmRegion region(4u << 20, model());
+  std::vector<double> x(kBlock / 8, 1.0), y(8, 0.0);
+  IncrementalCheckpointSet set(region);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();
+  EXPECT_THROW(set.add("y", y.data(), 64), ContractViolation);
+}
+
+// ---- EpochPersister ----
+
+TEST(Epoch, StageThenCommitFlushesOnce) {
+  nvm::NvmRegion region(1u << 20, model());
+  auto a = region.allocate<double>(64);
+  auto b = region.allocate<double>(64);
+  nvm::EpochPersister ep(region);
+  ep.stage(a.data(), a.size_bytes());
+  ep.stage(b.data(), b.size_bytes());
+  EXPECT_EQ(ep.pending(), 2u);
+  ep.commit_epoch();
+  EXPECT_EQ(ep.pending(), 0u);
+  EXPECT_EQ(ep.stats().epochs, 1u);
+  EXPECT_EQ(ep.stats().lines_flushed, 16u);  // 2 × 512 B.
+}
+
+TEST(Epoch, EmptyEpochIsFree) {
+  nvm::NvmRegion region(1u << 20, model());
+  nvm::EpochPersister ep(region);
+  ep.commit_epoch();
+  EXPECT_EQ(ep.stats().epochs, 0u);
+}
+
+TEST(Epoch, ForeignPointerRejected) {
+  nvm::NvmRegion region(1u << 20, model());
+  nvm::EpochPersister ep(region);
+  double x = 0;
+  EXPECT_THROW(ep.stage(&x, 8), ContractViolation);
+}
+
+TEST(Epoch, ChargesPerfModelPerEpochNotPerRange) {
+  nvm::PerfModel throttled(nvm::PerfConfig{.dram_bw_bytes_per_s = 1e9,
+                                           .bandwidth_slowdown = 8.0});
+  nvm::NvmRegion region(1u << 20, throttled);
+  auto a = region.allocate<double>(512);
+  nvm::EpochPersister ep(region);
+  for (int i = 0; i < 8; ++i) ep.stage(a.data() + i * 64, 64 * 8);
+  ep.commit_epoch();
+  EXPECT_EQ(ep.stats().epochs, 1u);
+  EXPECT_EQ(throttled.stats().lines_flushed, 64u);  // 4 KB total.
+}
+
+}  // namespace
+}  // namespace adcc

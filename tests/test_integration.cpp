@@ -1,0 +1,162 @@
+// Cross-module integration tests: every algorithm × crash × recovery path
+// produces results identical (or numerically equal) to an uncrashed run, and
+// the seven-mode environments execute the real workloads end to end.
+#include <gtest/gtest.h>
+
+#include "core/adcc.hpp"
+
+namespace adcc {
+namespace {
+
+nvm::PerfModel& model() {
+  static nvm::PerfModel m(
+      nvm::PerfConfig{.dram_bw_bytes_per_s = 10e9, .bandwidth_slowdown = 1.0, .enabled = false});
+  return m;
+}
+
+TEST(Integration, CgCrashRecoveryMatchesGoldenAcrossAllSchemes) {
+  const std::size_t n = 500, iters = 8;
+  const auto a = linalg::make_spd(n, 9, 3);
+  const auto b = linalg::make_rhs(n, 4);
+  const auto golden = cg::cg_solve(a, b, iters);
+
+  // Algorithm-directed with mid-run crash.
+  cg::CgCcConfig cfg;
+  cfg.n_iters = iters;
+  cfg.cache.ways = 8;
+  cfg.cache.size_bytes = 128u << 10;
+  cg::CgCrashConsistent cc(a, b, cfg);
+  cc.sim().scheduler().arm_at_point(cg::CgCrashConsistent::kPointPUpdated, 5);
+  ASSERT_TRUE(cc.run());
+  cc.recover_and_resume();
+  cc.finish();
+  EXPECT_LT(linalg::max_abs_diff(cc.solution(), golden.x), 1e-9);
+
+  // Checkpoint resume.
+  nvm::NvmRegion region(16u << 20, model());
+  checkpoint::NvmBackend backend(region, 2u << 20);
+  cg::run_cg_checkpointed(a, b, 5, backend);  // Crash after 5 iterations.
+  const auto resumed = cg::resume_cg_checkpointed(a, b, iters, backend);
+  EXPECT_LT(linalg::max_abs_diff(resumed.x, golden.x), 1e-12);
+
+  // Transactional.
+  pmemtx::PersistentHeap heap(cg::cg_tx_data_bytes(n), cg::cg_tx_log_bytes(n), model());
+  const auto tx = cg::run_cg_tx(a, b, iters, heap);
+  EXPECT_LT(linalg::max_abs_diff(tx.cg.x, golden.x), 1e-12);
+}
+
+TEST(Integration, MmAllVariantsAgreeUnderCrash) {
+  const std::size_t n = 64, k = 16;
+  linalg::Matrix a(n, n), b(n, n), golden(n, n);
+  a.fill_random(10, -1, 1);
+  b.fill_random(11, -1, 1);
+  linalg::gemm_reference(a, b, golden);
+
+  mm::MmCcConfig cfg;
+  cfg.n = n;
+  cfg.rank_k = k;
+  cfg.cache.ways = 4;
+  cfg.cache.size_bytes = 32u << 10;
+  mm::MmCrashConsistent mmcc(a, b, cfg);
+  mmcc.sim().scheduler().arm_at_point(mm::MmCrashConsistent::kPointMultEnd, 3);
+  ASSERT_TRUE(mmcc.run());
+  mmcc.recover_and_resume();
+  EXPECT_LT(linalg::Matrix::max_abs_diff(mmcc.result(), golden), 1e-10);
+
+  nvm::NvmRegion region(16u << 20, model());
+  checkpoint::NvmBackend backend(region, 1u << 20);
+  const auto ck = mm::run_mm_checkpointed(a, b, k, backend);
+  EXPECT_LT(linalg::Matrix::max_abs_diff(ck.c, golden), 1e-10);
+
+  pmemtx::PersistentHeap heap(mm::mm_tx_data_bytes(n), mm::mm_tx_log_bytes(n), model());
+  const auto tx = mm::run_mm_tx(a, b, k, heap);
+  EXPECT_LT(linalg::Matrix::max_abs_diff(tx.c, golden), 1e-10);
+
+  nvm::NvmRegion region2(mm::mm_cc_native_arena_bytes(n, k), model());
+  const auto native = mm::run_mm_cc_native(a, b, k, region2);
+  EXPECT_LT(linalg::Matrix::max_abs_diff(native.c, golden), 1e-10);
+}
+
+TEST(Integration, XsCrashRecoveryExactUnderSelectiveFlushing) {
+  mc::XsConfig dc;
+  dc.n_nuclides = 10;
+  dc.gridpoints_per_nuclide = 128;
+  dc.seed = 2;
+  const mc::XsDataHost data(dc);
+
+  mc::XsCcConfig cfg;
+  cfg.total_lookups = 3000;
+  cfg.policy = mc::XsFlushPolicy::kSelective;
+  cfg.flush_interval = 30;
+  cfg.cache.ways = 4;
+  cfg.cache.size_bytes = 32u << 10;
+  cfg.rng_seed = 5;
+
+  mc::XsCrashConsistent nocrash(data, cfg);
+  ASSERT_FALSE(nocrash.run());
+
+  mc::XsCrashConsistent crashed(data, cfg);
+  crashed.sim().scheduler().arm_at_point(mc::XsCrashConsistent::kPointLookupEnd, 300);
+  ASSERT_TRUE(crashed.run());
+  crashed.recover_and_resume();
+  EXPECT_EQ(crashed.tally().counts, nocrash.tally().counts);
+}
+
+TEST(Integration, CheckpointModesRunCgEndToEnd) {
+  const std::size_t n = 300, iters = 4;
+  const auto a = linalg::make_spd(n, 7, 8);
+  const auto b = linalg::make_rhs(n, 9);
+  const auto golden = cg::cg_solve(a, b, iters);
+
+  core::ModeEnvConfig ec;
+  ec.arena_bytes = 8u << 20;
+  ec.slot_bytes = 2u << 20;
+  ec.dram_cache_bytes = 1u << 20;
+  ec.disk_throttle_bytes_per_s = 0;  // Fast test: no HDD emulation.
+  ec.scratch_dir = std::filesystem::temp_directory_path() / "adcc_integration";
+
+  for (core::Mode m : {core::Mode::kCkptDisk, core::Mode::kCkptNvm, core::Mode::kCkptHetero}) {
+    core::ModeEnv env = core::make_env(m, ec);
+    ASSERT_NE(env.backend, nullptr) << core::mode_name(m);
+    const auto res = cg::run_cg_checkpointed(a, b, iters, *env.backend);
+    EXPECT_LT(linalg::max_abs_diff(res.cg.x, golden.x), 1e-12) << core::mode_name(m);
+  }
+}
+
+TEST(Integration, HeteroCheckpointChargesNvmBandwidth) {
+  // The hetero mode must charge the NVM bandwidth gap for the same checkpoint
+  // traffic — the cost structure behind Fig. 4's middle bars. Asserted on the
+  // perf model's deterministic injected-delay accounting, not noisy wall time.
+  const std::size_t n = 20000, iters = 3;
+  const auto a = linalg::make_spd(n, 7, 8);
+  const auto b = linalg::make_rhs(n, 9);
+
+  core::ModeEnvConfig ec;
+  ec.arena_bytes = 16u << 20;
+  ec.slot_bytes = 4u << 20;
+  ec.dram_cache_bytes = 1u << 20;
+  ec.nvm_bandwidth_slowdown = 16.0;  // Exaggerate for a robust assertion.
+  ec.dram_bw_bytes_per_s = 1e9;      // Deterministic charge basis.
+
+  core::ModeEnv nvm_env = core::make_env(core::Mode::kCkptNvm, ec);
+  core::ModeEnv het_env = core::make_env(core::Mode::kCkptHetero, ec);
+  cg::run_cg_checkpointed(a, b, iters, *nvm_env.backend);
+  cg::run_cg_checkpointed(a, b, iters, *het_env.backend);
+  // NVM-only assumes NVM == DRAM (no charge); hetero pays ≈ bytes × 15 / 1e9.
+  EXPECT_DOUBLE_EQ(nvm_env.perf->stats().injected_seconds, 0.0);
+  const double expected =
+      static_cast<double>(3 * n * sizeof(double) + 64) * iters * 15.0 / 1e9;
+  EXPECT_GT(het_env.perf->stats().injected_seconds, 0.8 * expected);
+}
+
+TEST(Integration, UmbrellaHeaderExposesAllLayers) {
+  // Compile-time integration: one object of each namespace's flagship type.
+  memsim::CacheConfig cc;
+  EXPECT_GT(cc.num_sets(), 0u);
+  EXPECT_EQ(core::all_modes().size(), 7u);
+  EXPECT_GE(mc::kChannels, 5);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace adcc

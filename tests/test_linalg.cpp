@@ -1,0 +1,125 @@
+// Unit tests for dense/sparse linear-algebra kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::linalg {
+namespace {
+
+TEST(VecOps, DotMatchesManual) {
+  std::vector<double> x = {1, 2, 3}, y = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+}
+
+TEST(VecOps, DotParallelPathConsistent) {
+  // Above the OpenMP threshold the reduction must agree with a serial sum.
+  const std::size_t n = 1u << 15;
+  std::vector<double> x(n), y(n);
+  SplitMix64 rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+  }
+  double serial = 0;
+  for (std::size_t i = 0; i < n; ++i) serial += x[i] * y[i];
+  EXPECT_NEAR(dot(x, y), serial, 1e-7 * serial);
+}
+
+TEST(VecOps, Norm2) {
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VecOps, Axpy) {
+  std::vector<double> x = {1, 1}, y = {2, 3};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+}
+
+TEST(VecOps, XpayOutOfPlace) {
+  std::vector<double> x = {1, 2}, y = {10, 20}, z(2);
+  xpay(x, 0.5, y, z);
+  EXPECT_DOUBLE_EQ(z[0], 6.0);
+  EXPECT_DOUBLE_EQ(z[1], 12.0);
+}
+
+TEST(VecOps, XpayAliasedOutput) {
+  std::vector<double> x = {1, 2}, y = {10, 20};
+  xpay(x, 0.5, y, y);  // z aliases y: z[i] = x[i] + a·y[i] elementwise.
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(VecOps, SumScaleZeroCopy) {
+  std::vector<double> x = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(sum(x), 6.0);
+  scale(2.0, x);
+  EXPECT_DOUBLE_EQ(x[2], 6.0);
+  std::vector<double> y(3);
+  copy(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  zero(y);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+}
+
+TEST(VecOps, MaxAbsDiff) {
+  std::vector<double> x = {1, 2, 3}, y = {1, 2.5, 3};
+  EXPECT_DOUBLE_EQ(max_abs_diff(x, y), 0.5);
+}
+
+CsrMatrix small_matrix() {
+  // [2 1 0]
+  // [1 3 0]
+  // [0 0 4]
+  return CsrMatrix(3, {0, 2, 4, 5}, {0, 1, 0, 1, 2}, {2, 1, 1, 3, 4});
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  const CsrMatrix a = small_matrix();
+  std::vector<double> x = {1, 2, 3}, y(3);
+  a.spmv(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+}
+
+TEST(Csr, SpmvRowMatchesFullSpmv) {
+  const CsrMatrix a = small_matrix();
+  std::vector<double> x = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(a.spmv_row(1, x), 7.0);
+}
+
+TEST(Csr, IsSymmetricDetectsSymmetry) {
+  EXPECT_TRUE(small_matrix().is_symmetric());
+}
+
+TEST(Csr, IsSymmetricDetectsAsymmetry) {
+  const CsrMatrix a(2, {0, 2, 3}, {0, 1, 1}, {1, 5, 1});  // a01=5, a10 missing
+  EXPECT_FALSE(a.is_symmetric());
+}
+
+TEST(Csr, ConstructorValidatesRowPtr) {
+  EXPECT_THROW(CsrMatrix(2, {0, 1}, {0}, {1.0}), ContractViolation);           // short row_ptr
+  EXPECT_THROW(CsrMatrix(2, {0, 1, 2}, {0}, {1.0}), ContractViolation);        // bounds mismatch
+  EXPECT_THROW(CsrMatrix(2, {0, 1, 1}, {0, 1}, {1.0, 2.0}), ContractViolation);  // col/val mismatch
+}
+
+TEST(Csr, FootprintCountsAllArrays) {
+  const CsrMatrix a = small_matrix();
+  EXPECT_EQ(a.footprint_bytes(), 4 * sizeof(std::size_t) + 5 * 4 + 5 * 8);
+}
+
+TEST(Csr, NnzAndRows) {
+  const CsrMatrix a = small_matrix();
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.nnz(), 5u);
+}
+
+}  // namespace
+}  // namespace adcc::linalg

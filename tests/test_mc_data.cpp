@@ -1,0 +1,120 @@
+// Tests for the synthetic XSBench data model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mc/xs_data.hpp"
+
+namespace adcc::mc {
+namespace {
+
+XsConfig small_cfg() {
+  XsConfig c;
+  c.n_nuclides = 12;
+  c.gridpoints_per_nuclide = 64;
+  c.seed = 5;
+  return c;
+}
+
+TEST(XsData, NuclideGridsAreEnergySorted) {
+  const XsDataHost d(small_cfg());
+  const auto& g = d.nuclide_grids();
+  const auto cfg = d.config();
+  for (std::size_t n = 0; n < cfg.n_nuclides; ++n) {
+    for (std::size_t i = 1; i < cfg.gridpoints_per_nuclide; ++i) {
+      EXPECT_LE(g[n * cfg.gridpoints_per_nuclide + i - 1].energy,
+                g[n * cfg.gridpoints_per_nuclide + i].energy);
+    }
+  }
+}
+
+TEST(XsData, UnionizedGridIsSortedUnionOfAllEnergies) {
+  const XsDataHost d(small_cfg());
+  const auto& u = d.unionized_energy();
+  EXPECT_EQ(u.size(), small_cfg().unionized_points());
+  EXPECT_TRUE(std::is_sorted(u.begin(), u.end()));
+}
+
+TEST(XsData, IndexGridEntriesAreInterpolatable) {
+  const XsDataHost d(small_cfg());
+  const auto cfg = d.config();
+  for (const std::int32_t idx : d.index_grid()) {
+    EXPECT_GE(idx, 0);
+    // idx+1 must be a valid partner point.
+    EXPECT_LT(static_cast<std::size_t>(idx) + 1, cfg.gridpoints_per_nuclide);
+  }
+}
+
+TEST(XsData, IndexGridBoundsTheEnergy) {
+  const XsDataHost d(small_cfg());
+  const auto cfg = d.config();
+  const auto& u = d.unionized_energy();
+  const auto& idx = d.index_grid();
+  const auto& g = d.nuclide_grids();
+  for (std::size_t ui = 100; ui < 160; ++ui) {  // Spot-check a middle slice.
+    for (std::size_t n = 0; n < cfg.n_nuclides; ++n) {
+      const auto base = static_cast<std::size_t>(idx[ui * cfg.n_nuclides + n]);
+      const auto& p0 = g[n * cfg.gridpoints_per_nuclide + base];
+      // p0.energy <= u (except when u precedes the nuclide's first point).
+      if (base > 0) {
+        EXPECT_LE(p0.energy, u[ui] + 1e-15);
+      }
+    }
+  }
+}
+
+TEST(XsData, CrossSectionsArePositive) {
+  const XsDataHost d(small_cfg());
+  for (const auto& pt : d.nuclide_grids()) {
+    for (double xs : pt.xs) EXPECT_GT(xs, 0.0);
+  }
+}
+
+TEST(XsData, FuelMaterialHoldsHalfTheNuclides) {
+  const XsDataHost d(small_cfg());
+  EXPECT_EQ(d.material(0).size(), 6u);
+  for (int m = 0; m < kMaterials; ++m) {
+    EXPECT_FALSE(d.material(m).empty());
+    for (const auto& [nuc, density] : d.material(m)) {
+      EXPECT_GE(nuc, 0);
+      EXPECT_LT(static_cast<std::size_t>(nuc), small_cfg().n_nuclides);
+      EXPECT_GT(density, 0.0);
+    }
+  }
+}
+
+TEST(XsData, MaterialCdfIsMonotoneEndingAtOne) {
+  const XsDataHost d(small_cfg());
+  const auto& cdf = d.material_cdf();
+  ASSERT_EQ(cdf.size(), static_cast<std::size_t>(kMaterials));
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GT(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(XsData, DeterministicBySeed) {
+  const XsDataHost a(small_cfg()), b(small_cfg());
+  EXPECT_EQ(a.unionized_energy(), b.unionized_energy());
+  EXPECT_EQ(a.index_grid(), b.index_grid());
+}
+
+TEST(XsData, FootprintFormulaMatchesContainers) {
+  const XsDataHost d(small_cfg());
+  const auto cfg = d.config();
+  const std::size_t actual = d.unionized_energy().size() * 8 +
+                             d.index_grid().size() * 4 +
+                             d.nuclide_grids().size() * sizeof(NuclideGridPoint);
+  EXPECT_EQ(cfg.footprint_bytes(), actual);
+}
+
+TEST(XsData, RejectsDegenerateConfigs) {
+  XsConfig c = small_cfg();
+  c.n_nuclides = 2;
+  EXPECT_THROW(XsDataHost{c}, ContractViolation);
+  c = small_cfg();
+  c.gridpoints_per_nuclide = 4;
+  EXPECT_THROW(XsDataHost{c}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace adcc::mc

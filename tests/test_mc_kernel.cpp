@@ -1,0 +1,164 @@
+// Tests for the XSBench lookup kernel and the CDF tally extension.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mc/tally.hpp"
+#include "mc/xs_kernel.hpp"
+
+namespace adcc::mc {
+namespace {
+
+XsConfig small_cfg() {
+  XsConfig c;
+  c.n_nuclides = 12;
+  c.gridpoints_per_nuclide = 64;
+  c.seed = 5;
+  return c;
+}
+
+TEST(SampleLookup, DeterministicPerIndex) {
+  const XsDataHost d(small_cfg());
+  const CounterRng rng(42);
+  const auto a = sample_lookup(rng, 7, d);
+  const auto b = sample_lookup(rng, 7, d);
+  EXPECT_DOUBLE_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.material, b.material);
+}
+
+TEST(SampleLookup, MaterialInRangeAndFuelHeavy) {
+  const XsDataHost d(small_cfg());
+  const CounterRng rng(42);
+  int fuel = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = sample_lookup(rng, static_cast<std::uint64_t>(i), d);
+    ASSERT_GE(s.material, 0);
+    ASSERT_LT(s.material, kMaterials);
+    ASSERT_GT(s.energy, 0.0);
+    ASSERT_LT(s.energy, 1.0);
+    if (s.material == 0) ++fuel;
+  }
+  EXPECT_NEAR(static_cast<double>(fuel) / n, 0.40, 0.03);  // XSBench-like fuel share.
+}
+
+TEST(GridSearch, MatchesStdUpperBound) {
+  const XsDataHost d(small_cfg());
+  const auto& u = d.unionized_energy();
+  const CounterRng rng(3);
+  for (int t = 0; t < 500; ++t) {
+    const double e = rng.uniform(static_cast<std::uint64_t>(t));
+    const std::size_t got = grid_search(u, e);
+    const auto it = std::upper_bound(u.begin(), u.end(), e);
+    const std::size_t want =
+        it == u.begin() ? 0 : static_cast<std::size_t>(it - u.begin()) - 1;
+    EXPECT_EQ(got, want) << "e=" << e;
+  }
+}
+
+TEST(GridSearch, BoundaryQueries) {
+  const XsDataHost d(small_cfg());
+  const auto& u = d.unionized_energy();
+  EXPECT_EQ(grid_search(u, -1.0), 0u);             // Below the grid.
+  EXPECT_EQ(grid_search(u, 2.0), u.size() - 1u);   // Above the grid.
+}
+
+TEST(GridSearch, RecordsProbeTrail) {
+  const XsDataHost d(small_cfg());
+  std::vector<std::size_t> probes;
+  grid_search(d.unionized_energy(), 0.5, &probes);
+  EXPECT_GE(probes.size(), 8u);   // ~log2(768)
+  EXPECT_LE(probes.size(), 16u);
+  for (const std::size_t p : probes) EXPECT_LT(p, d.unionized_energy().size());
+}
+
+TEST(MacroLookup, NonNegativeChannels) {
+  const XsDataHost d(small_cfg());
+  double out[kChannels];
+  macro_lookup(d, 0.37, 0, out);
+  for (double v : out) EXPECT_GT(v, 0.0);
+}
+
+TEST(MacroLookup, ScalesWithMaterialSize) {
+  // Fuel (6 nuclides) must on average yield a larger total than the smallest
+  // material for the same energy — more summed contributions.
+  const XsDataHost d(small_cfg());
+  int smallest = 1;
+  for (int m = 1; m < kMaterials; ++m) {
+    if (d.material(m).size() < d.material(smallest).size()) smallest = m;
+  }
+  double sums[2] = {0, 0};
+  for (int t = 0; t < 64; ++t) {
+    const double e = (t + 0.5) / 64.0;
+    double a[kChannels], b[kChannels];
+    macro_lookup(d, e, 0, a);
+    macro_lookup(d, e, smallest, b);
+    for (int c = 0; c < kChannels; ++c) {
+      sums[0] += a[c];
+      sums[1] += b[c];
+    }
+  }
+  EXPECT_GT(sums[0], sums[1]);
+}
+
+TEST(MacroLookup, InterpolationIsContinuousAcrossGridPoints) {
+  const XsDataHost d(small_cfg());
+  double lo[kChannels], hi[kChannels];
+  macro_lookup(d, 0.499999, 2, lo);
+  macro_lookup(d, 0.500001, 2, hi);
+  for (int c = 0; c < kChannels; ++c) {
+    EXPECT_NEAR(lo[c], hi[c], 1e-3 * (std::abs(lo[c]) + 1));
+  }
+}
+
+TEST(TallySelect, InverseCdfSemantics) {
+  const double macro[kChannels] = {0.2, 0.2, 0.2, 0.2, 0.2};
+  EXPECT_EQ(tally_select(macro, 0.05), 0);
+  EXPECT_EQ(tally_select(macro, 0.25), 1);
+  EXPECT_EQ(tally_select(macro, 0.45), 2);
+  EXPECT_EQ(tally_select(macro, 0.65), 3);
+  EXPECT_EQ(tally_select(macro, 0.95), 4);
+}
+
+TEST(TallySelect, PaperExampleVector) {
+  // macro = {0.9, 0.1, 0.3, 0.6, 0.05}: probabilities ∝ the entries.
+  const double macro[kChannels] = {0.9, 0.1, 0.3, 0.6, 0.05};
+  EXPECT_EQ(tally_select(macro, 0.0), 0);
+  EXPECT_EQ(tally_select(macro, 0.45), 0);   // < 0.9/1.95
+  EXPECT_EQ(tally_select(macro, 0.47), 1);   // between 0.4615 and 0.5128
+  EXPECT_EQ(tally_select(macro, 0.65), 2);   // between 0.5128 and 0.6667
+  EXPECT_EQ(tally_select(macro, 0.98), 4);
+}
+
+TEST(TallySelect, DegenerateZeroVectorPicksFirst) {
+  const double macro[kChannels] = {0, 0, 0, 0, 0};
+  EXPECT_EQ(tally_select(macro, 0.7), 0);
+}
+
+TEST(TallySelect, ProportionalSamplingFrequencies) {
+  const double macro[kChannels] = {1.0, 2.0, 3.0, 2.0, 2.0};  // Σ = 10
+  const CounterRng rng(11);
+  std::array<int, kChannels> hits{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hits[static_cast<std::size_t>(
+        tally_select(macro, rng.uniform(static_cast<std::uint64_t>(i))))]++;
+  }
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(hits[4] / static_cast<double>(n), 0.2, 0.01);
+}
+
+TEST(Tally, PercentagesAndGap) {
+  Tally a, b;
+  a.counts = {10, 10, 10, 10, 10};
+  b.counts = {10, 10, 10, 10, 0};
+  EXPECT_EQ(a.total(), 50u);
+  const auto pct = a.percentages(50);
+  EXPECT_DOUBLE_EQ(pct[0], 20.0);
+  EXPECT_DOUBLE_EQ(max_percentage_gap(a, b, 50), 20.0);
+  EXPECT_DOUBLE_EQ(max_percentage_gap(a, a, 50), 0.0);
+}
+
+}  // namespace
+}  // namespace adcc::mc

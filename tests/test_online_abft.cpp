@@ -1,0 +1,119 @@
+// Tests for online-ABFT CG: invariant checking as a soft-error detector with
+// rollback recovery.
+#include <gtest/gtest.h>
+
+#include "cg/cg_online_abft.hpp"
+#include "common/check.hpp"
+#include "linalg/spgen.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::cg {
+namespace {
+
+struct Problem {
+  linalg::CsrMatrix a;
+  std::vector<double> b;
+};
+
+Problem problem(std::size_t n = 500) {
+  return {linalg::make_spd(n, 9, 61), linalg::make_rhs(n, 62)};
+}
+
+TEST(OnlineAbft, FaultFreeRunMatchesPlainCg) {
+  const Problem p = problem();
+  const auto plain = cg_solve(p.a, p.b, 10);
+  const auto res = run_cg_online_abft(p.a, p.b, 10);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(res.cg.x, plain.x), 0.0);
+  EXPECT_EQ(res.detections, 0u);
+  EXPECT_EQ(res.rollbacks, 0u);
+  EXPECT_EQ(res.checks, 10u);
+}
+
+TEST(OnlineAbft, CheckIntervalReducesChecks) {
+  const Problem p = problem();
+  OnlineAbftConfig cfg;
+  cfg.check_every = 4;
+  const auto res = run_cg_online_abft(p.a, p.b, 10, cfg);
+  EXPECT_EQ(res.checks, 3u);  // Iterations 4, 8, and the final 10.
+}
+
+TEST(OnlineAbft, DetectsAndRecoversFromTransientError) {
+  const Problem p = problem();
+  bool injected = false;
+  const auto inject = [&](std::size_t iter, CgState& s) {
+    if (iter == 5 && !injected) {
+      injected = true;
+      s.z[17] += 1.0;  // Silent bit-flip-style corruption of the solution.
+    }
+  };
+  const auto res = run_cg_online_abft(p.a, p.b, 10, {}, inject);
+  EXPECT_EQ(res.detections, 1u);
+  EXPECT_EQ(res.rollbacks, 1u);
+  EXPECT_GE(res.wasted_iterations, 1u);
+  const auto plain = cg_solve(p.a, p.b, 10);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(res.cg.x, plain.x), 0.0);  // Fully repaired.
+}
+
+TEST(OnlineAbft, CorruptionOfResidualAlsoDetected) {
+  const Problem p = problem();
+  bool injected = false;
+  const auto inject = [&](std::size_t iter, CgState& s) {
+    if (iter == 3 && !injected) {
+      injected = true;
+      s.r[0] *= 2.0;
+    }
+  };
+  const auto res = run_cg_online_abft(p.a, p.b, 8, {}, inject);
+  EXPECT_GE(res.detections, 1u);
+  const auto plain = cg_solve(p.a, p.b, 8);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(res.cg.x, plain.x), 0.0);
+}
+
+TEST(OnlineAbft, SparseCheckingStillRecoversWithMoreWaste) {
+  const Problem p = problem();
+  OnlineAbftConfig cfg;
+  cfg.check_every = 5;
+  bool injected = false;
+  const auto inject = [&](std::size_t iter, CgState& s) {
+    if (iter == 6 && !injected) {
+      injected = true;
+      s.z[3] -= 0.5;
+    }
+  };
+  const auto res = run_cg_online_abft(p.a, p.b, 15, cfg, inject);
+  EXPECT_EQ(res.detections, 1u);
+  // Error at iteration 6 is caught at the iteration-10 boundary: rollback to
+  // the state verified at iteration 5 → 5 wasted iterations.
+  EXPECT_EQ(res.wasted_iterations, 5u);
+  const auto plain = cg_solve(p.a, p.b, 15);
+  EXPECT_DOUBLE_EQ(linalg::max_abs_diff(res.cg.x, plain.x), 0.0);
+}
+
+TEST(OnlineAbft, PersistentErrorExhaustsRetriesAndThrows) {
+  const Problem p = problem(200);
+  OnlineAbftConfig cfg;
+  cfg.max_retries = 2;
+  const auto inject = [&](std::size_t iter, CgState& s) {
+    if (iter == 2) s.z[0] += 1.0;  // Injected on every (re-)execution.
+  };
+  EXPECT_THROW(run_cg_online_abft(p.a, p.b, 6, cfg, inject), ContractViolation);
+}
+
+TEST(OnlineAbft, BelowToleranceCorruptionIsAccepted) {
+  const Problem p = problem();
+  const auto inject = [&](std::size_t iter, CgState& s) {
+    if (iter == 4) s.z[9] += 1e-14;  // Under the detection floor.
+  };
+  const auto res = run_cg_online_abft(p.a, p.b, 8, {}, inject);
+  EXPECT_EQ(res.detections, 0u);
+}
+
+TEST(OnlineAbft, InvalidConfigRejected) {
+  const Problem p = problem(100);
+  OnlineAbftConfig cfg;
+  cfg.check_every = 0;
+  EXPECT_THROW(run_cg_online_abft(p.a, p.b, 4, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace adcc::cg

@@ -1,0 +1,102 @@
+// Tests for the NPB-style sparse SPD generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "cg/cg.hpp"
+#include "linalg/vec_ops.hpp"
+#include "linalg/spgen.hpp"
+
+namespace adcc::linalg {
+namespace {
+
+TEST(Shapes, MatchNpbClasses) {
+  EXPECT_EQ(shape_of(CgClass::S).n, 1400u);
+  EXPECT_EQ(shape_of(CgClass::W).n, 7000u);
+  EXPECT_EQ(shape_of(CgClass::A).n, 14000u);
+  EXPECT_EQ(shape_of(CgClass::B).n, 75000u);
+  EXPECT_EQ(shape_of(CgClass::C).n, 150000u);
+  EXPECT_EQ(name_of(CgClass::B), "B");
+}
+
+TEST(MakeSpd, DimensionsAndNnzDensity) {
+  const CsrMatrix a = make_spd(500, 9);
+  EXPECT_EQ(a.rows(), 500u);
+  // Each row: 1 diagonal + ~2*((9-1)/2) mirrored entries (minus merges).
+  EXPECT_GE(a.nnz(), 500u * 5);
+  EXPECT_LE(a.nnz(), 500u * 10);
+}
+
+TEST(MakeSpd, Symmetric) {
+  EXPECT_TRUE(make_spd(300, 7).is_symmetric(1e-12));
+}
+
+TEST(MakeSpd, StrictlyDiagonallyDominant) {
+  const CsrMatrix a = make_spd(400, 9);
+  const auto row_ptr = a.row_ptr();
+  const auto col = a.col_idx();
+  const auto val = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double diag = 0.0, off = 0.0;
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col[k] == r) {
+        diag = val[k];
+      } else {
+        off += std::fabs(val[k]);
+      }
+    }
+    EXPECT_GT(diag, off) << "row " << r;
+  }
+}
+
+TEST(MakeSpd, DeterministicBySeed) {
+  const CsrMatrix a = make_spd(200, 7, 5);
+  const CsrMatrix b = make_spd(200, 7, 5);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (std::size_t k = 0; k < a.nnz(); ++k) EXPECT_DOUBLE_EQ(a.values()[k], b.values()[k]);
+}
+
+TEST(MakeSpd, DifferentSeedsDiffer) {
+  const CsrMatrix a = make_spd(200, 7, 5);
+  const CsrMatrix b = make_spd(200, 7, 6);
+  bool any_diff = a.nnz() != b.nnz();
+  for (std::size_t k = 0; !any_diff && k < a.nnz(); ++k) {
+    any_diff = a.values()[k] != b.values()[k];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MakeSpd, RejectsDegenerateShapes) {
+  EXPECT_THROW(make_spd(1, 7), ContractViolation);
+  EXPECT_THROW(make_spd(100, 1), ContractViolation);
+}
+
+TEST(MakeRhs, InUnitIntervalAndDeterministic) {
+  const auto b1 = make_rhs(100, 3);
+  const auto b2 = make_rhs(100, 3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(b1[i], 0.0);
+    EXPECT_LT(b1[i], 1.0);
+    EXPECT_DOUBLE_EQ(b1[i], b2[i]);
+  }
+}
+
+// SPD in practice: CG must converge monotonically on generated systems.
+class SpdClassTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpdClassTest, CgConvergesOnGeneratedSystem) {
+  const std::size_t n = GetParam();
+  const CsrMatrix a = make_spd(n, 7, 11);
+  const auto b = make_rhs(n, 12);
+  const auto r10 = cg::cg_solve(a, b, 10).residual_norm;
+  const auto r30 = cg::cg_solve(a, b, 30).residual_norm;
+  const double b_norm = std::sqrt(dot(b, b));
+  EXPECT_LT(r10, b_norm);       // Progress after 10 iterations.
+  EXPECT_LT(r30, r10 + 1e-12);  // More iterations, no worse.
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdClassTest, ::testing::Values(64, 256, 1000, 4000));
+
+}  // namespace
+}  // namespace adcc::linalg

@@ -1,0 +1,123 @@
+// Unit tests for TrackedArray / TrackedScalar.
+#include <gtest/gtest.h>
+
+#include "memsim/tracked.hpp"
+
+namespace adcc::memsim {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.ways = 4;
+  c.size_bytes = 4 * 4 * kCacheLine;  // 4 sets × 4 ways.
+  return c;
+}
+
+TEST(TrackedArray, WriteReadRoundtrip) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<double> a(sim, "a", 16);
+  a.write(3, 2.5);
+  EXPECT_DOUBLE_EQ(a.read(3), 2.5);
+  EXPECT_EQ(sim.stats().writes, 1u);
+  EXPECT_EQ(sim.stats().reads, 1u);
+}
+
+TEST(TrackedArray, DurableLagsUntilFlush) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<double> a(sim, "a", 16);
+  a.write(0, 9.0);
+  EXPECT_DOUBLE_EQ(a.durable(0), 0.0);
+  a.flush(0, 1);
+  EXPECT_DOUBLE_EQ(a.durable(0), 9.0);
+}
+
+TEST(TrackedArray, FlushAllPersistsWholeArray) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<double> a(sim, "a", 16);
+  for (std::size_t i = 0; i < 16; ++i) a.write(i, static_cast<double>(i) + 1);
+  a.flush_all();
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(a.durable(i), static_cast<double>(i) + 1);
+}
+
+TEST(TrackedArray, RestoreRollsLiveBack) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<double> a(sim, "a", 16);
+  a.write(5, 8.0);
+  sim.crash();
+  a.restore();
+  EXPECT_DOUBLE_EQ(a.raw()[5], 0.0);
+}
+
+TEST(TrackedArray, DurableSnapshotBulkRead) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<double> a(sim, "a", 8);
+  a.write(2, 4.0);
+  a.flush(2, 1);
+  std::vector<double> out(8);
+  a.durable_snapshot(out);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+}
+
+TEST(TrackedArray, TouchRangeCountsLineAccesses) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<double> a(sim, "a", 64);  // 8 lines.
+  a.touch_read(0, 64);
+  EXPECT_EQ(sim.cache_stats().misses, 8u);
+}
+
+TEST(TrackedArray, RawAccessIsUninstrumented) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<double> a(sim, "a", 8);
+  a.raw()[0] = 1.0;
+  EXPECT_EQ(sim.stats().writes, 0u);
+}
+
+TEST(TrackedArray, DestructorUnregisters) {
+  MemorySimulator sim(small_cache());
+  {
+    TrackedArray<double> a(sim, "a", 8);
+    EXPECT_EQ(sim.num_regions(), 1u);
+  }
+  EXPECT_EQ(sim.num_regions(), 0u);
+}
+
+TEST(TrackedArray, IntegerElementType) {
+  MemorySimulator sim(small_cache());
+  TrackedArray<std::uint64_t> a(sim, "u", 8);
+  a.write(1, 42u);
+  a.flush(1, 1);
+  EXPECT_EQ(a.durable(1), 42u);
+}
+
+TEST(TrackedScalar, OccupiesOwnLineAndFlushes) {
+  MemorySimulator sim(small_cache());
+  TrackedScalar<std::int64_t> s(sim, "i", 0);
+  s.set_and_flush(17);
+  EXPECT_EQ(s.durable(), 17);
+  EXPECT_EQ(s.get(), 17);
+}
+
+TEST(TrackedScalar, UnflushedSetIsVolatile) {
+  MemorySimulator sim(small_cache());
+  TrackedScalar<std::int64_t> s(sim, "i", 0);
+  s.set(5);
+  EXPECT_EQ(s.durable(), 0);
+  sim.crash();
+  s.restore();
+  EXPECT_EQ(s.get(), 0);
+}
+
+TEST(TrackedScalar, FlushingScalarDoesNotPersistNeighbours) {
+  // The scalar owns a full line, so its flush cannot drag other data along —
+  // verified by checking a tracked array in the same simulator stays stale.
+  MemorySimulator sim(small_cache());
+  TrackedScalar<std::int64_t> s(sim, "i", 0);
+  TrackedArray<double> a(sim, "a", 8);
+  a.write(0, 3.0);
+  s.set_and_flush(1);
+  EXPECT_DOUBLE_EQ(a.durable(0), 0.0);
+}
+
+}  // namespace
+}  // namespace adcc::memsim
