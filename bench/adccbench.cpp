@@ -1,0 +1,197 @@
+// adccbench — the registry-driven scenario driver: any workload x any of the
+// seven durability modes x any crash plan, one binary.
+//
+//   adccbench --list
+//   adccbench --workload=cg --mode=alg-nvm/dram --crash=step:7
+//   adccbench --workload=mm --mode=all --reps=3
+//   adccbench --matrix --quick          # full workload x mode cross-product
+//
+// Unless --no_baseline is passed, a native run of the same workload is timed
+// first and every row is normalized against it (the paper's y-axis).
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/options.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace adcc;
+
+// Per-process scratch, removed at exit: concurrent invocations (ctest -j runs
+// both smoke matrices at once) must not share ckpt-disk slot files.
+const std::filesystem::path& scratch_dir() {
+  static const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("adccbench." + std::to_string(::getpid()));
+  return dir;
+}
+
+core::ScenarioConfig make_config(const core::Workload& workload, core::Mode mode,
+                                 const core::CrashScenario& crash, const Options& opts) {
+  core::ScenarioConfig cfg;
+  cfg.mode = mode;
+  cfg.crash = crash;
+  cfg.env.scratch_dir = scratch_dir();
+  cfg.env.disk_throttle_bytes_per_s = opts.get_double("disk_mbps", 150.0) * 1e6;
+  workload.tune_env(mode, cfg.env);
+  if (opts.has("arena")) cfg.env.arena_bytes = opts.get_size("arena", cfg.env.arena_bytes);
+  if (opts.has("slot")) cfg.env.slot_bytes = opts.get_size("slot", cfg.env.slot_bytes);
+  cfg.reps = static_cast<int>(opts.get_int("reps", 1));
+  cfg.warmup = opts.get_bool("warmup", false);
+  cfg.verify = opts.get_bool("verify", true);
+  return cfg;
+}
+
+/// Runs one workload across `modes`; returns false if any verification failed.
+bool run_workload(const std::string& name, const std::vector<core::Mode>& modes,
+                  const core::CrashScenario& crash, const Options& opts, bool banner) {
+  const auto workload = core::WorkloadRegistry::instance().create(name, opts);
+  if (banner) {
+    core::print_banner("adccbench", name + " — " +
+                                        core::WorkloadRegistry::instance().description(name) +
+                                        ", crash=" + core::crash_name(crash));
+  }
+
+  // Native baseline for the normalized column (skipped with --no_baseline).
+  // When the mode list itself starts with a crash-free kNative scenario, that
+  // row doubles as the baseline instead of paying a second native run.
+  double native_seconds = 0.0;
+  const bool reuse_native_row = !modes.empty() && modes.front() == core::Mode::kNative &&
+                                crash.kind == core::CrashScenario::Kind::kNone;
+  if (!opts.get_bool("no_baseline") && !reuse_native_row) {
+    core::ScenarioConfig nc = make_config(*workload, core::Mode::kNative, {}, opts);
+    nc.verify = false;
+    native_seconds = core::run_scenario(*workload, nc).seconds;
+  }
+
+  core::Table table({"workload", "mode", "crash", "units", "seconds", "normalized", "overhead",
+                     "lost", "detect/unit", "resume/unit", "verified"});
+  bool all_ok = true;
+  for (core::Mode mode : modes) {
+    core::ScenarioConfig cfg = make_config(*workload, mode, crash, opts);
+    cfg.native_seconds = native_seconds;
+    core::ScenarioRunner runner(*workload, cfg);
+    core::ScenarioResult res = runner.run();
+    if (reuse_native_row && mode == core::Mode::kNative && native_seconds == 0.0 &&
+        !opts.get_bool("no_baseline")) {
+      native_seconds = res.seconds;  // This row is the baseline.
+      res.time = core::normalize(res.seconds, native_seconds);
+    }
+    const bool ok = !res.verify_ran || res.verified;
+    all_ok = all_ok && ok;
+    const auto& rb = res.recomputation;
+    table.add_row({name, core::mode_name(mode), core::crash_name(res.crash),
+                   std::to_string(res.work_units), core::Table::fmt(res.seconds, 4),
+                   native_seconds > 0 ? core::Table::fmt(res.time.normalized, 3) : "-",
+                   native_seconds > 0
+                       ? core::Table::fmt(res.time.overhead_percent(), 1) + "%"
+                       : "-",
+                   std::to_string(rb.units_lost),
+                   res.crashes > 0 ? core::Table::fmt(rb.detect_normalized(), 2) : "-",
+                   res.crashes > 0 ? core::Table::fmt(rb.resume_normalized(), 2) : "-",
+                   res.verify_ran ? (res.verified ? "yes" : "FAIL") : "-"});
+  }
+  table.print();
+  return all_ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Options opts(argc, argv);
+  opts.doc("workload", "workload to run (see --list)", "cg")
+      .doc("mode", "durability mode, or 'all' for the paper's seven", "all")
+      .doc("crash", "crash plan: none | step:K | random[:SEED] | repeat:N", "none")
+      .doc("matrix", "run every registered workload x every mode", "off")
+      .doc("list", "list registered workloads and exit")
+      .doc("reps", "timed repetitions per scenario (median reported)", "1")
+      .doc("warmup", "one discarded repetition first", "off")
+      .doc("verify", "check results against references", "on")
+      .doc("no_baseline", "skip the native baseline / normalized column", "off")
+      .doc("quick", "CI-sized problem defaults", "off")
+      .doc("n", "problem size for cg/mm (rows / matrix dim)")
+      .doc("nz", "cg: nonzeros per row", "15")
+      .doc("iters", "cg: iteration count", "15")
+      .doc("rank", "mm: panel rank k")
+      .doc("lookups", "mc: total lookups (suffixes: K/M/G)")
+      .doc("interval", "mc: lookups per durability unit")
+      .doc("nuclides", "mc: nuclide count")
+      .doc("gridpoints", "mc: gridpoints per nuclide")
+      .doc("seed_a", "mm: seed of matrix A", "seed")
+      .doc("seed_b", "mm: seed of matrix B", "seed+1")
+      .doc("arena", "NVM arena bytes override (e.g. 64M, 1G)")
+      .doc("slot", "checkpoint slot bytes override (e.g. 16M)")
+      .doc("disk_mbps", "ckpt-disk throttle, MB/s", "150")
+      .doc("seed", "problem seed");
+  if (opts.maybe_print_help("adccbench")) return 0;
+
+  auto& registry = core::WorkloadRegistry::instance();
+  if (opts.get_bool("list")) {
+    for (const auto& name : registry.names()) {
+      std::printf("%-6s %s\n", name.c_str(), registry.description(name).c_str());
+    }
+    return 0;
+  }
+
+  const auto crash = core::parse_crash(opts.get("crash", "none"));
+  if (!crash) {
+    std::fprintf(stderr, "adccbench: bad --crash (want none | step:K | random[:SEED] | repeat:N)\n");
+    return 2;
+  }
+
+  std::vector<core::Mode> modes;
+  const std::string mode_spec = opts.get("mode", "all");
+  if (mode_spec == "all") {
+    modes = core::all_modes();
+  } else {
+    const auto m = core::parse_mode(mode_spec);
+    if (!m) {
+      std::fprintf(stderr, "adccbench: unknown --mode '%s'; known:", mode_spec.c_str());
+      for (core::Mode k : core::all_modes()) {
+        std::fprintf(stderr, " %s", core::mode_name(k).c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    modes = {*m};
+  }
+
+  std::vector<std::string> workloads;
+  if (opts.get_bool("matrix")) {
+    workloads = registry.names();
+  } else {
+    workloads.push_back(opts.get("workload", "cg"));
+    if (!registry.contains(workloads.back())) {
+      std::fprintf(stderr, "adccbench: unknown --workload '%s'; try --list\n",
+                   workloads.back().c_str());
+      return 2;
+    }
+  }
+
+  bool all_ok = true;
+  std::size_t scenarios = 0;
+  for (const auto& name : workloads) {
+    all_ok = run_workload(name, modes, *crash, opts, /*banner=*/!opts.get_bool("matrix")) &&
+             all_ok;
+    scenarios += modes.size();
+  }
+  if (opts.get_bool("matrix")) {
+    std::printf("\nMATRIX %s (%zu workloads x %zu modes = %zu scenarios, crash=%s)\n",
+                all_ok ? "OK" : "FAILED", workloads.size(), modes.size(), scenarios,
+                core::crash_name(*crash).c_str());
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_dir(), ec);
+  return all_ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "adccbench: %s\n", e.what());
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_dir(), ec);
+  return 2;
+}

@@ -17,16 +17,21 @@
 
 int main(int argc, char** argv) {
   using namespace adcc;
-  const Options opts(argc, argv);
+  Options opts(argc, argv);
+  opts.doc("lookups", "total lookups", "200000 (quick: 50000)")
+      .doc("nuclides", "nuclide count", "68 (quick: 24)")
+      .doc("gridpoints", "gridpoints per nuclide", "2000 (quick: 500)")
+      .doc("crash_pct", "crash point, % of lookups", "10")
+      .doc("cache_mb", "simulated LLC size, MB", "8")
+      .doc("quick", "CI-sized run");
+  if (opts.maybe_print_help("fig10_xs_basic")) return 0;
   const bool quick = opts.get_bool("quick");
   mc::XsConfig dc;
-  dc.n_nuclides = static_cast<std::size_t>(opts.get_int("nuclides", quick ? 24 : 68));
-  dc.gridpoints_per_nuclide =
-      static_cast<std::size_t>(opts.get_int("gridpoints", quick ? 500 : 2000));
-  const auto lookups =
-      static_cast<std::uint64_t>(opts.get_int("lookups", quick ? 50'000 : 200'000));
+  dc.n_nuclides = opts.get_size("nuclides", quick ? 24 : 68);
+  dc.gridpoints_per_nuclide = opts.get_size("gridpoints", quick ? 500 : 2000);
+  const std::uint64_t lookups = opts.get_size("lookups", quick ? 50'000 : 200'000);
   const double crash_pct = opts.get_double("crash_pct", 10.0);
-  const std::size_t cache_mb = static_cast<std::size_t>(opts.get_int("cache_mb", 8));
+  const std::size_t cache_mb = opts.get_size("cache_mb", 8);
 
   const mc::XsDataHost data(dc);
   core::print_banner(

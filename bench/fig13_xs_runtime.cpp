@@ -7,55 +7,72 @@
 // Methodology notes:
 //  * Every scheme is timed back-to-back with its own adjacent native baseline
 //    (the kernel is clock-sensitive; a single up-front baseline conflates
-//    turbo/thermal drift with durability overhead).
+//    turbo/thermal drift with durability overhead). Two ScenarioRunners over
+//    the same McWorkload alternate repetitions.
 //  * The disk scheme issues an fdatasync per checkpoint; it runs at a reduced
 //    lookup count (same checkpoint density) against its own baseline.
+//  * Workload::prepare (tally zeroing, heap/arena setup) is excluded from the
+//    timed region for every scheme including the adjacent native baselines
+//    (the pre-port binary timed pmem-tx heap reconstruction; this port does
+//    not) — only the lookup loop + durability actions are timed.
 //
 // Flags: --lookups=1000000 --nuclides=68 --gridpoints=2000 --interval_pct=0.01
 //        --reps=2 --disk_scale=10 --quick
 #include <cstdio>
-#include <functional>
+#include <memory>
 
-#include "common/options.hpp"
-#include "core/harness.hpp"
-#include "core/modes.hpp"
 #include "core/report.hpp"
-#include "mc/mc_ckpt.hpp"
+#include "core/scenario.hpp"
+#include "mc/mc_workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace adcc;
-  const Options opts(argc, argv);
+  Options opts(argc, argv);
+  opts.doc("lookups", "total lookups", "1000000 (quick: 200000)")
+      .doc("nuclides", "nuclide count", "68 (quick: 24)")
+      .doc("gridpoints", "gridpoints per nuclide", "2000 (quick: 500)")
+      .doc("interval_pct", "durability interval, % of lookups", "0.01")
+      .doc("reps", "interleaved repetitions", "2 (quick: 1)")
+      .doc("disk_scale", "lookup divisor for the disk scheme", "10")
+      .doc("quick", "CI-sized run");
+  if (opts.maybe_print_help("fig13_xs_runtime")) return 0;
   const bool quick = opts.get_bool("quick");
-  mc::XsConfig dc;
-  dc.n_nuclides = static_cast<std::size_t>(opts.get_int("nuclides", quick ? 24 : 68));
-  dc.gridpoints_per_nuclide =
-      static_cast<std::size_t>(opts.get_int("gridpoints", quick ? 500 : 2000));
-  const auto lookups =
-      static_cast<std::uint64_t>(opts.get_int("lookups", quick ? 200'000 : 1'000'000));
+  mc::McWorkloadConfig wc;
+  wc.data.n_nuclides = opts.get_size("nuclides", quick ? 24 : 68);
+  wc.data.gridpoints_per_nuclide = opts.get_size("gridpoints", quick ? 500 : 2000);
+  wc.lookups = opts.get_size("lookups", quick ? 200'000 : 1'000'000);
   const double interval_pct = opts.get_double("interval_pct", 0.01);
   const int reps = static_cast<int>(opts.get_int("reps", quick ? 1 : 2));
   const auto disk_scale = static_cast<std::uint64_t>(opts.get_int("disk_scale", 10));
 
-  const std::uint64_t interval = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(static_cast<double>(lookups) * interval_pct / 100.0));
-  const mc::XsDataHost data(dc);
-  const std::uint64_t seed = 5;
+  wc.interval = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(wc.lookups) * interval_pct / 100.0));
+  wc.seed = 5;
 
-  core::print_banner("Fig. 13", "XSBench runtime, 7 schemes, " + std::to_string(lookups) +
-                                    " lookups, durability every " + std::to_string(interval) +
+  core::print_banner("Fig. 13", "XSBench runtime, 7 schemes, " + std::to_string(wc.lookups) +
+                                    " lookups, durability every " + std::to_string(wc.interval) +
                                     " lookups (" + core::Table::fmt(interval_pct, 2) + "%)");
 
   core::Table table({"scheme", "scheme_s", "adjacent_native_s", "normalized", "overhead"});
 
-  // Interleaved measurement: scheme and native alternate, medians compared.
-  auto measure = [&](const std::string& name, std::uint64_t run_lookups,
-                     const std::function<void()>& scheme_fn) {
+  // Interleaved measurement: scheme and native repetitions alternate over the
+  // same workload instance, medians compared.
+  auto measure = [&](const std::string& name, mc::McWorkload& workload, core::Mode mode) {
+    auto scenario = [&](core::Mode m) {
+      core::ScenarioConfig cfg;
+      cfg.mode = m;
+      cfg.env.scratch_dir = std::filesystem::temp_directory_path() / "adcc_fig13";
+      workload.tune_env(m, cfg.env);
+      cfg.reps = 1;
+      return cfg;
+    };
+    core::ScenarioRunner native_runner(workload, scenario(core::Mode::kNative));
+    core::ScenarioRunner scheme_runner(workload, scenario(mode));
+    native_runner.run();  // Warm both caches and clocks.
     std::vector<double> scheme_t, native_t;
-    mc::run_xs_native(data, run_lookups, seed);  // Warm both caches and clocks.
     for (int r = 0; r < reps; ++r) {
-      native_t.push_back(
-          core::time_seconds([&] { mc::run_xs_native(data, run_lookups, seed); }));
-      scheme_t.push_back(core::time_seconds(scheme_fn));
+      native_t.push_back(native_runner.run().seconds);
+      scheme_t.push_back(scheme_runner.run().seconds);
     }
     const double s = median(scheme_t);
     const double nat = median(native_t);
@@ -65,41 +82,19 @@ int main(int argc, char** argv) {
                    core::Table::fmt(nt.overhead_percent(), 2) + "%"});
   };
 
-  core::ModeEnvConfig ec;
-  ec.arena_bytes = 4u << 20;
-  ec.slot_bytes = 1u << 10;
-  ec.scratch_dir = std::filesystem::temp_directory_path() / "adcc_fig13";
+  mc::McWorkload workload(wc);
 
   {
-    const std::uint64_t dl = std::max<std::uint64_t>(interval, lookups / disk_scale);
-    core::ModeEnv env = core::make_env(core::Mode::kCkptDisk, ec);
-    measure("ckpt-disk (scaled)", dl,
-            [&] { mc::run_xs_checkpointed(data, dl, seed, interval, *env.backend); });
+    // Disk: reduced lookup count at the same checkpoint density.
+    mc::McWorkloadConfig dc = wc;
+    dc.lookups = std::max<std::uint64_t>(wc.interval, wc.lookups / disk_scale);
+    mc::McWorkload disk_workload(dc);
+    measure("ckpt-disk (scaled)", disk_workload, core::Mode::kCkptDisk);
   }
 
-  for (core::Mode m : {core::Mode::kCkptNvm, core::Mode::kCkptHetero}) {
-    core::ModeEnv env = core::make_env(m, ec);
-    measure(core::mode_name(m), lookups,
-            [&] { mc::run_xs_checkpointed(data, lookups, seed, interval, *env.backend); });
-  }
-
-  {
-    nvm::PerfModel perf(nvm::PerfConfig{.bandwidth_slowdown = 1.0, .enabled = false});
-    auto heap = std::make_unique<pmemtx::PersistentHeap>(mc::xs_tx_data_bytes(),
-                                                         mc::xs_tx_log_bytes(), perf);
-    measure("pmem-tx", lookups, [&] {
-      heap = std::make_unique<pmemtx::PersistentHeap>(mc::xs_tx_data_bytes(),
-                                                      mc::xs_tx_log_bytes(), perf);
-      mc::run_xs_tx(data, lookups, seed, interval, *heap);
-    });
-  }
-
-  for (core::Mode m : {core::Mode::kAlgNvm, core::Mode::kAlgHetero}) {
-    core::ModeEnv env = core::make_env(m, ec);
-    measure(core::mode_name(m), lookups, [&] {
-      env.region->reset();
-      mc::run_xs_cc_native(data, lookups, seed, interval, *env.region);
-    });
+  for (core::Mode m : {core::Mode::kCkptNvm, core::Mode::kCkptHetero, core::Mode::kPmemTx,
+                       core::Mode::kAlgNvm, core::Mode::kAlgHetero}) {
+    measure(core::mode_name(m), workload, m);
   }
 
   table.print();

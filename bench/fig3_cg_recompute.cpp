@@ -40,14 +40,19 @@ std::vector<linalg::CgClass> parse_classes(const std::string& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options opts(argc, argv);
+  Options opts(argc, argv);
+  opts.doc("classes", "comma-separated NPB classes", "S,W,A,B,C (quick: S,W,A)")
+      .doc("iters", "CG iterations", "15")
+      .doc("crash_iter", "iteration the crash interrupts", "iters")
+      .doc("cache_mb", "simulated LLC size, MB", "8")
+      .doc("quick", "CI-sized run");
+  if (opts.maybe_print_help("fig3_cg_recompute")) return 0;
   const bool quick = opts.get_bool("quick");
   const auto classes =
       parse_classes(opts.get("classes", quick ? "S,W,A" : "S,W,A,B,C"));
-  const std::size_t iters = static_cast<std::size_t>(opts.get_int("iters", 15));
-  const std::size_t crash_iter =
-      static_cast<std::size_t>(opts.get_int("crash_iter", static_cast<std::int64_t>(iters)));
-  const std::size_t cache_mb = static_cast<std::size_t>(opts.get_int("cache_mb", 8));
+  const std::size_t iters = opts.get_size("iters", 15);
+  const std::size_t crash_iter = opts.get_size("crash_iter", iters);
+  const std::size_t cache_mb = opts.get_size("cache_mb", 8);
 
   core::print_banner("Fig. 3",
                      "CG recomputation cost vs input class (crash at line 10 of iteration " +

@@ -10,27 +10,33 @@
 // single-threaded by default to approximate the paper's compute/durability
 // balance (pass --threads=0 for all cores).
 //
-// Flags: --n=1000 --ranks=25,50,125 --reps=2 --disk_mbps=150 --threads=1
-//        --quick (n=500, reps=1)
+// Ported to the ScenarioRunner: one MmWorkload per rank, the scheme sweep is a
+// mode list, and the native(abft) baseline is the same workload in kNative
+// (panel-wise Fig. 5 verification + correction included). Methodology note:
+// Workload::prepare (input encoding, accumulator allocation/zeroing, heap
+// construction) is excluded from the timed region for every scheme including
+// the baseline — only the panel loop + durability are timed.
 #include <omp.h>
 
 #include <cstdio>
 #include <sstream>
 
-#include "abft/abft_gemm.hpp"
-#include "common/options.hpp"
-#include "core/harness.hpp"
-#include "core/modes.hpp"
 #include "core/report.hpp"
-#include "mm/mm_cc.hpp"
-#include "mm/mm_ckpt.hpp"
-#include "mm/mm_tx.hpp"
+#include "core/scenario.hpp"
+#include "mm/mm_workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace adcc;
-  const Options opts(argc, argv);
+  Options opts(argc, argv);
+  opts.doc("n", "matrix dimension", "1000 (quick: 500)")
+      .doc("ranks", "comma-separated panel ranks", "25,50,125 (quick: 25,125)")
+      .doc("reps", "timed repetitions", "2 (quick: 1)")
+      .doc("disk_mbps", "ckpt-disk throttle, MB/s", "150")
+      .doc("threads", "OpenMP threads (0 = all cores)", "1")
+      .doc("quick", "CI-sized run");
+  if (opts.maybe_print_help("fig8_mm_runtime")) return 0;
   const bool quick = opts.get_bool("quick");
-  const std::size_t n = static_cast<std::size_t>(opts.get_int("n", quick ? 500 : 1000));
+  const std::size_t n = opts.get_size("n", quick ? 500 : 1000);
   std::vector<std::size_t> ranks;
   {
     // Paper ranks 200/400/1000 at n=8000 → the same panel counts (40/20/8).
@@ -43,63 +49,43 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(opts.get_int("threads", 1));
   if (threads > 0) omp_set_num_threads(threads);
 
-  linalg::Matrix a(n, n), b(n, n);
-  a.fill_random(3, -1, 1);
-  b.fill_random(4, -1, 1);
-
   core::print_banner("Fig. 8", "ABFT-MM runtime, 7 schemes, n=" + std::to_string(n) +
                                    " (paper: 8000 with ranks x8000/" + std::to_string(n) + ")");
 
   for (const std::size_t rank : ranks) {
     std::printf("\n--- rank k = %zu (%zu panels) ---\n", rank, (n + rank - 1) / rank);
 
-    const double native_s =
-        core::median_seconds([&] { abft::abft_gemm(a, b, rank); }, reps);
+    mm::MmWorkloadConfig wc;
+    wc.n = n;
+    wc.rank_k = rank;
+    mm::MmWorkload workload(wc);
+
+    core::ScenarioConfig base;
+    base.env.disk_throttle_bytes_per_s = disk_mbps * 1e6;
+    base.env.scratch_dir = std::filesystem::temp_directory_path() / "adcc_fig8";
+    auto scenario = [&](core::Mode m, int mode_reps, bool warmup) {
+      core::ScenarioConfig cfg = base;
+      cfg.mode = m;
+      cfg.reps = mode_reps;
+      cfg.warmup = warmup;
+      workload.tune_env(m, cfg.env);
+      return cfg;
+    };
+
+    core::ScenarioConfig native_cfg = scenario(core::Mode::kNative, reps, /*warmup=*/true);
+    const double native_s = core::run_scenario(workload, native_cfg).seconds;
 
     core::Table table({"scheme", "seconds", "normalized", "overhead"});
     table.add_row({"native(abft)", core::Table::fmt(native_s, 4), "1.000", "0.0%"});
-    auto report = [&](const std::string& name, double seconds) {
-      const auto nt = core::normalize(seconds, native_s);
-      table.add_row({name, core::Table::fmt(seconds, 4), core::Table::fmt(nt.normalized, 3),
+    for (core::Mode m : {core::Mode::kCkptDisk, core::Mode::kCkptNvm, core::Mode::kCkptHetero,
+                         core::Mode::kPmemTx, core::Mode::kAlgNvm, core::Mode::kAlgHetero}) {
+      const bool disk = m == core::Mode::kCkptDisk;
+      core::ScenarioConfig cfg = scenario(m, disk ? 1 : reps, /*warmup=*/false);
+      const core::ScenarioResult res = core::run_scenario(workload, cfg);
+      const auto nt = core::normalize(res.seconds, native_s);
+      table.add_row({core::mode_name(m), core::Table::fmt(res.seconds, 4),
+                     core::Table::fmt(nt.normalized, 3),
                      core::Table::fmt(nt.overhead_percent(), 1) + "%"});
-    };
-
-    core::ModeEnvConfig ec;
-    const std::size_t cf_bytes = (n + 1) * (n + 1) * sizeof(double);
-    ec.arena_bytes = 2 * cf_bytes + (16u << 20);
-    ec.slot_bytes = cf_bytes + (1u << 20);
-    ec.disk_throttle_bytes_per_s = disk_mbps * 1e6;
-    ec.scratch_dir = std::filesystem::temp_directory_path() / "adcc_fig8";
-
-    for (core::Mode m : {core::Mode::kCkptDisk, core::Mode::kCkptNvm, core::Mode::kCkptHetero}) {
-      core::ModeEnv env = core::make_env(m, ec);  // Setup excluded from timing.
-      const double s = core::median_seconds(
-          [&] { mm::run_mm_checkpointed(a, b, rank, *env.backend); },
-          m == core::Mode::kCkptDisk ? 1 : reps, /*warmup=*/false);
-      report(core::mode_name(m), s);
-    }
-
-    {
-      nvm::PerfModel perf(nvm::PerfConfig{.bandwidth_slowdown = 1.0, .enabled = false});
-      std::vector<double> times;
-      for (int r = 0; r < reps; ++r) {
-        pmemtx::PersistentHeap heap(mm::mm_tx_data_bytes(n), mm::mm_tx_log_bytes(n), perf);
-        times.push_back(core::time_seconds([&] { mm::run_mm_tx(a, b, rank, heap); }));
-      }
-      report("pmem-tx", median(std::move(times)));
-    }
-
-    for (core::Mode m : {core::Mode::kAlgNvm, core::Mode::kAlgHetero}) {
-      core::ModeEnvConfig aec = ec;
-      aec.arena_bytes = mm::mm_cc_native_arena_bytes(n, rank);
-      core::ModeEnv env = core::make_env(m, aec);
-      std::vector<double> times;
-      for (int r = 0; r < reps; ++r) {
-        env.region->reset();
-        times.push_back(
-            core::time_seconds([&] { mm::run_mm_cc_native(a, b, rank, *env.region); }));
-      }
-      report(core::mode_name(m), median(std::move(times)));
     }
     table.print();
   }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Quick smoke for CI: build, then exercise the full workload x mode cross-
+# product at tiny sizes, crash-free and under two crash plans. Equivalent to
+# `ctest -L smoke` plus a repeated-crash pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)" >/dev/null
+
+./build/adccbench --matrix --quick
+./build/adccbench --matrix --quick --crash=step:2
+./build/adccbench --matrix --quick --crash=repeat:2
+
+echo "smoke OK"

@@ -1,0 +1,332 @@
+#include "cg/cg_workload.hpp"
+
+#include <cmath>
+
+#include "cg/cg_tx.hpp"
+#include "common/align.hpp"
+#include "common/check.hpp"
+#include "linalg/spgen.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::cg {
+
+std::size_t cg_workload_arena_bytes(std::size_t n, std::size_t iters) {
+  // Four history arrays of (iters + 2) rows plus counter/alignment slack —
+  // the fig4 sizing.
+  return (iters + 4) * n * sizeof(double) * 4 + (8u << 20);
+}
+
+CgWorkloadConfig cg_workload_config(const Options& opts) {
+  const bool quick = opts.get_bool("quick");
+  CgWorkloadConfig cfg;
+  cfg.n = opts.get_size("n", quick ? 2000 : 14000);
+  cfg.nz_per_row = opts.get_size("nz", 15);
+  cfg.iters = opts.get_size("iters", quick ? 10 : 15);
+  cfg.matrix_seed = static_cast<std::uint64_t>(opts.get_int("seed", 42));
+  return cfg;
+}
+
+CgWorkload::CgWorkload(const CgWorkloadConfig& cfg)
+    : cfg_(cfg),
+      a_(linalg::make_spd(cfg.n, cfg.nz_per_row, cfg.matrix_seed)),
+      b_(linalg::make_rhs(cfg.n, cfg.rhs_seed)) {
+  ADCC_CHECK(cfg_.iters >= 1, "CG workload needs at least one iteration");
+}
+
+void CgWorkload::tune_env(core::Mode mode, core::ModeEnvConfig& env) const {
+  env.slot_bytes = 4 * cfg_.n * sizeof(double) + (1u << 20);
+  switch (core::durability_kind(mode)) {
+    case core::DurabilityKind::kAlgorithm:
+      env.arena_bytes = cg_workload_arena_bytes(cfg_.n, cfg_.iters);
+      break;
+    case core::DurabilityKind::kCheckpoint:
+      env.arena_bytes = 2 * env.slot_bytes + (8u << 20);  // Two slots + headers.
+      break;
+    default:
+      env.arena_bytes = 1u << 20;  // Native/tx never touch env.region.
+      break;
+  }
+}
+
+void CgWorkload::prepare(core::ModeEnv& env) {
+  env_ = &env;
+  done_ = 0;
+  crashed_done_ = 0;
+  engine_ = core::durability_kind(env.mode);
+
+  switch (engine_) {
+    case core::DurabilityKind::kNone:
+      cg_init(a_, b_, state_);
+      break;
+    case core::DurabilityKind::kCheckpoint: {
+      ADCC_CHECK(env.backend != nullptr, "checkpoint modes need a backend");
+      cg_init(a_, b_, state_);
+      ckpt_scalars_ = {state_.rho, 0};
+      ckpt_ = std::make_unique<checkpoint::CheckpointSet>(*env.backend);
+      ckpt_->add("p", state_.p.data(), state_.p.size() * sizeof(double));
+      ckpt_->add("r", state_.r.data(), state_.r.size() * sizeof(double));
+      ckpt_->add("z", state_.z.data(), state_.z.size() * sizeof(double));
+      ckpt_->add("scalars", &ckpt_scalars_, sizeof(ckpt_scalars_));
+      break;
+    }
+    case core::DurabilityKind::kTransaction: {
+      ADCC_CHECK(env.perf != nullptr, "pmem-tx mode needs a perf model");
+      const std::size_t n = cfg_.n;
+      heap_ = std::make_unique<pmemtx::PersistentHeap>(cg_tx_data_bytes(n),
+                                                       cg_tx_log_bytes(n), *env.perf);
+      tx_p_ = heap_->allocate<double>(n);
+      tx_r_ = heap_->allocate<double>(n);
+      tx_z_ = heap_->allocate<double>(n);
+      tx_scalars_ = heap_->allocate<double>(2);
+      tx_q_.assign(n, 0.0);
+      linalg::copy(b_, tx_p_);
+      linalg::copy(b_, tx_r_);
+      linalg::zero(tx_z_);
+      tx_rho_ = linalg::dot(std::span<const double>(tx_r_), std::span<const double>(tx_r_));
+      tx_scalars_[0] = tx_rho_;
+      tx_scalars_[1] = 0.0;
+      heap_->region().persist(tx_p_.data(), tx_p_.size_bytes());
+      heap_->region().persist(tx_r_.data(), tx_r_.size_bytes());
+      heap_->region().persist(tx_z_.data(), tx_z_.size_bytes());
+      heap_->region().persist(tx_scalars_.data(), tx_scalars_.size_bytes());
+      log_ = std::make_unique<pmemtx::UndoLog>(*heap_);
+      break;
+    }
+    case core::DurabilityKind::kAlgorithm: {
+      ADCC_CHECK(env.region != nullptr, "algorithm modes need an NVM arena");
+      const std::size_t rows = (cfg_.iters + 2) * cfg_.n;
+      hp_ = env.region->allocate<double>(rows);
+      hq_ = env.region->allocate<double>(rows);
+      hr_ = env.region->allocate<double>(rows);
+      hz_ = env.region->allocate<double>(rows);
+      counter_ = env.region->allocate<std::int64_t>(kCacheLine / sizeof(std::int64_t));
+      alg_write_initial_rows();
+      counter_[0] = 0;
+      env.region->persist(counter_.data(), sizeof(std::int64_t));
+      break;
+    }
+  }
+}
+
+void CgWorkload::alg_write_initial_rows() {
+  linalg::copy(b_, row(hp_, 1));
+  linalg::copy(b_, row(hr_, 1));
+  linalg::zero(row(hz_, 1));
+  alg_rho_ = linalg::dot(crow(hr_, 1), crow(hr_, 1));
+}
+
+bool CgWorkload::run_step() {
+  if (done_ >= cfg_.iters) return false;
+  switch (engine_) {
+    case core::DurabilityKind::kNone:
+    case core::DurabilityKind::kCheckpoint:
+      cg_step(a_, state_);
+      break;
+    case core::DurabilityKind::kTransaction: {
+      pmemtx::Transaction tx(*log_);
+      tx.add(tx_p_);
+      tx.add(tx_r_);
+      tx.add(tx_z_);
+      tx.add(tx_scalars_);
+      a_.spmv(tx_p_, tx_q_);
+      const double pq = linalg::dot(std::span<const double>(tx_p_),
+                                    std::span<const double>(tx_q_));
+      ADCC_CHECK(pq > 0, "A is not positive definite along p");
+      const double alpha = tx_rho_ / pq;
+      linalg::axpy(alpha, tx_p_, tx_z_);
+      linalg::axpy(-alpha, tx_q_, tx_r_);
+      const double rho_new =
+          linalg::dot(std::span<const double>(tx_r_), std::span<const double>(tx_r_));
+      const double beta = rho_new / tx_rho_;
+      tx_rho_ = rho_new;
+      linalg::xpay(std::span<const double>(tx_r_), beta, std::span<const double>(tx_p_), tx_p_);
+      tx_scalars_[0] = tx_rho_;
+      tx_scalars_[1] = static_cast<double>(done_ + 1);
+      tx.commit();
+      break;
+    }
+    case core::DurabilityKind::kAlgorithm: {
+      const std::size_t i = done_ + 1;  // 1-based, matching the Fig. 2 rows.
+      a_.spmv(row(hp_, i), row(hq_, i));
+      const double pq = linalg::dot(crow(hp_, i), crow(hq_, i));
+      ADCC_CHECK(pq > 0, "A is not positive definite along p");
+      const double alpha = alg_rho_ / pq;
+      linalg::xpay(crow(hz_, i), alpha, crow(hp_, i), row(hz_, i + 1));
+      linalg::xpay(crow(hr_, i), -alpha, crow(hq_, i), row(hr_, i + 1));
+      const double rho_new = linalg::dot(crow(hr_, i + 1), crow(hr_, i + 1));
+      const double beta = rho_new / alg_rho_;
+      alg_rho_ = rho_new;
+      linalg::xpay(crow(hr_, i + 1), beta, crow(hp_, i), row(hp_, i + 1));
+      break;
+    }
+  }
+  ++done_;
+  return true;
+}
+
+void CgWorkload::make_durable() {
+  switch (engine_) {
+    case core::DurabilityKind::kNone:
+      break;  // Test case 1: no durability mechanism at all.
+    case core::DurabilityKind::kCheckpoint:
+      ckpt_scalars_ = {state_.rho, static_cast<std::uint64_t>(state_.iter)};
+      ckpt_->save();
+      break;
+    case core::DurabilityKind::kTransaction:
+      break;  // The transaction in run_step is the durability action.
+    case core::DurabilityKind::kAlgorithm:
+      // The entire runtime durability cost: one cache line flushed per unit.
+      counter_[0] = static_cast<std::int64_t>(done_);
+      env_->region->persist(counter_.data(), sizeof(std::int64_t));
+      break;
+  }
+}
+
+void CgWorkload::inject_crash() {
+  crashed_done_ = done_;
+  switch (engine_) {
+    case core::DurabilityKind::kNone:
+    case core::DurabilityKind::kCheckpoint:
+      // Everything in CgState is volatile; clobber it so recovery must
+      // genuinely rebuild (native) or restore (ckpt).
+      linalg::zero(state_.p);
+      linalg::zero(state_.q);
+      linalg::zero(state_.r);
+      linalg::zero(state_.z);
+      state_.rho = 0.0;
+      state_.iter = 0;
+      break;
+    case core::DurabilityKind::kTransaction:
+      // The heap survives; the reconstructible q and the cached rho do not.
+      linalg::zero(std::span<double>(tx_q_));
+      tx_rho_ = 0.0;
+      break;
+    case core::DurabilityKind::kAlgorithm:
+      alg_rho_ = 0.0;  // History arrays and counter line are durable.
+      break;
+  }
+}
+
+bool CgWorkload::alg_rows_consistent(std::size_t j) const {
+  const double tol = cfg_.invariant_rel_tol;
+  // Eq. 2: r(j+1) = b − A·z(j+1).
+  std::vector<double> az(cfg_.n);
+  a_.spmv(crow(hz_, j + 1), az);
+  double err2 = 0.0, b2 = 0.0;
+  const auto rj = crow(hr_, j + 1);
+  for (std::size_t t = 0; t < cfg_.n; ++t) {
+    const double d = rj[t] - (b_[t] - az[t]);
+    err2 += d * d;
+    b2 += b_[t] * b_[t];
+  }
+  if (std::sqrt(err2) > tol * std::sqrt(b2)) return false;
+
+  if (j >= 1) {
+    // Eq. 1: p(j+1)ᵀ · q(j) = 0.
+    const auto pj = crow(hp_, j + 1);
+    const auto qj = crow(hq_, j);
+    const double pq = linalg::dot(pj, qj);
+    const double np = linalg::norm2(pj);
+    const double nq = linalg::norm2(qj);
+    if (std::fabs(pq) > tol * (np * nq + 1e-300)) return false;
+    if (np == 0.0) return false;
+  } else {
+    // j = 0: the initialization invariant p₁ = r₁ stands in for Eq. 1.
+    const auto p1 = crow(hp_, 1);
+    double diff2 = 0.0, r2 = 0.0;
+    for (std::size_t t = 0; t < cfg_.n; ++t) {
+      const double d = p1[t] - rj[t];
+      diff2 += d * d;
+      r2 += rj[t] * rj[t];
+    }
+    if (std::sqrt(diff2) > tol * (std::sqrt(r2) + 1e-300)) return false;
+  }
+  return true;
+}
+
+core::WorkloadRecovery CgWorkload::recover() {
+  core::WorkloadRecovery rec;
+  switch (engine_) {
+    case core::DurabilityKind::kNone:
+      cg_init(a_, b_, state_);
+      done_ = 0;
+      break;
+    case core::DurabilityKind::kCheckpoint: {
+      if (ckpt_->restore() != 0) {
+        state_.rho = ckpt_scalars_.rho;
+        state_.iter = static_cast<std::size_t>(ckpt_scalars_.iter);
+        // q is reconstructed by the next cg_step; p was checkpointed so the
+        // step sequence continues exactly.
+        done_ = state_.iter;
+      } else {
+        cg_init(a_, b_, state_);
+        done_ = 0;
+      }
+      break;
+    }
+    case core::DurabilityKind::kTransaction: {
+      log_->recover();  // Rolls back an uncommitted transaction, if any.
+      tx_rho_ = tx_scalars_[0];
+      done_ = static_cast<std::size_t>(tx_scalars_[1]);
+      break;
+    }
+    case core::DurabilityKind::kAlgorithm: {
+      // Scan j = durable counter … 0 for the first row pair passing the
+      // Eq. 1/2 invariants; restart from iteration j + 1 (Fig. 2 recovery).
+      const auto durable = static_cast<std::size_t>(counter_[0]);
+      bool found = false;
+      for (std::size_t j = durable;; --j) {
+        ++rec.candidates_checked;
+        if (alg_rows_consistent(j)) {
+          done_ = j;
+          found = true;
+          break;
+        }
+        if (j == 0) break;
+      }
+      if (!found) {
+        alg_write_initial_rows();
+        done_ = 0;
+      } else {
+        alg_rho_ = linalg::dot(crow(hr_, done_ + 1), crow(hr_, done_ + 1));
+      }
+      break;
+    }
+  }
+  rec.restart_unit = done_ + 1;
+  rec.units_lost = crashed_done_ - done_;
+  return rec;
+}
+
+std::vector<double> CgWorkload::solution() const {
+  switch (engine_) {
+    case core::DurabilityKind::kNone:
+    case core::DurabilityKind::kCheckpoint:
+      return state_.z;
+    case core::DurabilityKind::kTransaction:
+      return {tx_z_.begin(), tx_z_.end()};
+    case core::DurabilityKind::kAlgorithm: {
+      const auto z = crow(hz_, done_ + 1);
+      return {z.begin(), z.end()};
+    }
+  }
+  ADCC_CHECK(false, "unknown engine");
+}
+
+bool CgWorkload::verify() {
+  ADCC_CHECK(done_ == cfg_.iters, "verify requires a completed run");
+  if (!reference_) reference_ = cg_solve(a_, b_, cfg_.iters);
+  const std::vector<double> x = solution();
+  const double err = linalg::max_abs_diff(x, reference_->x);
+  double scale = 1.0;
+  for (const double v : reference_->x) scale = std::max(scale, std::fabs(v));
+  return err <= cfg_.verify_rel_tol * scale;
+}
+
+ADCC_REGISTER_WORKLOAD(
+    "cg", "NPB-style sparse CG solver (paper SIII-B, Figs. 2-4)",
+    [](const Options& opts) -> std::unique_ptr<core::Workload> {
+      return std::make_unique<CgWorkload>(cg_workload_config(opts));
+    });
+
+}  // namespace adcc::cg

@@ -1,10 +1,36 @@
 #include "common/options.hpp"
 
-#include <string_view>
+#include <charconv>
+#include <cstdio>
+#include <sstream>
 
 #include "common/check.hpp"
 
 namespace adcc {
+
+std::optional<std::size_t> parse_size(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc()) return std::nullopt;
+  std::string_view suffix(ptr, static_cast<std::size_t>(text.data() + text.size() - ptr));
+  if (!suffix.empty() && (suffix.back() == 'b' || suffix.back() == 'B')) {
+    suffix.remove_suffix(1);
+    if (suffix.empty()) return value;  // "123B" — plain bytes.
+  }
+  if (suffix.empty()) return value;
+  if (suffix.size() != 1) return std::nullopt;
+  int shift = 0;
+  switch (suffix.front()) {
+    case 'k': case 'K': shift = 10; break;
+    case 'm': case 'M': shift = 20; break;
+    case 'g': case 'G': shift = 30; break;
+    case 't': case 'T': shift = 40; break;
+    default: return std::nullopt;
+  }
+  if (value != 0 && (value >> (64 - shift)) != 0) return std::nullopt;  // Overflow.
+  return static_cast<std::size_t>(value << shift);
+}
 
 Options::Options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -40,7 +66,41 @@ double Options::get_double(const std::string& key, double fallback) const {
 bool Options::get_bool(const std::string& key, bool fallback) const {
   auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
-  return it->second != "0" && it->second != "false";
+  const std::string& v = it->second;
+  return v != "0" && v != "false" && v != "off" && v != "no";
+}
+
+std::size_t Options::get_size(const std::string& key, std::size_t fallback) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const auto parsed = parse_size(it->second);
+  ADCC_CHECK(parsed.has_value(), "malformed size value (expected e.g. 64M, 1G, 4096)");
+  return *parsed;
+}
+
+Options& Options::doc(std::string key, std::string help, std::string fallback) {
+  docs_.push_back({std::move(key), std::move(help), std::move(fallback)});
+  return *this;
+}
+
+std::string Options::help_text(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [--key=value ...]\n";
+  std::size_t width = 4;  // "help"
+  for (const auto& d : docs_) width = std::max(width, d.key.size());
+  for (const auto& d : docs_) {
+    out << "  --" << d.key << std::string(width - d.key.size() + 2, ' ') << d.help;
+    if (!d.fallback.empty()) out << " (default: " << d.fallback << ")";
+    out << "\n";
+  }
+  out << "  --help" << std::string(width - 2, ' ') << "show this message\n";
+  return out.str();
+}
+
+bool Options::maybe_print_help(const std::string& program) const {
+  if (!has("help")) return false;
+  std::fputs(help_text(program).c_str(), stdout);
+  return true;
 }
 
 }  // namespace adcc

@@ -2,13 +2,24 @@
 //
 // Syntax: --key=value or --flag. Unrecognized positional arguments are an
 // error; benchmarks opt into a "quick" mode via --quick for CI runs.
+//
+// Binaries document their keys with doc() once after parsing; --help output is
+// then generated from the registered keys (maybe_print_help), so the flag list
+// printed to the user and the flag list the code reads cannot drift apart.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace adcc {
+
+/// Parses "64M", "1G", "4k", "123" into bytes (binary suffixes K/M/G/T,
+/// case-insensitive, optional trailing 'b'/'B'). nullopt on malformed input.
+std::optional<std::size_t> parse_size(std::string_view text);
 
 class Options {
  public:
@@ -20,10 +31,29 @@ class Options {
   std::string get(const std::string& key, const std::string& fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
+  /// "0", "false", "off" and "no" are falsey; any other value is true.
   bool get_bool(const std::string& key, bool fallback = false) const;
 
+  /// Size in bytes (or any count) with K/M/G/T suffix support: --arena=64M.
+  /// Throws ContractViolation on malformed values.
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+
+  /// Registers a key for the generated --help output. Chainable.
+  Options& doc(std::string key, std::string help, std::string fallback = "");
+
+  /// The generated --help text for the doc()'d keys.
+  std::string help_text(const std::string& program) const;
+
+  /// When --help was passed: prints help_text to stdout and returns true (the
+  /// caller should exit 0).
+  bool maybe_print_help(const std::string& program) const;
+
  private:
+  struct Doc {
+    std::string key, help, fallback;
+  };
   std::map<std::string, std::string> kv_;
+  std::vector<Doc> docs_;
 };
 
 }  // namespace adcc

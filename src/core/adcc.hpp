@@ -11,7 +11,14 @@
 //   adcc::cg         — CG variants, incl. the Fig. 2 crash-consistent solver
 //   adcc::mm         — ABFT-MM variants, incl. the Fig. 6 two-loop algorithm
 //   adcc::mc         — XSBench-equivalent MC, incl. selective flushing
-//   adcc::core       — the seven evaluation modes, harness, reporting
+//   adcc::core       — the seven evaluation modes, harness, reporting, and the
+//                      Workload/Scenario layer: core::Workload (polymorphic
+//                      workload interface), core::WorkloadRegistry (name →
+//                      factory, self-registering), core::ScenarioRunner
+//                      (workload × mode × CrashScenario driver behind the
+//                      `adccbench` CLI). Workload adapters live next to their
+//                      algorithms: cg::CgWorkload, mm::MmWorkload,
+//                      mc::McWorkload.
 #pragma once
 
 #include "abft/abft_gemm.hpp"
@@ -21,6 +28,7 @@
 #include "cg/cg_ckpt.hpp"
 #include "cg/cg_online_abft.hpp"
 #include "cg/cg_tx.hpp"
+#include "cg/cg_workload.hpp"
 #include "checkpoint/backend.hpp"
 #include "checkpoint/checkpoint_set.hpp"
 #include "checkpoint/file_backend.hpp"
@@ -35,13 +43,17 @@
 #include "common/timer.hpp"
 #include "core/harness.hpp"
 #include "core/modes.hpp"
+#include "core/registry.hpp"
 #include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/workload.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/gemm.hpp"
 #include "linalg/spgen.hpp"
 #include "linalg/vec_ops.hpp"
 #include "mc/mc_ckpt.hpp"
+#include "mc/mc_workload.hpp"
 #include "mc/tally.hpp"
 #include "mc/xs_cc.hpp"
 #include "mc/xs_data.hpp"
@@ -53,6 +65,7 @@
 #include "mm/mm_cc.hpp"
 #include "mm/mm_ckpt.hpp"
 #include "mm/mm_tx.hpp"
+#include "mm/mm_workload.hpp"
 #include "nvm/dram_cache.hpp"
 #include "nvm/epoch.hpp"
 #include "nvm/flush.hpp"

@@ -25,11 +25,41 @@ std::vector<Mode> all_modes() {
           Mode::kPmemTx,     Mode::kAlgNvm,   Mode::kAlgHetero};
 }
 
+std::optional<Mode> parse_mode(std::string_view name) {
+  std::string key(name);
+  for (char& c : key) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c == '_') c = '-';
+  }
+  for (Mode m : all_modes()) {
+    if (key == mode_name(m)) return m;
+  }
+  if (key == "ckpt-hetero" || key == "ckpt-dram") return Mode::kCkptHetero;
+  if (key == "alg-hetero" || key == "alg-dram") return Mode::kAlgHetero;
+  if (key == "alg" || key == "adcc") return Mode::kAlgNvm;
+  if (key == "ckpt" || key == "checkpoint") return Mode::kCkptNvm;
+  if (key == "tx" || key == "pmem") return Mode::kPmemTx;
+  return std::nullopt;
+}
+
 bool is_checkpoint_mode(Mode m) {
   return m == Mode::kCkptDisk || m == Mode::kCkptNvm || m == Mode::kCkptHetero;
 }
 
 bool is_algorithm_mode(Mode m) { return m == Mode::kAlgNvm || m == Mode::kAlgHetero; }
+
+DurabilityKind durability_kind(Mode m) {
+  switch (m) {
+    case Mode::kNative: return DurabilityKind::kNone;
+    case Mode::kCkptDisk:
+    case Mode::kCkptNvm:
+    case Mode::kCkptHetero: return DurabilityKind::kCheckpoint;
+    case Mode::kPmemTx: return DurabilityKind::kTransaction;
+    case Mode::kAlgNvm:
+    case Mode::kAlgHetero: return DurabilityKind::kAlgorithm;
+  }
+  ADCC_CHECK(false, "unknown mode");
+}
 
 ModeEnv make_env(Mode mode, const ModeEnvConfig& cfg) {
   ModeEnv env;

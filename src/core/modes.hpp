@@ -13,7 +13,9 @@
 
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "checkpoint/backend.hpp"
@@ -35,8 +37,19 @@ enum class Mode {
 std::string mode_name(Mode m);
 std::vector<Mode> all_modes();
 
+/// Inverse of mode_name: round-trips every all_modes() spelling and accepts
+/// forgiving variants (case-insensitive, '_' for '-', "ckpt-hetero" /
+/// "alg-hetero" for the "...-nvm/dram" names). nullopt on unknown names.
+std::optional<Mode> parse_mode(std::string_view name);
+
 bool is_checkpoint_mode(Mode m);
 bool is_algorithm_mode(Mode m);
+
+/// The four durability-mechanism families behind the seven modes; workload
+/// adapters dispatch their per-mode engines on this instead of re-mapping the
+/// Mode enum themselves.
+enum class DurabilityKind { kNone, kCheckpoint, kTransaction, kAlgorithm };
+DurabilityKind durability_kind(Mode m);
 
 struct ModeEnvConfig {
   std::size_t arena_bytes = 64u << 20;   ///< NVM arena capacity.

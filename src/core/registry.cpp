@@ -1,0 +1,59 @@
+#include "core/registry.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace adcc::core {
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::add(std::string name, std::string description, WorkloadFactory factory) {
+  ADCC_CHECK(!name.empty(), "workload name must be non-empty");
+  ADCC_CHECK(factory != nullptr, "workload factory must be callable");
+  const auto [it, inserted] =
+      entries_.emplace(std::move(name), Entry{std::move(description), std::move(factory)});
+  ADCC_CHECK(inserted, "duplicate workload registration");
+  (void)it;
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  return entries_.contains(name);
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted.
+}
+
+const std::string& WorkloadRegistry::description(const std::string& name) const {
+  const auto it = entries_.find(name);
+  ADCC_CHECK(it != entries_.end(), "unknown workload");
+  return it->second.description;
+}
+
+std::unique_ptr<Workload> WorkloadRegistry::create(const std::string& name,
+                                                   const Options& opts) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::ostringstream msg;
+    msg << "unknown workload '" << name << "'; registered:";
+    for (const auto& n : names()) msg << " " << n;
+    throw ContractViolation(msg.str());
+  }
+  std::unique_ptr<Workload> w = it->second.factory(opts);
+  ADCC_CHECK(w != nullptr, "workload factory returned null");
+  return w;
+}
+
+WorkloadRegistrar::WorkloadRegistrar(std::string name, std::string description,
+                                     WorkloadFactory factory) {
+  WorkloadRegistry::instance().add(std::move(name), std::move(description), std::move(factory));
+}
+
+}  // namespace adcc::core

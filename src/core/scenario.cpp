@@ -1,0 +1,198 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace adcc::core {
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<CrashScenario> parse_crash(std::string_view spec) {
+  CrashScenario c;
+  if (spec.empty() || spec == "none") return c;
+  const auto colon = spec.find(':');
+  const std::string_view head = spec.substr(0, colon);
+  const std::string_view arg =
+      colon == std::string_view::npos ? std::string_view() : spec.substr(colon + 1);
+  if (head == "step") {
+    const auto k = parse_u64(arg);
+    if (!k || *k == 0) return std::nullopt;
+    c.kind = CrashScenario::Kind::kAtStep;
+    c.step = static_cast<std::size_t>(*k);
+    return c;
+  }
+  if (head == "random") {
+    c.kind = CrashScenario::Kind::kRandom;
+    if (colon != std::string_view::npos) {
+      const auto s = parse_u64(arg);
+      if (!s) return std::nullopt;
+      c.seed = *s;
+    }
+    return c;
+  }
+  if (head == "repeat") {
+    const auto n = parse_u64(arg);
+    if (!n || *n == 0) return std::nullopt;
+    c.kind = CrashScenario::Kind::kRepeated;
+    c.count = static_cast<std::size_t>(*n);
+    return c;
+  }
+  return std::nullopt;
+}
+
+std::string crash_name(const CrashScenario& crash) {
+  switch (crash.kind) {
+    case CrashScenario::Kind::kNone: return "none";
+    case CrashScenario::Kind::kAtStep: return "step:" + std::to_string(crash.step);
+    case CrashScenario::Kind::kRandom: return "random:" + std::to_string(crash.seed);
+    case CrashScenario::Kind::kRepeated: return "repeat:" + std::to_string(crash.count);
+  }
+  ADCC_CHECK(false, "unknown crash kind");
+}
+
+std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t work_units) {
+  std::vector<std::size_t> out;
+  if (work_units == 0) return out;
+  switch (crash.kind) {
+    case CrashScenario::Kind::kNone:
+      break;
+    case CrashScenario::Kind::kAtStep:
+      out.push_back(std::clamp<std::size_t>(crash.step, 1, work_units));
+      break;
+    case CrashScenario::Kind::kRandom:
+      out.push_back(static_cast<std::size_t>(splitmix64(crash.seed) % work_units) + 1);
+      break;
+    case CrashScenario::Kind::kRepeated: {
+      // Evenly spaced boundaries, strictly increasing (tiny runs may yield
+      // fewer crashes than requested).
+      for (std::size_t i = 1; i <= crash.count; ++i) {
+        const std::size_t unit =
+            std::max<std::size_t>(1, work_units * i / (crash.count + 1));
+        if (out.empty() || unit > out.back()) out.push_back(unit);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+ScenarioRunner::ScenarioRunner(Workload& workload, ScenarioConfig cfg)
+    : workload_(workload), cfg_(cfg) {
+  ADCC_CHECK(cfg_.reps >= 1, "need at least one repetition");
+}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+void ScenarioRunner::ensure_env() {
+  const bool crashing = cfg_.crash.kind != CrashScenario::Kind::kNone;
+  if (env_ && !crashing) {
+    // Crash-free repetitions reuse one substrate; rewinding the arena avoids
+    // paying its zero-fill again (the fig benches' region->reset() idiom).
+    if (env_->region) env_->region->reset();
+    return;
+  }
+  // Crash repetitions rebuild the substrate so stale checkpoints / undo logs
+  // from the previous repetition cannot be restored by mistake.
+  env_ = std::make_unique<ModeEnv>(make_env(cfg_.mode, cfg_.env));
+}
+
+double ScenarioRunner::run_once(ScenarioResult& result) {
+  ensure_env();
+  workload_.prepare(*env_);
+  const std::size_t units = workload_.work_units();
+  const std::vector<std::size_t> targets = crash_units(cfg_.crash, units);
+  std::size_t next_target = 0;
+
+  result.work_units = units;
+  result.crashes = 0;
+  result.crash_unit = 0;
+  result.restart_unit = 0;
+  result.recomputation = {};
+
+  double first_crash_elapsed = 0.0;
+  std::size_t first_crash_unit = 0;
+
+  Timer total;
+  while (workload_.run_step()) {
+    workload_.make_durable();
+    if (next_target >= targets.size() || workload_.units_done() < targets[next_target]) {
+      continue;
+    }
+    ++next_target;
+    const std::size_t crash_unit = workload_.units_done();
+    if (result.crashes == 0) {
+      first_crash_elapsed = total.elapsed();
+      first_crash_unit = crash_unit;
+    }
+    workload_.inject_crash();
+
+    Timer detect;
+    const WorkloadRecovery rec = workload_.recover();
+    result.recomputation.detect_seconds += detect.elapsed();
+    ADCC_CHECK(rec.restart_unit >= 1 && rec.restart_unit <= crash_unit + 1,
+               "workload recovery restarted outside [1, crash_unit + 1]");
+    ADCC_CHECK(rec.units_lost == crash_unit + 1 - rec.restart_unit,
+               "workload recovery units_lost inconsistent with restart_unit");
+    ADCC_CHECK(workload_.units_done() + 1 == rec.restart_unit,
+               "workload cursor does not match reported restart_unit");
+
+    // Resume: re-execute the destroyed units (targets are strictly increasing,
+    // so no target re-fires below crash_unit).
+    Timer resume;
+    while (workload_.units_done() < crash_unit && workload_.run_step()) {
+      workload_.make_durable();
+    }
+    result.recomputation.resume_seconds += resume.elapsed();
+    result.recomputation.units_lost += rec.units_lost;
+    ++result.crashes;
+    result.crash_unit = crash_unit;
+    result.restart_unit = rec.restart_unit;
+  }
+  const double elapsed = total.elapsed();
+  if (first_crash_unit > 0) {
+    result.recomputation.unit_seconds =
+        first_crash_elapsed / static_cast<double>(first_crash_unit);
+  }
+  ADCC_CHECK(workload_.units_done() == units, "run finished short of work_units");
+  return elapsed;
+}
+
+ScenarioResult ScenarioRunner::run() {
+  ScenarioResult result;
+  result.mode = cfg_.mode;
+  result.crash = cfg_.crash;
+  if (cfg_.warmup) {
+    ScenarioResult discard = result;
+    run_once(discard);
+  }
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(cfg_.reps));
+  for (int r = 0; r < cfg_.reps; ++r) times.push_back(run_once(result));
+  result.seconds = median(std::move(times));
+  result.time = normalize(result.seconds, cfg_.native_seconds);
+  if (cfg_.verify) {
+    result.verify_ran = true;
+    result.verified = workload_.verify();
+  }
+  return result;
+}
+
+ScenarioResult run_scenario(Workload& workload, const ScenarioConfig& cfg) {
+  return ScenarioRunner(workload, cfg).run();
+}
+
+}  // namespace adcc::core

@@ -1,0 +1,101 @@
+// CrashScenario + ScenarioRunner — the declarative composition layer.
+//
+// A scenario is (workload, mode, crash plan, repetitions). The runner owns the
+// driver loop every bench binary used to hand-roll: build the mode substrate
+// (untimed), prepare the workload, execute work units with their per-unit
+// durability action, fire crashes at the planned unit boundaries, time the
+// recovery (detect) and re-execution (resume) phases separately, and fold the
+// measurements into the existing NormalizedTime / RecomputationBreakdown
+// reporting structures.
+//
+// Crash plans (CLI spellings accepted by parse_crash):
+//   none          — no crash
+//   step:K        — one crash after work unit K completes (clamped to the run)
+//   random[:SEED] — one crash at a seed-chosen unit boundary
+//   repeat:N      — N crashes at evenly spaced unit boundaries
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "core/modes.hpp"
+#include "core/workload.hpp"
+
+namespace adcc::core {
+
+struct CrashScenario {
+  enum class Kind { kNone, kAtStep, kRandom, kRepeated };
+  Kind kind = Kind::kNone;
+  std::size_t step = 0;      ///< kAtStep: crash after this many completed units.
+  std::uint64_t seed = 1;    ///< kRandom: picks the crash unit.
+  std::size_t count = 1;     ///< kRepeated: number of crashes.
+};
+
+/// Parses the CLI spelling; nullopt on malformed input.
+std::optional<CrashScenario> parse_crash(std::string_view spec);
+
+/// Canonical spelling, round-tripping through parse_crash.
+std::string crash_name(const CrashScenario& crash);
+
+/// The unit boundaries (completed-unit counts, 1-based) at which `crash` fires
+/// for a run of `work_units` units, in firing order. Empty for kNone.
+std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t work_units);
+
+struct ScenarioConfig {
+  Mode mode = Mode::kNative;
+  CrashScenario crash;
+  ModeEnvConfig env;           ///< Substrate sizing (workload-tuned by callers).
+  int reps = 1;                ///< Timed repetitions; seconds is their median.
+  bool warmup = false;         ///< One discarded repetition first.
+  double native_seconds = 0.0; ///< Baseline for NormalizedTime (0 = none).
+  bool verify = false;         ///< Run Workload::verify after the last rep.
+};
+
+struct ScenarioResult {
+  Mode mode = Mode::kNative;
+  CrashScenario crash;
+  double seconds = 0.0;     ///< Median wall time of one full run (incl. recovery).
+  NormalizedTime time;      ///< vs cfg.native_seconds when provided.
+  /// Last repetition's recovery accounting (all-zero for crash-free runs):
+  /// detect = recover() time, resume = re-execution of lost units, unit =
+  /// mean pre-crash unit time, units_lost summed over all crashes.
+  RecomputationBreakdown recomputation;
+  std::size_t work_units = 0;
+  std::size_t crashes = 0;       ///< Crashes fired in the last repetition.
+  std::size_t crash_unit = 0;    ///< Last crash: completed units when it hit.
+  std::size_t restart_unit = 0;  ///< Last crash: first re-executed unit.
+  bool verify_ran = false;
+  bool verified = false;
+};
+
+class ScenarioRunner {
+ public:
+  /// The workload must outlive the runner. Its problem instance is fixed;
+  /// prepare() re-initializes run state each repetition.
+  ScenarioRunner(Workload& workload, ScenarioConfig cfg);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Executes cfg.reps repetitions (plus warmup) and aggregates. May be called
+  /// again for more repetitions (fig13-style interleaved baselines).
+  ScenarioResult run();
+
+ private:
+  double run_once(ScenarioResult& result);
+  void ensure_env();
+
+  Workload& workload_;
+  ScenarioConfig cfg_;
+  std::unique_ptr<ModeEnv> env_;
+};
+
+/// Convenience: run a scenario over `workload` with `cfg` once-off.
+ScenarioResult run_scenario(Workload& workload, const ScenarioConfig& cfg);
+
+}  // namespace adcc::core

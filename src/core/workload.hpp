@@ -1,0 +1,88 @@
+// Workload — the polymorphic unit the ScenarioRunner composes with a Mode and
+// a CrashScenario.
+//
+// A workload is a fixed problem instance (matrix, XS data set, ...) that can be
+// (re)run any number of times. One run is a sequence of *work units* — the
+// durable-progress granule of the paper's evaluation: a CG iteration, an ABFT
+// submatrix multiplication/addition, an XSBench flush interval. The runner
+// drives the protocol
+//
+//     prepare(env);                          // bind state to the mode substrate
+//     while (run_step()) make_durable();     // one unit + its durability action
+//     ... inject_crash(); recover(); ...     // crash scenarios only
+//     verify();
+//
+// so that every workload x mode x crash combination shares one driver loop
+// instead of a hand-written benchmark binary per figure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/modes.hpp"
+
+namespace adcc::core {
+
+/// What recover() reports after a crash: where execution restarts and how much
+/// completed work the crash destroyed. Units are 1-based; restart_unit is the
+/// first unit that must be (re-)executed, so `restart_unit <= crash_unit + 1`
+/// and `units_lost == crash_unit + 1 - restart_unit` always hold (a crash
+/// after unit k with nothing lost restarts at k + 1).
+struct WorkloadRecovery {
+  std::size_t restart_unit = 1;        ///< First unit to (re-)execute (1-based).
+  std::size_t units_lost = 0;          ///< Completed units the crash destroyed.
+  std::size_t candidates_checked = 0;  ///< Detection probes (invariant scans).
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Registry name ("cg", "mm", "mc", ...).
+  virtual std::string name() const = 0;
+
+  /// Total work units of one run in the prepared mode (the unit granularity
+  /// may legitimately differ per mode: the algorithm-directed MM run has
+  /// loop-2 addition units the checkpointed run does not).
+  virtual std::size_t work_units() const = 0;
+
+  /// Units completed so far in the current run.
+  virtual std::size_t units_done() const = 0;
+
+  /// (Re)initializes run state against `env`, which must outlive the run.
+  /// Called once per repetition; allocates from env.region / the mode's
+  /// substrate and resets all progress. Untimed (substrate setup is excluded
+  /// from the measured region, as in the fig benches).
+  virtual void prepare(ModeEnv& env) = 0;
+
+  /// Executes the next work unit. Returns false (doing nothing) once all
+  /// units are complete.
+  virtual bool run_step() = 0;
+
+  /// The prepared mode's durability action for the last completed unit:
+  /// nothing (native), CheckpointSet::save, transaction commit, or the
+  /// algorithm-directed checksum/counter-line flush.
+  virtual void make_durable() = 0;
+
+  /// Emulates a power failure at a unit boundary: discards every volatile
+  /// structure, leaving only the mode's durable image.
+  virtual void inject_crash() = 0;
+
+  /// Detects the restart point from the durable image, reloads state, and
+  /// rewinds the unit cursor so run_step() re-executes the lost units.
+  virtual WorkloadRecovery recover() = 0;
+
+  /// Checks the final answer against an independent reference (exact reference
+  /// solve / reference product / no-crash tally). Valid once units_done() ==
+  /// work_units().
+  virtual bool verify() = 0;
+
+  /// Lets the workload size the mode substrate (arena/slot bytes) for its
+  /// problem instance before the runner calls make_env.
+  virtual void tune_env(Mode mode, ModeEnvConfig& cfg) const {
+    (void)mode;
+    (void)cfg;
+  }
+};
+
+}  // namespace adcc::core

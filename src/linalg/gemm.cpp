@@ -5,15 +5,14 @@
 namespace adcc::linalg {
 
 void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
-                Matrix& c, bool accumulate) {
+                double* c, bool accumulate) {
   ADCC_CHECK(ac0 + k <= a.cols(), "panel exceeds A columns");
   ADCC_CHECK(br0 + k <= b.rows(), "panel exceeds B rows");
-  ADCC_CHECK(c.rows() == a.rows() && c.cols() == b.cols(), "C shape mismatch");
   const std::size_t m = a.rows();
   const std::size_t n = b.cols();
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c.row(i).data();
+    double* ci = c + i * n;
     if (!accumulate) {
       for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
     }
@@ -23,6 +22,12 @@ void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b
       for (std::size_t j = 0; j < n; ++j) ci[j] += aik * brow[j];
     }
   }
+}
+
+void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
+                Matrix& c, bool accumulate) {
+  ADCC_CHECK(c.rows() == a.rows() && c.cols() == b.cols(), "C shape mismatch");
+  gemm_panel(a, ac0, k, b, br0, c.data(), accumulate);
 }
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {

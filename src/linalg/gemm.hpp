@@ -18,6 +18,11 @@ void gemm(const Matrix& a, const Matrix& b, Matrix& c);
 void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
                 Matrix& c, bool accumulate);
 
+/// Same kernel for a raw row-major a.rows()×b.cols() output buffer (NVM-arena
+/// and persistent-heap accumulators that are not Matrix objects).
+void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
+                double* c, bool accumulate);
+
 /// Reference triple-loop product for validation (no blocking, no OpenMP).
 void gemm_reference(const Matrix& a, const Matrix& b, Matrix& c);
 

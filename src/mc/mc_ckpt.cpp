@@ -1,10 +1,25 @@
 #include "mc/mc_ckpt.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
 
 namespace adcc::mc {
+
+void run_xs_range(const XsDataHost& data, const CounterRng& rng, std::uint64_t begin,
+                  std::uint64_t end, double* macro, std::uint64_t* counters,
+                  std::uint64_t* index) {
+  for (std::uint64_t i = begin; i < end; ++i) {
+    *index = i;
+    const LookupSample s = sample_lookup(rng, i, data);
+    double local[kChannels];
+    macro_lookup(data, s.energy, s.material, local);
+    for (int c = 0; c < kChannels; ++c) macro[c] += local[c];
+    const int type = tally_select(macro, rng.uniform(i, /*lane=*/2));
+    counters[static_cast<std::size_t>(type)] += 1;
+  }
+}
 
 namespace {
 
@@ -15,15 +30,11 @@ Tally run_kernel(const XsDataHost& data, std::uint64_t lookups, std::uint64_t se
                  std::uint64_t interval, double* macro, std::uint64_t* counters,
                  std::uint64_t* index, Boundary&& on_boundary) {
   const CounterRng rng(seed);
-  for (std::uint64_t i = 0; i < lookups; ++i) {
-    *index = i;
-    const LookupSample s = sample_lookup(rng, i, data);
-    double local[kChannels];
-    macro_lookup(data, s.energy, s.material, local);
-    for (int c = 0; c < kChannels; ++c) macro[c] += local[c];
-    const int type = tally_select(macro, rng.uniform(i, /*lane=*/2));
-    counters[static_cast<std::size_t>(type)] += 1;
-    if (interval != 0 && (i + 1) % interval == 0) on_boundary(i);
+  const std::uint64_t stride = interval == 0 ? lookups : interval;
+  for (std::uint64_t i = 0; i < lookups; i += stride) {
+    const std::uint64_t end = std::min(lookups, i + stride);
+    run_xs_range(data, rng, i, end, macro, counters, index);
+    if (interval != 0 && end % interval == 0) on_boundary(end - 1);
   }
   Tally t;
   for (int c = 0; c < kChannels; ++c) t.counts[static_cast<std::size_t>(c)] = counters[c];

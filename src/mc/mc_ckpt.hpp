@@ -22,6 +22,14 @@ struct XsRunResult {
   std::uint64_t durability_events = 0;  ///< Checkpoints / transactions / flush batches.
 };
 
+/// Shared inner kernel: executes lookups [begin, end) of stream `rng`,
+/// accumulating into macro[kChannels] / counters[kChannels] and recording the
+/// current lookup in *index. All runners (and the mc workload adapter) drive
+/// this one loop, so their per-lookup work is identical by construction.
+void run_xs_range(const XsDataHost& data, const CounterRng& rng, std::uint64_t begin,
+                  std::uint64_t end, double* macro, std::uint64_t* counters,
+                  std::uint64_t* index);
+
 XsRunResult run_xs_native(const XsDataHost& data, std::uint64_t lookups, std::uint64_t seed);
 
 XsRunResult run_xs_checkpointed(const XsDataHost& data, std::uint64_t lookups, std::uint64_t seed,

@@ -1,0 +1,95 @@
+// ABFT matrix multiplication as a core::Workload.
+//
+// Work units are mode-dependent, matching the paper's durability granules:
+//   native/ckpt/tx — one submatrix multiplication (rank-k panel) per unit;
+//                    native replicates Fig. 5 (checksum verification at the
+//                    top of every panel), the fig8 baseline.
+//   alg-*          — Fig. 6's two loops: `panels` multiplication units with
+//                    checksum-line flushes, then `blocks` addition units with
+//                    row-checksum flushes; the progress-counter line is the
+//                    per-unit flush.
+// Algorithm-mode recovery re-validates the checksums of every completed
+// temporal matrix from the durable image (the paper's consistent/lost
+// classification) instead of trusting the counter alone.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "abft/abft_gemm.hpp"
+#include "checkpoint/checkpoint_set.hpp"
+#include "common/options.hpp"
+#include "core/registry.hpp"
+#include "core/workload.hpp"
+#include "pmemtx/tx.hpp"
+
+namespace adcc::mm {
+
+struct MmWorkloadConfig {
+  std::size_t n = 500;            ///< Square matrix dimension (fig8 --quick).
+  std::size_t rank_k = 50;        ///< Panel width.
+  std::uint64_t seed_a = 3;
+  std::uint64_t seed_b = 4;
+  abft::ChecksumTolerance tol;
+  double verify_rel_tol = 1e-8;
+};
+
+MmWorkloadConfig mm_workload_config(const Options& opts);
+
+class MmWorkload final : public core::Workload {
+ public:
+  explicit MmWorkload(const MmWorkloadConfig& cfg);
+
+  std::string name() const override { return "mm"; }
+  std::size_t work_units() const override;
+  std::size_t units_done() const override { return done_; }
+  void prepare(core::ModeEnv& env) override;
+  bool run_step() override;
+  void make_durable() override;
+  void inject_crash() override;
+  core::WorkloadRecovery recover() override;
+  bool verify() override;
+  void tune_env(core::Mode mode, core::ModeEnvConfig& cfg) const override;
+
+  std::size_t num_panels() const { return panels_; }
+
+  /// The n×n product (checksums stripped); valid once the run completed.
+  linalg::Matrix result() const;
+
+ private:
+  void multiply_panel_into(std::size_t s, double* out, bool accumulate) const;
+  bool alg_temporal_consistent(std::size_t s) const;
+  void alg_add_block(std::size_t blk);
+
+  MmWorkloadConfig cfg_;
+  std::size_t nc_ = 0;      ///< n + 1 (checksum dimension).
+  std::size_t panels_ = 0;  ///< ceil(n / rank_k).
+  std::size_t blocks_ = 0;  ///< ceil(nc / rank_k), alg loop 2.
+  linalg::Matrix ac_, br_;  ///< Encoded inputs (immutable).
+  std::optional<linalg::Matrix> reference_;
+
+  core::ModeEnv* env_ = nullptr;
+  core::DurabilityKind engine_ = core::DurabilityKind::kNone;
+  std::size_t done_ = 0;
+  std::size_t crashed_done_ = 0;
+
+  // native / ckpt state.
+  linalg::Matrix cf_;
+  std::uint64_t ckpt_step_ = 0;
+  std::unique_ptr<checkpoint::CheckpointSet> ckpt_;
+
+  // pmem-tx state.
+  std::unique_ptr<pmemtx::PersistentHeap> heap_;
+  std::unique_ptr<pmemtx::UndoLog> log_;
+  std::span<double> tx_cf_;
+  std::span<std::uint64_t> tx_step_;
+
+  // alg-* state (Fig. 6 temporal matrices in the NVM arena).
+  std::vector<std::span<double>> ctemp_s_;
+  std::span<double> ctemp_;
+  std::span<std::int64_t> progress_;
+};
+
+}  // namespace adcc::mm

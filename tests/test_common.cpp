@@ -190,10 +190,70 @@ TEST(Options, MalformedArgumentThrows) {
 }
 
 TEST(Options, FalseyBoolValues) {
-  const char* argv[] = {"prog", "--a=0", "--b=false"};
-  Options o(3, const_cast<char**>(argv));
+  const char* argv[] = {"prog", "--a=0", "--b=false", "--c=off", "--d=no", "--e=on"};
+  Options o(6, const_cast<char**>(argv));
   EXPECT_FALSE(o.get_bool("a"));
   EXPECT_FALSE(o.get_bool("b"));
+  EXPECT_FALSE(o.get_bool("c"));
+  EXPECT_FALSE(o.get_bool("d"));
+  EXPECT_TRUE(o.get_bool("e"));
+}
+
+TEST(ParseSize, PlainNumbersAndBinarySuffixes) {
+  EXPECT_EQ(parse_size("0"), 0u);
+  EXPECT_EQ(parse_size("123"), 123u);
+  EXPECT_EQ(parse_size("123B"), 123u);
+  EXPECT_EQ(parse_size("4k"), 4096u);
+  EXPECT_EQ(parse_size("4K"), 4096u);
+  EXPECT_EQ(parse_size("64M"), 64u << 20);
+  EXPECT_EQ(parse_size("64MB"), 64u << 20);
+  EXPECT_EQ(parse_size("1G"), 1u << 30);
+  EXPECT_EQ(parse_size("2T"), std::size_t{2} << 40);
+}
+
+TEST(ParseSize, RejectsMalformedAndOverflowing) {
+  EXPECT_FALSE(parse_size("").has_value());
+  EXPECT_FALSE(parse_size("x").has_value());
+  EXPECT_FALSE(parse_size("12Q").has_value());
+  EXPECT_FALSE(parse_size("12MM").has_value());
+  EXPECT_FALSE(parse_size("99999999999999999999").has_value());
+  EXPECT_FALSE(parse_size("18446744073709551615G").has_value());  // Overflow.
+}
+
+TEST(Options, GetSizeParsesSuffixes) {
+  const char* argv[] = {"prog", "--arena=64M", "--n=1500"};
+  Options o(3, const_cast<char**>(argv));
+  EXPECT_EQ(o.get_size("arena", 0), 64u << 20);
+  EXPECT_EQ(o.get_size("n", 0), 1500u);
+  EXPECT_EQ(o.get_size("absent", 42), 42u);
+}
+
+TEST(Options, GetSizeThrowsOnMalformedValue) {
+  const char* argv[] = {"prog", "--arena=lots"};
+  Options o(2, const_cast<char**>(argv));
+  EXPECT_THROW(o.get_size("arena", 0), ContractViolation);
+}
+
+TEST(Options, HelpTextGeneratedFromRegisteredKeys) {
+  Options o;
+  o.doc("n", "problem size", "128").doc("quick", "CI-sized run");
+  const std::string help = o.help_text("prog");
+  EXPECT_NE(help.find("usage: prog"), std::string::npos);
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("problem size"), std::string::npos);
+  EXPECT_NE(help.find("(default: 128)"), std::string::npos);
+  EXPECT_NE(help.find("--quick"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(Options, MaybePrintHelpOnlyWhenRequested) {
+  const char* argv[] = {"prog", "--help"};
+  Options with(2, const_cast<char**>(argv));
+  testing::internal::CaptureStdout();
+  EXPECT_TRUE(with.maybe_print_help("prog"));
+  EXPECT_NE(testing::internal::GetCapturedStdout().find("usage:"), std::string::npos);
+  Options without;
+  EXPECT_FALSE(without.maybe_print_help("prog"));
 }
 
 TEST(Check, ThrowsWithExpression) {

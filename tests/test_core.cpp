@@ -29,6 +29,29 @@ TEST(Modes, Classification) {
   EXPECT_FALSE(is_algorithm_mode(Mode::kNative));
 }
 
+TEST(Modes, ParseModeRoundTripsEveryName) {
+  for (Mode m : all_modes()) {
+    const auto parsed = parse_mode(mode_name(m));
+    ASSERT_TRUE(parsed.has_value()) << mode_name(m);
+    EXPECT_EQ(*parsed, m) << mode_name(m);
+  }
+}
+
+TEST(Modes, ParseModeAcceptsForgivingSpellings) {
+  EXPECT_EQ(parse_mode("NATIVE"), Mode::kNative);
+  EXPECT_EQ(parse_mode("ckpt_disk"), Mode::kCkptDisk);
+  EXPECT_EQ(parse_mode("ckpt-hetero"), Mode::kCkptHetero);
+  EXPECT_EQ(parse_mode("alg-hetero"), Mode::kAlgHetero);
+  EXPECT_EQ(parse_mode("Alg_Nvm"), Mode::kAlgNvm);
+  EXPECT_EQ(parse_mode("tx"), Mode::kPmemTx);
+}
+
+TEST(Modes, ParseModeRejectsUnknownNames) {
+  EXPECT_FALSE(parse_mode("").has_value());
+  EXPECT_FALSE(parse_mode("dram").has_value());
+  EXPECT_FALSE(parse_mode("ckpt-tape").has_value());
+}
+
 ModeEnvConfig small_env() {
   ModeEnvConfig c;
   c.arena_bytes = 4u << 20;

@@ -1,0 +1,228 @@
+// Tests for the scenario layer: crash-plan parsing, crash-unit planning, and
+// the ScenarioRunner driving every workload x mode x crash combination over
+// tiny problem instances.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cg/cg_workload.hpp"
+#include "core/scenario.hpp"
+#include "mc/mc_workload.hpp"
+#include "mm/mm_workload.hpp"
+
+namespace adcc::core {
+namespace {
+
+// ---------------------------------------------------------------- parsing --
+
+TEST(ParseCrash, AcceptsAllSpellings) {
+  EXPECT_EQ(parse_crash("none")->kind, CrashScenario::Kind::kNone);
+  const auto step = parse_crash("step:7");
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(step->kind, CrashScenario::Kind::kAtStep);
+  EXPECT_EQ(step->step, 7u);
+  const auto rnd = parse_crash("random:99");
+  ASSERT_TRUE(rnd.has_value());
+  EXPECT_EQ(rnd->kind, CrashScenario::Kind::kRandom);
+  EXPECT_EQ(rnd->seed, 99u);
+  EXPECT_TRUE(parse_crash("random").has_value());
+  const auto rep = parse_crash("repeat:3");
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->kind, CrashScenario::Kind::kRepeated);
+  EXPECT_EQ(rep->count, 3u);
+}
+
+TEST(ParseCrash, RejectsMalformedSpecs) {
+  for (const char* bad : {"step", "step:", "step:0", "step:x", "repeat:0", "boom", "random:x"}) {
+    EXPECT_FALSE(parse_crash(bad).has_value()) << bad;
+  }
+}
+
+TEST(ParseCrash, RoundTripsThroughCrashName) {
+  for (const char* spec : {"none", "step:4", "random:12", "repeat:2"}) {
+    const auto c = parse_crash(spec);
+    ASSERT_TRUE(c.has_value()) << spec;
+    const auto again = parse_crash(crash_name(*c));
+    ASSERT_TRUE(again.has_value()) << spec;
+    EXPECT_EQ(again->kind, c->kind) << spec;
+  }
+}
+
+TEST(CrashUnits, PlansBoundaries) {
+  EXPECT_TRUE(crash_units({}, 10).empty());
+  CrashScenario step{CrashScenario::Kind::kAtStep, 25, 1, 1};
+  EXPECT_EQ(crash_units(step, 10), std::vector<std::size_t>{10});  // Clamped.
+  step.step = 3;
+  EXPECT_EQ(crash_units(step, 10), std::vector<std::size_t>{3});
+  CrashScenario rnd{CrashScenario::Kind::kRandom, 0, 42, 1};
+  const auto a = crash_units(rnd, 10);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_GE(a[0], 1u);
+  EXPECT_LE(a[0], 10u);
+  EXPECT_EQ(a, crash_units(rnd, 10));  // Deterministic in the seed.
+  CrashScenario rep{CrashScenario::Kind::kRepeated, 0, 1, 3};
+  const auto units = crash_units(rep, 12);
+  EXPECT_EQ(units, (std::vector<std::size_t>{3, 6, 9}));
+  EXPECT_TRUE(std::is_sorted(units.begin(), units.end()));
+}
+
+// ----------------------------------------------------------------- runner --
+
+ScenarioConfig tiny_config(const Workload& w, Mode mode) {
+  ScenarioConfig cfg;
+  cfg.mode = mode;
+  cfg.env.scratch_dir = std::filesystem::temp_directory_path() / "adcc_scenario_test";
+  w.tune_env(mode, cfg.env);
+  cfg.verify = true;
+  return cfg;
+}
+
+cg::CgWorkloadConfig tiny_cg() {
+  cg::CgWorkloadConfig cfg;
+  cfg.n = 96;
+  cfg.nz_per_row = 6;
+  cfg.iters = 6;
+  return cfg;
+}
+
+mc::McWorkloadConfig tiny_mc() {
+  mc::McWorkloadConfig cfg;
+  cfg.data.n_nuclides = 6;
+  cfg.data.gridpoints_per_nuclide = 60;
+  cfg.lookups = 600;
+  cfg.interval = 100;  // 6 units.
+  return cfg;
+}
+
+mm::MmWorkloadConfig tiny_mm() {
+  mm::MmWorkloadConfig cfg;
+  cfg.n = 64;
+  cfg.rank_k = 16;  // 4 panels, 5 addition blocks in alg modes.
+  return cfg;
+}
+
+TEST(ScenarioRunner, TinyCgVerifiesInAllSevenModes) {
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : all_modes()) {
+    const ScenarioResult res = run_scenario(w, tiny_config(w, m));
+    EXPECT_EQ(res.work_units, 6u) << mode_name(m);
+    EXPECT_EQ(res.crashes, 0u) << mode_name(m);
+    EXPECT_TRUE(res.verify_ran) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+    EXPECT_GT(res.seconds, 0.0) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, TinyMmVerifiesInAllSevenModes) {
+  mm::MmWorkload w(tiny_mm());
+  for (Mode m : all_modes()) {
+    const ScenarioResult res = run_scenario(w, tiny_config(w, m));
+    EXPECT_EQ(res.work_units, is_algorithm_mode(m) ? 9u : 4u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, TinyMcVerifiesInAllSevenModes) {
+  mc::McWorkload w(tiny_mc());
+  for (Mode m : all_modes()) {
+    const ScenarioResult res = run_scenario(w, tiny_config(w, m));
+    EXPECT_EQ(res.work_units, 6u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+// The ISSUE's RecomputationBreakdown invariants: a crash after unit k recovers
+// with restart <= k + 1 and units_lost == k + 1 - restart, and still verifies.
+TEST(ScenarioRunner, CrashAtStepKInvariantsHoldInAllModes) {
+  cg::CgWorkload w(tiny_cg());
+  CrashScenario crash{CrashScenario::Kind::kAtStep, 3, 1, 1};
+  for (Mode m : all_modes()) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = crash;
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 1u) << mode_name(m);
+    EXPECT_EQ(res.crash_unit, 3u) << mode_name(m);
+    EXPECT_GE(res.restart_unit, 1u) << mode_name(m);
+    EXPECT_LE(res.restart_unit, res.crash_unit + 1) << mode_name(m);
+    EXPECT_EQ(res.recomputation.units_lost, res.crash_unit + 1 - res.restart_unit)
+        << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, NativeCrashLosesEverything) {
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kNative);
+  cfg.crash = {CrashScenario::Kind::kAtStep, 4, 1, 1};
+  const ScenarioResult res = run_scenario(w, cfg);
+  EXPECT_EQ(res.restart_unit, 1u);       // restart <= crash: all work redone.
+  EXPECT_LE(res.restart_unit, res.crash_unit);
+  EXPECT_EQ(res.recomputation.units_lost, 4u);
+  EXPECT_GT(res.recomputation.resume_seconds, 0.0);
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(ScenarioRunner, DurableModesLoseNothingAtBoundaries) {
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : {Mode::kCkptNvm, Mode::kPmemTx, Mode::kAlgNvm}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = {CrashScenario::Kind::kAtStep, 4, 1, 1};
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.recomputation.units_lost, 0u) << mode_name(m);
+    EXPECT_EQ(res.restart_unit, 5u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, RepeatedCrashesAllRecover) {
+  mc::McWorkload w(tiny_mc());
+  for (Mode m : {Mode::kNative, Mode::kCkptNvm, Mode::kAlgNvm}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = {CrashScenario::Kind::kRepeated, 0, 1, 2};
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 2u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, RandomCrashIsDeterministicInSeed) {
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
+  cfg.crash = {CrashScenario::Kind::kRandom, 0, 77, 1};
+  const ScenarioResult a = run_scenario(w, cfg);
+  const ScenarioResult b = run_scenario(w, cfg);
+  EXPECT_EQ(a.crash_unit, b.crash_unit);
+  EXPECT_EQ(a.crashes, 1u);
+  EXPECT_TRUE(a.verified);
+}
+
+TEST(ScenarioRunner, MmAlgCrashInLoopTwoRecovers) {
+  mm::MmWorkload w(tiny_mm());
+  ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
+  cfg.crash = {CrashScenario::Kind::kAtStep, 6, 1, 1};  // Unit 6 = addition block 2.
+  const ScenarioResult res = run_scenario(w, cfg);
+  EXPECT_EQ(res.crash_unit, 6u);
+  EXPECT_EQ(res.recomputation.units_lost, 0u);
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(ScenarioRunner, NormalizesAgainstProvidedBaseline) {
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kNative);
+  cfg.native_seconds = 1.0;
+  const ScenarioResult res = run_scenario(w, cfg);
+  EXPECT_DOUBLE_EQ(res.time.normalized, res.seconds);
+}
+
+TEST(ScenarioRunner, MultipleRepsReportMedian) {
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
+  cfg.reps = 3;
+  cfg.warmup = true;
+  const ScenarioResult res = run_scenario(w, cfg);
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_TRUE(res.verified);
+}
+
+}  // namespace
+}  // namespace adcc::core

@@ -1,0 +1,68 @@
+// Tests for the Workload API: registry registration/lookup and the factory
+// path used by adccbench.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cg/cg_workload.hpp"
+#include "common/check.hpp"
+#include "core/registry.hpp"
+
+namespace adcc::core {
+namespace {
+
+Options make_options(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  args.insert(args.begin(), "test");
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(WorkloadRegistry, BuiltinWorkloadsSelfRegister) {
+  auto& reg = WorkloadRegistry::instance();
+  for (const char* name : {"cg", "mm", "mc"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+    EXPECT_FALSE(reg.description(name).empty()) << name;
+  }
+  const auto names = reg.names();
+  EXPECT_GE(names.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(WorkloadRegistry, UnknownWorkloadThrowsWithKnownNames) {
+  try {
+    WorkloadRegistry::instance().create("no-such-workload", Options());
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("cg"), std::string::npos);
+  }
+}
+
+TEST(WorkloadRegistry, DuplicateRegistrationThrows) {
+  WorkloadRegistry reg;
+  auto factory = [](const Options&) -> std::unique_ptr<Workload> { return nullptr; };
+  reg.add("w", "first", factory);
+  EXPECT_THROW(reg.add("w", "second", factory), ContractViolation);
+}
+
+TEST(WorkloadRegistry, FactoryHonorsOptions) {
+  const auto w = WorkloadRegistry::instance().create(
+      "cg", make_options({"--n=64", "--nz=4", "--iters=5"}));
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->name(), "cg");
+  EXPECT_EQ(w->work_units(), 5u);  // --iters wired through the factory.
+}
+
+TEST(WorkloadRegistry, FactoryAcceptsSizeSuffixes) {
+  const auto w = WorkloadRegistry::instance().create(
+      "cg", make_options({"--n=1K", "--nz=4", "--iters=3"}));
+  EXPECT_EQ(w->work_units(), 3u);
+}
+
+TEST(WorkloadRegistry, DescriptionOfUnknownThrows) {
+  EXPECT_THROW(WorkloadRegistry::instance().description("nope"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace adcc::core
