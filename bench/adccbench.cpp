@@ -4,10 +4,16 @@
 //   adccbench --list
 //   adccbench --workload=cg --mode=alg-nvm/dram --crash=step:7
 //   adccbench --workload=mm --mode=all --reps=3
+//   adccbench --workload=cg --mode=all --crash=fuzz:17     # mid-unit fuzzing
+//   adccbench --workload=cg-sim --crash=point:cg:p_updated:15
 //   adccbench --matrix --quick          # full workload x mode cross-product
+//   adccbench --matrix --quick --format=csv                # machine-readable
 //
 // Unless --no_baseline is passed, a native run of the same workload is timed
 // first and every row is normalized against it (the paper's y-axis).
+// Mid-unit crash plans (access:/point:/fuzz:) are armed on the workload's
+// FaultSurface; the *-sim workloads run under the memsim crash emulator and
+// ignore the mode axis, so --matrix skips them.
 #include <unistd.h>
 
 #include <cstdio>
@@ -48,11 +54,14 @@ core::ScenarioConfig make_config(const core::Workload& workload, core::Mode mode
   return cfg;
 }
 
-/// Runs one workload across `modes`; returns false if any verification failed.
+/// Runs one workload across `modes`, appending one row per scenario to
+/// `table` (shared across workloads so csv/json stay one parseable document);
+/// returns false if any verification failed.
 bool run_workload(const std::string& name, const std::vector<core::Mode>& modes,
-                  const core::CrashScenario& crash, const Options& opts, bool banner) {
+                  const core::CrashScenario& crash, const Options& opts, bool banner,
+                  core::TableFormat format, core::Table& table) {
   const auto workload = core::WorkloadRegistry::instance().create(name, opts);
-  if (banner) {
+  if (banner && format == core::TableFormat::kPlain) {
     core::print_banner("adccbench", name + " — " +
                                         core::WorkloadRegistry::instance().description(name) +
                                         ", crash=" + core::crash_name(crash));
@@ -70,8 +79,6 @@ bool run_workload(const std::string& name, const std::vector<core::Mode>& modes,
     native_seconds = core::run_scenario(*workload, nc).seconds;
   }
 
-  core::Table table({"workload", "mode", "crash", "units", "seconds", "normalized", "overhead",
-                     "lost", "detect/unit", "resume/unit", "verified"});
   bool all_ok = true;
   for (core::Mode mode : modes) {
     core::ScenarioConfig cfg = make_config(*workload, mode, crash, opts);
@@ -92,12 +99,11 @@ bool run_workload(const std::string& name, const std::vector<core::Mode>& modes,
                    native_seconds > 0
                        ? core::Table::fmt(res.time.overhead_percent(), 1) + "%"
                        : "-",
-                   std::to_string(rb.units_lost),
+                   std::to_string(rb.units_lost), std::to_string(rb.partial_units),
                    res.crashes > 0 ? core::Table::fmt(rb.detect_normalized(), 2) : "-",
                    res.crashes > 0 ? core::Table::fmt(rb.resume_normalized(), 2) : "-",
                    res.verify_ran ? (res.verified ? "yes" : "FAIL") : "-"});
   }
-  table.print();
   return all_ok;
 }
 
@@ -107,9 +113,13 @@ int main(int argc, char** argv) try {
   Options opts(argc, argv);
   opts.doc("workload", "workload to run (see --list)", "cg")
       .doc("mode", "durability mode, or 'all' for the paper's seven", "all")
-      .doc("crash", "crash plan: none | step:K | random[:SEED] | repeat:N", "none")
-      .doc("matrix", "run every registered workload x every mode", "off")
+      .doc("crash",
+           "crash plan: none | step:K | random[:SEED] | repeat:N | access:N | "
+           "point:NAME[:K] | fuzz:SEED",
+           "none")
+      .doc("matrix", "run every registered workload x every mode (skips *-sim)", "off")
       .doc("list", "list registered workloads and exit")
+      .doc("format", "table output: table | csv | json", "table")
       .doc("reps", "timed repetitions per scenario (median reported)", "1")
       .doc("warmup", "one discarded repetition first", "off")
       .doc("verify", "check results against references", "on")
@@ -123,6 +133,8 @@ int main(int argc, char** argv) try {
       .doc("interval", "mc: lookups per durability unit")
       .doc("nuclides", "mc: nuclide count")
       .doc("gridpoints", "mc: gridpoints per nuclide")
+      .doc("policy", "mc-sim: flush policy basic | selective | every", "selective")
+      .doc("cache_mb", "*-sim: simulated LLC size, MB", "8")
       .doc("seed_a", "mm: seed of matrix A", "seed")
       .doc("seed_b", "mm: seed of matrix B", "seed+1")
       .doc("arena", "NVM arena bytes override (e.g. 64M, 1G)")
@@ -130,6 +142,12 @@ int main(int argc, char** argv) try {
       .doc("disk_mbps", "ckpt-disk throttle, MB/s", "150")
       .doc("seed", "problem seed");
   if (opts.maybe_print_help("adccbench")) return 0;
+
+  const auto format = core::parse_table_format(opts.get("format", "table"));
+  if (!format) {
+    std::fprintf(stderr, "adccbench: bad --format (want table | csv | json)\n");
+    return 2;
+  }
 
   auto& registry = core::WorkloadRegistry::instance();
   if (opts.get_bool("list")) {
@@ -141,7 +159,9 @@ int main(int argc, char** argv) try {
 
   const auto crash = core::parse_crash(opts.get("crash", "none"));
   if (!crash) {
-    std::fprintf(stderr, "adccbench: bad --crash (want none | step:K | random[:SEED] | repeat:N)\n");
+    std::fprintf(stderr,
+                 "adccbench: bad --crash (want none | step:K | random[:SEED] | repeat:N | "
+                 "access:N | point:NAME[:K] | fuzz:SEED)\n");
     return 2;
   }
 
@@ -164,7 +184,14 @@ int main(int argc, char** argv) try {
 
   std::vector<std::string> workloads;
   if (opts.get_bool("matrix")) {
-    workloads = registry.names();
+    // The *-sim workloads ignore the mode axis (the simulator fixes the
+    // durability scheme), so the cross-product would repeat one scenario
+    // seven times; run them explicitly via --workload instead.
+    for (const auto& name : registry.names()) {
+      if (name.size() < 4 || name.substr(name.size() - 4) != "-sim") {
+        workloads.push_back(name);
+      }
+    }
   } else {
     workloads.push_back(opts.get("workload", "cg"));
     if (!registry.contains(workloads.back())) {
@@ -176,12 +203,16 @@ int main(int argc, char** argv) try {
 
   bool all_ok = true;
   std::size_t scenarios = 0;
+  core::Table table({"workload", "mode", "crash", "units", "seconds", "normalized", "overhead",
+                     "lost", "partial", "detect/unit", "resume/unit", "verified"});
   for (const auto& name : workloads) {
-    all_ok = run_workload(name, modes, *crash, opts, /*banner=*/!opts.get_bool("matrix")) &&
+    all_ok = run_workload(name, modes, *crash, opts, /*banner=*/!opts.get_bool("matrix"),
+                          *format, table) &&
              all_ok;
     scenarios += modes.size();
   }
-  if (opts.get_bool("matrix")) {
+  table.print(*format);
+  if (opts.get_bool("matrix") && *format == core::TableFormat::kPlain) {
     std::printf("\nMATRIX %s (%zu workloads x %zu modes = %zu scenarios, crash=%s)\n",
                 all_ok ? "OK" : "FAILED", workloads.size(), modes.size(), scenarios,
                 core::crash_name(*crash).c_str());

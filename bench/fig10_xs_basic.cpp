@@ -6,6 +6,10 @@
 // ≈ equally; the basic-idea restart loses the cache-resident counter updates,
 // so its tallies diverge visibly (the paper saw up to 8 % gaps).
 //
+// Ported onto ScenarioRunner: the mc-sim workload (one lookup per work unit)
+// runs XsCrashConsistent under the unified driver; the crash is the plan
+// `point:xs:lookup_end:K` with K = crash_pct% of the lookups.
+//
 // Flags: --lookups=200000 --nuclides=68 --gridpoints=2000 --cache_mb=8
 //        --crash_pct=10 --quick (scaled down)
 #include <cstdio>
@@ -13,7 +17,8 @@
 #include "common/check.hpp"
 #include "common/options.hpp"
 #include "core/report.hpp"
-#include "mc/xs_cc.hpp"
+#include "core/scenario.hpp"
+#include "mc/mc_sim_workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace adcc;
@@ -26,38 +31,39 @@ int main(int argc, char** argv) {
       .doc("quick", "CI-sized run");
   if (opts.maybe_print_help("fig10_xs_basic")) return 0;
   const bool quick = opts.get_bool("quick");
-  mc::XsConfig dc;
-  dc.n_nuclides = opts.get_size("nuclides", quick ? 24 : 68);
-  dc.gridpoints_per_nuclide = opts.get_size("gridpoints", quick ? 500 : 2000);
-  const std::uint64_t lookups = opts.get_size("lookups", quick ? 50'000 : 200'000);
-  const double crash_pct = opts.get_double("crash_pct", 10.0);
-  const std::size_t cache_mb = opts.get_size("cache_mb", 8);
 
-  const mc::XsDataHost data(dc);
+  mc::McSimWorkloadConfig wcfg;
+  wcfg.data.n_nuclides = opts.get_size("nuclides", quick ? 24 : 68);
+  wcfg.data.gridpoints_per_nuclide = opts.get_size("gridpoints", quick ? 500 : 2000);
+  wcfg.lookups = opts.get_size("lookups", quick ? 50'000 : 200'000);
+  wcfg.policy = mc::XsFlushPolicy::kBasicIdea;
+  wcfg.cache_bytes = opts.get_size("cache_mb", 8) << 20;
+  wcfg.rng_seed = 99;
+  const double crash_pct = opts.get_double("crash_pct", 10.0);
+  const std::uint64_t lookups = wcfg.lookups;
+
+  mc::McSimWorkload workload(wcfg);
   core::print_banner(
       "Fig. 10", "XSBench tallies: no crash vs basic-idea restart (grids " +
-                     std::to_string(dc.footprint_bytes() >> 20) + " MB, crash at " +
+                     std::to_string(wcfg.data.footprint_bytes() >> 20) + " MB, crash at " +
                      core::Table::fmt(crash_pct, 0) + "% of " + std::to_string(lookups) +
                      " lookups)");
 
-  mc::XsCcConfig cfg;
-  cfg.total_lookups = lookups;
-  cfg.policy = mc::XsFlushPolicy::kBasicIdea;
-  cfg.cache.size_bytes = cache_mb << 20;
-  cfg.cache.ways = 16;
-  cfg.rng_seed = 99;
+  core::ScenarioConfig nocrash;
+  nocrash.mode = core::Mode::kAlgNvm;  // The simulated scheme fixes durability.
+  workload.tune_env(nocrash.mode, nocrash.env);
+  const core::ScenarioResult clean = core::run_scenario(workload, nocrash);
+  ADCC_CHECK(clean.crashes == 0, "unexpected crash");
+  const mc::Tally ref = workload.tally();
 
-  mc::XsCrashConsistent nocrash(data, cfg);
-  ADCC_CHECK(!nocrash.run(), "unexpected crash");
-  const mc::Tally ref = nocrash.tally();
-
-  mc::XsCrashConsistent crashed(data, cfg);
-  crashed.sim().scheduler().arm_at_point(
-      mc::XsCrashConsistent::kPointLookupEnd,
-      static_cast<std::uint64_t>(static_cast<double>(lookups) * crash_pct / 100.0));
-  ADCC_CHECK(crashed.run(), "crash did not fire");
-  crashed.recover_and_resume();
-  const mc::Tally bad = crashed.tally();
+  core::ScenarioConfig crashed = nocrash;
+  crashed.crash.kind = core::CrashScenario::Kind::kAtPoint;
+  crashed.crash.point = mc::XsCrashConsistent::kPointLookupEnd;
+  crashed.crash.occurrence =
+      static_cast<std::uint64_t>(static_cast<double>(lookups) * crash_pct / 100.0);
+  const core::ScenarioResult res = core::run_scenario(workload, crashed);
+  ADCC_CHECK(res.crashes == 1, "crash did not fire");
+  const mc::Tally bad = workload.tally();
 
   core::Table table({"interaction type", "no crash", "crash+basic-idea", "gap (pp)"});
   const auto pr = ref.percentages(lookups);

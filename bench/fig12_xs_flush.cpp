@@ -5,54 +5,60 @@
 // Expected shape: the two tally distributions agree (in our deterministic
 // counter-based-RNG setup they match exactly).
 //
+// Ported onto ScenarioRunner: same mc-sim workload as fig10, selective policy;
+// ScenarioResult carries the restart lookup, and the bench exits non-zero
+// unless the crashed run's tallies match the no-crash reference bit-for-bit.
+//
 // Flags: --lookups=200000 --nuclides=68 --gridpoints=2000 --cache_mb=8
 //        --crash_pct=10 --flush_pct=0.01 --quick
+#include <algorithm>
 #include <cstdio>
 
 #include "common/check.hpp"
 #include "common/options.hpp"
 #include "core/report.hpp"
-#include "mc/xs_cc.hpp"
+#include "core/scenario.hpp"
+#include "mc/mc_sim_workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace adcc;
   const Options opts(argc, argv);
   const bool quick = opts.get_bool("quick");
-  mc::XsConfig dc;
-  dc.n_nuclides = static_cast<std::size_t>(opts.get_int("nuclides", quick ? 24 : 68));
-  dc.gridpoints_per_nuclide =
+
+  mc::McSimWorkloadConfig wcfg;
+  wcfg.data.n_nuclides = static_cast<std::size_t>(opts.get_int("nuclides", quick ? 24 : 68));
+  wcfg.data.gridpoints_per_nuclide =
       static_cast<std::size_t>(opts.get_int("gridpoints", quick ? 500 : 2000));
-  const auto lookups =
-      static_cast<std::uint64_t>(opts.get_int("lookups", quick ? 50'000 : 200'000));
+  wcfg.lookups = static_cast<std::uint64_t>(opts.get_int("lookups", quick ? 50'000 : 200'000));
+  wcfg.policy = mc::XsFlushPolicy::kSelective;
   const double crash_pct = opts.get_double("crash_pct", 10.0);
   const double flush_pct = opts.get_double("flush_pct", 0.01);
-  const std::size_t cache_mb = static_cast<std::size_t>(opts.get_int("cache_mb", 8));
+  wcfg.flush_interval = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(wcfg.lookups) * flush_pct / 100.0));
+  wcfg.cache_bytes = static_cast<std::size_t>(opts.get_int("cache_mb", 8)) << 20;
+  wcfg.rng_seed = 99;
+  const std::uint64_t lookups = wcfg.lookups;
 
-  const mc::XsDataHost data(dc);
+  mc::McSimWorkload workload(wcfg);
   core::print_banner("Fig. 12",
                      "XSBench tallies: no crash vs crash+selective flushing (every " +
                          core::Table::fmt(flush_pct, 2) + "% of lookups)");
 
-  mc::XsCcConfig cfg;
-  cfg.total_lookups = lookups;
-  cfg.policy = mc::XsFlushPolicy::kSelective;
-  cfg.flush_interval = std::max<std::size_t>(
-      1, static_cast<std::size_t>(static_cast<double>(lookups) * flush_pct / 100.0));
-  cfg.cache.size_bytes = cache_mb << 20;
-  cfg.cache.ways = 16;
-  cfg.rng_seed = 99;
+  core::ScenarioConfig nocrash;
+  nocrash.mode = core::Mode::kAlgNvm;  // The simulated scheme fixes durability.
+  workload.tune_env(nocrash.mode, nocrash.env);
+  const core::ScenarioResult clean = core::run_scenario(workload, nocrash);
+  ADCC_CHECK(clean.crashes == 0, "unexpected crash");
+  const mc::Tally ref = workload.tally();
 
-  mc::XsCrashConsistent nocrash(data, cfg);
-  ADCC_CHECK(!nocrash.run(), "unexpected crash");
-  const mc::Tally ref = nocrash.tally();
-
-  mc::XsCrashConsistent crashed(data, cfg);
-  crashed.sim().scheduler().arm_at_point(
-      mc::XsCrashConsistent::kPointLookupEnd,
-      static_cast<std::uint64_t>(static_cast<double>(lookups) * crash_pct / 100.0));
-  ADCC_CHECK(crashed.run(), "crash did not fire");
-  const mc::XsRecovery rec = crashed.recover_and_resume();
-  const mc::Tally got = crashed.tally();
+  core::ScenarioConfig crashed = nocrash;
+  crashed.crash.kind = core::CrashScenario::Kind::kAtPoint;
+  crashed.crash.point = mc::XsCrashConsistent::kPointLookupEnd;
+  crashed.crash.occurrence =
+      static_cast<std::uint64_t>(static_cast<double>(lookups) * crash_pct / 100.0);
+  const core::ScenarioResult res = core::run_scenario(workload, crashed);
+  ADCC_CHECK(res.crashes == 1, "crash did not fire");
+  const mc::Tally got = workload.tally();
 
   core::Table table({"interaction type", "no crash", "crash+selective flush", "gap (pp)"});
   const auto pr = ref.percentages(lookups);
@@ -64,9 +70,10 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\nrestart lookup: %llu (bounded loss: <= %zu lookups re-executed)\n",
-              static_cast<unsigned long long>(rec.restart_lookup), cfg.flush_interval);
+              static_cast<unsigned long long>(res.restart_unit - 1),
+              wcfg.flush_interval);
   std::printf("max per-type gap: %.4f pp (paper: distributions agree; exact here)\n",
               mc::max_percentage_gap(ref, got, lookups));
   std::printf("tallies identical: %s\n", ref.counts == got.counts ? "YES" : "NO");
-  return 0;
+  return ref.counts == got.counts ? 0 : 1;
 }

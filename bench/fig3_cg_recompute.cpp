@@ -7,15 +7,22 @@
 // Expected shape: small classes (S, W) lose all 15 iterations because their
 // working set never leaves the cache; large classes (B, C) lose exactly 1.
 //
+// Ported onto ScenarioRunner: the cg-sim workload runs CgCrashConsistent under
+// the unified driver and the crash is the declarative plan
+// `point:cg:p_updated:<crash_iter>` — the same spelling `adccbench
+// --workload=cg-sim --crash=...` accepts.
+//
 // Flags: --quick (classes S,W,A only), --classes=S,W,A,B,C, --cache_mb=8,
 //        --iters=15, --crash_iter=15
 #include <cstdio>
 #include <sstream>
 
 #include "cg/cg_cc.hpp"
+#include "cg/cg_sim_workload.hpp"
 #include "common/check.hpp"
 #include "common/options.hpp"
 #include "core/report.hpp"
+#include "core/scenario.hpp"
 #include "linalg/spgen.hpp"
 
 namespace {
@@ -62,27 +69,40 @@ int main(int argc, char** argv) {
   core::Table table({"class", "n", "nnz", "iters_lost", "detect/iter", "resume/iter",
                      "total/iter", "detect_s", "resume_s"});
 
+  // The declarative plan: crash at the crash_iter-th hit of Fig. 2 line 10.
+  core::CrashScenario crash;
+  crash.kind = core::CrashScenario::Kind::kAtPoint;
+  crash.point = cg::CgCrashConsistent::kPointPUpdated;
+  crash.occurrence = crash_iter;
+
   for (const auto cls : classes) {
     const auto shape = linalg::shape_of(cls);
-    const auto a = linalg::make_spd(shape.n, shape.nz_per_row, 42);
-    const auto b = linalg::make_rhs(shape.n, 43);
 
-    cg::CgCcConfig cfg;
-    cfg.n_iters = iters;
-    cfg.cache.size_bytes = cache_mb << 20;
-    cfg.cache.ways = 16;
-    cg::CgCrashConsistent cc(a, b, cfg);
-    cc.sim().scheduler().arm_at_point(cg::CgCrashConsistent::kPointPUpdated, crash_iter);
-    ADCC_CHECK(cc.run(), "crash did not fire");
-    const cg::CgRecovery rec = cc.recover_and_resume();
-    const double unit = cc.avg_iter_seconds();
+    cg::CgSimWorkloadConfig wcfg;
+    wcfg.n = shape.n;
+    wcfg.nz_per_row = shape.nz_per_row;
+    wcfg.iters = iters;
+    wcfg.cache_bytes = cache_mb << 20;
+    cg::CgSimWorkload workload(wcfg);
 
-    table.add_row({linalg::name_of(cls), std::to_string(shape.n), std::to_string(a.nnz()),
-                   std::to_string(rec.iters_lost),
-                   core::Table::fmt(unit > 0 ? rec.detect_seconds / unit : 0, 2),
-                   core::Table::fmt(unit > 0 ? rec.resume_seconds / unit : 0, 2),
-                   core::Table::fmt(unit > 0 ? (rec.detect_seconds + rec.resume_seconds) / unit : 0, 2),
-                   core::Table::fmt(rec.detect_seconds, 4), core::Table::fmt(rec.resume_seconds, 4)});
+    core::ScenarioConfig cfg;
+    cfg.mode = core::Mode::kAlgNvm;  // The simulated scheme is algorithm-directed.
+    cfg.crash = crash;
+    workload.tune_env(cfg.mode, cfg.env);
+    const core::ScenarioResult res = core::run_scenario(workload, cfg);
+    ADCC_CHECK(res.crashes == 1, "crash did not fire");
+
+    const auto& rb = res.recomputation;
+    const double unit = workload.cc().avg_iter_seconds();
+    table.add_row({linalg::name_of(cls), std::to_string(shape.n),
+                   std::to_string(workload.matrix().nnz()),
+                   std::to_string(rb.units_redone()),
+                   core::Table::fmt(unit > 0 ? rb.detect_seconds / unit : 0, 2),
+                   core::Table::fmt(unit > 0 ? rb.resume_seconds / unit : 0, 2),
+                   core::Table::fmt(
+                       unit > 0 ? (rb.detect_seconds + rb.resume_seconds) / unit : 0, 2),
+                   core::Table::fmt(rb.detect_seconds, 4),
+                   core::Table::fmt(rb.resume_seconds, 4)});
   }
   table.print();
   std::printf("\nPaper reference: classes S/W lose all 15 iterations; classes B/C lose 1;\n"

@@ -9,6 +9,10 @@
 // Sizes are scaled (simulating every byte of an 8000² product is not CI-able);
 // the temporal-matrix-size : LLC ratio sweep is preserved.
 //
+// Ported onto ScenarioRunner: the mm-sim workload runs MmCrashConsistent under
+// the unified driver; the crash tests are the declarative plans
+// `point:mm:loop1_end:4` / `point:mm:loop2_end:4`.
+//
 // Flags: --sizes=512,768,1024,1280 --rank=64 --cache_mb=8 --crash_unit=4 --quick
 #include <cstdio>
 #include <sstream>
@@ -16,7 +20,8 @@
 #include "common/check.hpp"
 #include "common/options.hpp"
 #include "core/report.hpp"
-#include "mm/mm_cc.hpp"
+#include "core/scenario.hpp"
+#include "mm/mm_sim_workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace adcc;
@@ -40,29 +45,32 @@ int main(int argc, char** argv) {
                      "total/unit"});
 
   for (const std::size_t n : sizes) {
-    linalg::Matrix a(n, n), b(n, n);
-    a.fill_random(7, -1, 1);
-    b.fill_random(8, -1, 1);
+    mm::MmSimWorkloadConfig wcfg;
+    wcfg.n = n;
+    wcfg.rank_k = rank;
+    wcfg.cache_bytes = cache_mb << 20;
+    mm::MmSimWorkload workload(wcfg);
 
     for (const bool in_loop2 : {false, true}) {
-      mm::MmCcConfig cfg;
-      cfg.n = n;
-      cfg.rank_k = rank;
-      cfg.cache.size_bytes = cache_mb << 20;
-      cfg.cache.ways = 16;
-      mm::MmCrashConsistent mm(a, b, cfg);
-      mm.sim().scheduler().arm_at_point(
-          in_loop2 ? mm::MmCrashConsistent::kPointAddEnd : mm::MmCrashConsistent::kPointMultEnd,
-          crash_unit);
-      ADCC_CHECK(mm.run(), "crash did not fire");
-      const mm::MmRecovery rec = mm.recover_and_resume();
-      const double unit = in_loop2 ? mm.avg_add_seconds() : mm.avg_mult_seconds();
+      core::ScenarioConfig cfg;
+      cfg.mode = core::Mode::kAlgNvm;  // The simulated scheme is algorithm-directed.
+      cfg.crash.kind = core::CrashScenario::Kind::kAtPoint;
+      cfg.crash.point = in_loop2 ? mm::MmCrashConsistent::kPointAddEnd
+                                 : mm::MmCrashConsistent::kPointMultEnd;
+      cfg.crash.occurrence = crash_unit;
+      workload.tune_env(cfg.mode, cfg.env);
+      const core::ScenarioResult res = core::run_scenario(workload, cfg);
+      ADCC_CHECK(res.crashes == 1, "crash did not fire");
+
+      const auto& rb = res.recomputation;
+      const double unit =
+          in_loop2 ? workload.cc().avg_add_seconds() : workload.cc().avg_mult_seconds();
       table.add_row({std::to_string(n), in_loop2 ? "loop2(add)" : "loop1(mult)",
-                     std::to_string(rec.units_recomputed), std::to_string(rec.units_corrected),
-                     core::Table::fmt(unit > 0 ? rec.detect_seconds / unit : 0, 2),
-                     core::Table::fmt(unit > 0 ? rec.resume_seconds / unit : 0, 2),
+                     std::to_string(rb.units_redone()), std::to_string(rb.units_corrected),
+                     core::Table::fmt(unit > 0 ? rb.detect_seconds / unit : 0, 2),
+                     core::Table::fmt(unit > 0 ? rb.resume_seconds / unit : 0, 2),
                      core::Table::fmt(
-                         unit > 0 ? (rec.detect_seconds + rec.resume_seconds) / unit : 0, 2)});
+                         unit > 0 ? (rb.detect_seconds + rb.resume_seconds) / unit : 0, 2)});
     }
   }
   table.print();

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Deterministic crash-fuzz sweep: every workload x all seven modes x a range of
+# fuzz seeds. Each seed lands one mid-unit crash at a seeded random access
+# inside a seeded random work unit (see parse_crash's fuzz:SEED plan); the run
+# must recover and verify in every mode or adccbench exits non-zero.
+#
+#   scripts/fuzz.sh                         # build + 20 seeds, quick sizes
+#   scripts/fuzz.sh --seeds 5 --start 100   # seeds 100..104
+#   scripts/fuzz.sh --bin ./build/adccbench --no-build
+#
+# CTest runs a 2-seed slice under the "fuzz" label (kept out of "smoke" so
+# tier-1 smoke time stays flat): ctest -L fuzz
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=""
+SEEDS=20
+START=1
+WORKLOADS="cg mm mc"
+BUILD=1
+QUICK="--quick"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) BIN="$2"; shift 2 ;;
+    --seeds) SEEDS="$2"; shift 2 ;;
+    --start) START="$2"; shift 2 ;;
+    --workloads) WORKLOADS="${2//,/ }"; shift 2 ;;
+    --no-build) BUILD=0; shift ;;
+    --full) QUICK=""; shift ;;
+    *) echo "fuzz.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$BIN" ]]; then
+  if [[ "$BUILD" -eq 1 ]]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target adccbench >/dev/null
+  fi
+  BIN=./build/adccbench
+fi
+
+runs=0
+for workload in $WORKLOADS; do
+  for ((seed = START; seed < START + SEEDS; ++seed)); do
+    echo "fuzz: workload=$workload seed=$seed"
+    "$BIN" --workload="$workload" --mode=all --crash="fuzz:$seed" \
+      --no_baseline $QUICK >/dev/null
+    runs=$((runs + 1))
+  done
+done
+
+echo "fuzz OK ($runs sweeps x 7 modes)"

@@ -118,12 +118,26 @@ void CgCrashConsistent::iteration(std::size_t i) {
   sim_.crash_point(kPointIterEnd);
 }
 
-bool CgCrashConsistent::run() {
+bool CgCrashConsistent::step() {
+  if (completed_ >= cfg_.n_iters) return false;
   try {
-    write_initial_state();
-    for (std::size_t i = 1; i <= cfg_.n_iters; ++i) iteration(i);
+    if (!started_) {
+      write_initial_state();
+      started_ = true;
+    }
+    iteration(completed_ + 1);
   } catch (const memsim::CrashException&) {
     crash_iter_ = completed_ + 1;  // The interrupted iteration.
+    throw;
+  }
+  return true;
+}
+
+bool CgCrashConsistent::run() {
+  try {
+    while (step()) {
+    }
+  } catch (const memsim::CrashException&) {
     return true;
   }
   return false;
@@ -177,9 +191,10 @@ bool CgCrashConsistent::check_invariants_durable(std::size_t j, std::vector<doub
   return true;
 }
 
-CgRecovery CgCrashConsistent::recover_and_resume() {
-  ADCC_CHECK(sim_.crashed(), "recover_and_resume requires a prior crash");
+CgRecovery CgCrashConsistent::begin_recovery() {
+  ADCC_CHECK(sim_.crashed(), "recovery requires a prior crash");
   CgRecovery rec;
+  if (crash_iter_ == 0) crash_iter_ = completed_ + 1;  // Externally injected crash.
   rec.crash_iter = crash_iter_;
 
   // ---- Phase 1: detect where to restart (durable image only). ----
@@ -203,20 +218,33 @@ CgRecovery CgCrashConsistent::recover_and_resume() {
   rec.restart_iter = ok ? found + 1 : 1;
   rec.iters_lost = rec.crash_iter - rec.restart_iter + 1;
 
-  // ---- Phase 2: resume from the detected iteration to the crash point. ----
-  Timer resume;
+  // ---- Reload: the restarted process maps NVM (charged to resume). ----
+  Timer reload;
   sim_.reset_after_crash();
-  sim_.restore_all();  // The restarted process maps NVM: live = durable.
+  sim_.restore_all();  // Live = durable.
   if (!ok) {
     write_initial_state();
   } else {
     rho_ = linalg::dot(row(r_, rec.restart_iter), row(r_, rec.restart_iter));
     r_.touch_read(rec.restart_iter * n_, n_);
   }
-  for (std::size_t i = rec.restart_iter; i <= crash_iter_ && i <= cfg_.n_iters; ++i) {
+  completed_ = rec.restart_iter - 1;  // step() re-executes the lost iterations.
+  started_ = true;
+  crash_iter_ = 0;
+  rec.resume_seconds = reload.elapsed();
+  return rec;
+}
+
+CgRecovery CgCrashConsistent::recover_and_resume() {
+  const std::size_t crashed = crash_iter_ == 0 ? completed_ + 1 : crash_iter_;
+  CgRecovery rec = begin_recovery();
+
+  // ---- Phase 2: resume from the detected iteration to the crash point. ----
+  Timer resume;
+  for (std::size_t i = rec.restart_iter; i <= crashed && i <= cfg_.n_iters; ++i) {
     iteration(i);
   }
-  rec.resume_seconds = resume.elapsed();
+  rec.resume_seconds += resume.elapsed();
   return rec;
 }
 

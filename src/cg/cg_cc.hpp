@@ -51,9 +51,24 @@ class CgCrashConsistent {
   /// the run was interrupted by a simulated crash.
   bool run();
 
+  /// Executes the next iteration (writing the initial state lazily before
+  /// iteration 1). Returns false once the trip count is reached. An armed
+  /// crash trigger propagates memsim::CrashException to the caller, with
+  /// crash_iter() recorded — the step-wise surface ScenarioRunner drives.
+  bool step();
+
   /// After a crash: detect the resumable iteration from NVM, reload state, and
   /// re-execute up to (and including) the crashed iteration.
   CgRecovery recover_and_resume();
+
+  /// Detection + reload only (phase 1 of recover_and_resume): scans the
+  /// durable invariants, reloads live state from NVM, and rewinds the
+  /// iteration cursor to restart_iter − 1 so step() re-executes the lost
+  /// iterations. The reload time is pre-charged to resume_seconds.
+  CgRecovery begin_recovery();
+
+  /// The iteration the last crash interrupted (1-based; 0 before any crash).
+  std::size_t crash_iter() const { return crash_iter_; }
 
   /// Continues normal execution to the configured trip count (post-recovery).
   void finish();
@@ -98,6 +113,7 @@ class CgCrashConsistent {
   std::unique_ptr<memsim::TrackedScalar<std::int64_t>> iter_;
 
   double rho_ = 0.0;
+  bool started_ = false;
   std::size_t completed_ = 0;
   std::size_t crash_iter_ = 0;
   double iter_seconds_sum_ = 0.0;

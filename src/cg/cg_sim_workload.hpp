@@ -1,0 +1,70 @@
+// CgCrashConsistent as a core::Workload — the memsim-backed twin of
+// cg::CgWorkload, registered as "cg-sim".
+//
+// The adapter runs the algorithm-directed CG under the crash emulator
+// (set-associative LRU cache + durable NVM images), so crashes land exactly
+// where the paper's PIN tool puts them: arm `--crash=point:cg:p_updated:K`
+// (Fig. 2 line 10 of iteration K, the Fig. 3 experiment) or any access/fuzz
+// plan, and recovery costs reflect what the *cache* kept, not what host DRAM
+// kept. The durability scheme is always the algorithm-directed one — the mode
+// axis only sizes the (unused) substrate, so the adapter is mode-agnostic and
+// excluded from `adccbench --matrix`.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "cg/cg.hpp"
+#include "cg/cg_cc.hpp"
+#include "common/options.hpp"
+#include "core/registry.hpp"
+#include "core/sim_workload.hpp"
+
+namespace adcc::cg {
+
+struct CgSimWorkloadConfig {
+  std::size_t n = 2000;             ///< System rows (~class S-W scale).
+  std::size_t nz_per_row = 15;
+  std::size_t iters = 15;           ///< Paper's fixed trip count.
+  std::uint64_t matrix_seed = 42;
+  std::uint64_t rhs_seed = 43;
+  std::size_t cache_bytes = 8u << 20;  ///< Simulated LLC (Xeon E5606-like).
+  std::size_t cache_ways = 16;
+  double invariant_rel_tol = 1e-6;
+  double verify_rel_tol = 1e-8;
+};
+
+/// Builds the config from CLI options (--n, --nz, --iters, --cache_mb, --quick).
+CgSimWorkloadConfig cg_sim_workload_config(const Options& opts);
+
+class CgSimWorkload final : public core::SimWorkloadBase {
+ public:
+  explicit CgSimWorkload(const CgSimWorkloadConfig& cfg);
+
+  std::string name() const override { return "cg-sim"; }
+  std::size_t work_units() const override { return cfg_.iters; }
+  std::size_t units_done() const override { return cc_ ? cc_->completed_iters() : 0; }
+  void prepare(core::ModeEnv& env) override;
+  bool run_step() override;
+  void make_durable() override {}  ///< The Fig. 2 line-3 flush is inside the iteration.
+  core::WorkloadRecovery recover() override;
+  bool verify() override;
+
+  /// The live simulated run (valid after prepare); figure benches read the
+  /// per-unit normalizers (avg_iter_seconds) and simulator statistics off it.
+  CgCrashConsistent& cc() { return *cc_; }
+
+  const linalg::CsrMatrix& matrix() const { return a_; }
+
+ private:
+  memsim::MemorySimulator& sim() override { return cc_->sim(); }
+
+  CgSimWorkloadConfig cfg_;
+  linalg::CsrMatrix a_;
+  std::vector<double> b_;
+  std::optional<CgResult> reference_;
+
+  std::unique_ptr<CgCrashConsistent> cc_;
+};
+
+}  // namespace adcc::cg

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cg/cg_cc.hpp"
 #include "cg/cg_tx.hpp"
 #include "common/align.hpp"
 #include "common/check.hpp"
@@ -52,6 +53,7 @@ void CgWorkload::prepare(core::ModeEnv& env) {
   env_ = &env;
   done_ = 0;
   crashed_done_ = 0;
+  fault_.reset_counter();
   engine_ = core::durability_kind(env.mode);
 
   switch (engine_) {
@@ -116,11 +118,20 @@ void CgWorkload::alg_write_initial_rows() {
 }
 
 bool CgWorkload::run_step() {
+  // Fault-surface instrumentation: tick() announces the element accesses each
+  // sub-statement touched and point() names the paper's crash sites; either
+  // may throw memsim::CrashException mid-unit when ScenarioRunner armed a
+  // trigger. All sites precede ++done_ (and the tx commit), so a mid-unit
+  // crash never leaves the cursor or the durable image ahead of the crash.
   if (done_ >= cfg_.iters) return false;
+  const std::size_t n = cfg_.n;
   switch (engine_) {
     case core::DurabilityKind::kNone:
     case core::DurabilityKind::kCheckpoint:
       cg_step(a_, state_);
+      fault_.tick(a_.nnz() + 10 * n);
+      fault_.point(CgCrashConsistent::kPointPUpdated);
+      fault_.point(CgCrashConsistent::kPointIterEnd);
       break;
     case core::DurabilityKind::kTransaction: {
       pmemtx::Transaction tx(*log_);
@@ -129,17 +140,27 @@ bool CgWorkload::run_step() {
       tx.add(tx_z_);
       tx.add(tx_scalars_);
       a_.spmv(tx_p_, tx_q_);
+      fault_.tick(a_.nnz() + 2 * n);
       const double pq = linalg::dot(std::span<const double>(tx_p_),
                                     std::span<const double>(tx_q_));
+      fault_.tick(2 * n);
       ADCC_CHECK(pq > 0, "A is not positive definite along p");
       const double alpha = tx_rho_ / pq;
       linalg::axpy(alpha, tx_p_, tx_z_);
       linalg::axpy(-alpha, tx_q_, tx_r_);
+      fault_.tick(6 * n);
       const double rho_new =
           linalg::dot(std::span<const double>(tx_r_), std::span<const double>(tx_r_));
+      fault_.tick(2 * n);
       const double beta = rho_new / tx_rho_;
       tx_rho_ = rho_new;
       linalg::xpay(std::span<const double>(tx_r_), beta, std::span<const double>(tx_p_), tx_p_);
+      fault_.tick(3 * n);
+      fault_.point(CgCrashConsistent::kPointPUpdated);
+      // "iter_end" = end of compute, before the unit's durability action; no
+      // sites may follow the commit (the cursor/durable image would run ahead
+      // of a crash the runner then mis-attributes).
+      fault_.point(CgCrashConsistent::kPointIterEnd);
       tx_scalars_[0] = tx_rho_;
       tx_scalars_[1] = static_cast<double>(done_ + 1);
       tx.commit();
@@ -148,15 +169,23 @@ bool CgWorkload::run_step() {
     case core::DurabilityKind::kAlgorithm: {
       const std::size_t i = done_ + 1;  // 1-based, matching the Fig. 2 rows.
       a_.spmv(row(hp_, i), row(hq_, i));
+      fault_.tick(a_.nnz() + 2 * n);
       const double pq = linalg::dot(crow(hp_, i), crow(hq_, i));
+      fault_.tick(2 * n);
       ADCC_CHECK(pq > 0, "A is not positive definite along p");
       const double alpha = alg_rho_ / pq;
       linalg::xpay(crow(hz_, i), alpha, crow(hp_, i), row(hz_, i + 1));
+      fault_.tick(3 * n);
       linalg::xpay(crow(hr_, i), -alpha, crow(hq_, i), row(hr_, i + 1));
+      fault_.tick(3 * n);
       const double rho_new = linalg::dot(crow(hr_, i + 1), crow(hr_, i + 1));
+      fault_.tick(2 * n);
       const double beta = rho_new / alg_rho_;
       alg_rho_ = rho_new;
       linalg::xpay(crow(hr_, i + 1), beta, crow(hp_, i), row(hp_, i + 1));
+      fault_.tick(3 * n);
+      fault_.point(CgCrashConsistent::kPointPUpdated);
+      fault_.point(CgCrashConsistent::kPointIterEnd);
       break;
     }
   }

@@ -19,6 +19,7 @@
 #include "cg/cg.hpp"
 #include "checkpoint/checkpoint_set.hpp"
 #include "common/options.hpp"
+#include "core/fault.hpp"
 #include "core/registry.hpp"
 #include "core/workload.hpp"
 #include "pmemtx/tx.hpp"
@@ -52,6 +53,7 @@ class CgWorkload final : public core::Workload {
   core::WorkloadRecovery recover() override;
   bool verify() override;
   void tune_env(core::Mode mode, core::ModeEnvConfig& cfg) const override;
+  core::FaultSurface* fault() override { return &fault_; }
 
   /// Current solution estimate (valid once the run completed).
   std::vector<double> solution() const;
@@ -73,6 +75,7 @@ class CgWorkload final : public core::Workload {
 
   core::ModeEnv* env_ = nullptr;
   core::DurabilityKind engine_ = core::DurabilityKind::kNone;
+  core::FaultSurface fault_;      ///< Software-counted mid-unit crash surface.
   std::size_t done_ = 0;
   std::size_t crashed_done_ = 0;  ///< units_done at the last inject_crash.
 

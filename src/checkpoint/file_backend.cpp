@@ -43,6 +43,11 @@ FileBackend::~FileBackend() {
   std::filesystem::remove(slot_path(0), ec);
   std::filesystem::remove(slot_path(1), ec);
   std::filesystem::remove(meta_path(), ec);
+  // Drop the scratch directory we created when this backend was the last user
+  // (remove() refuses non-empty directories, so concurrent backends sharing a
+  // directory — ctest -j — are safe). Without this, repeated smoke runs
+  // accumulate one empty per-pid directory per adccbench/test invocation.
+  std::filesystem::remove(cfg_.directory, ec);
 }
 
 std::filesystem::path FileBackend::slot_path(int slot) const {

@@ -1,0 +1,62 @@
+#include "core/fault.hpp"
+
+#include "memsim/memsim.hpp"
+
+namespace adcc::core {
+
+void FaultSurface::bind(memsim::MemorySimulator* sim) {
+  sim_ = sim;
+  scheduler_.disarm();
+  accesses_ = 0;
+}
+
+void FaultSurface::arm_at_access(std::uint64_t n) {
+  if (sim_ != nullptr) {
+    sim_->scheduler().arm_at_access(n);
+  } else {
+    scheduler_.arm_at_access(n);
+  }
+}
+
+void FaultSurface::arm_at_point(std::string name, std::uint64_t occurrence) {
+  if (sim_ != nullptr) {
+    sim_->scheduler().arm_at_point(std::move(name), occurrence);
+  } else {
+    scheduler_.arm_at_point(std::move(name), occurrence);
+  }
+}
+
+void FaultSurface::disarm() {
+  if (sim_ != nullptr) {
+    sim_->scheduler().disarm();
+  } else {
+    scheduler_.disarm();
+  }
+}
+
+bool FaultSurface::armed() const {
+  return sim_ != nullptr ? sim_->scheduler().armed() : scheduler_.armed();
+}
+
+std::uint64_t FaultSurface::access_count() const {
+  return sim_ != nullptr ? sim_->access_count() : accesses_;
+}
+
+void FaultSurface::tick(std::uint64_t accesses) {
+  if (sim_ != nullptr) return;  // The simulator counts its own accesses.
+  accesses_ += accesses;
+  if (scheduler_.on_access(accesses_)) fire("access");
+}
+
+void FaultSurface::point(const char* name) {
+  if (sim_ != nullptr) return;  // The workload calls sim->crash_point itself.
+  if (scheduler_.on_point(name)) fire(name);
+}
+
+void FaultSurface::fire(const std::string& at) {
+  // One-shot: recovery re-executes the crashed unit, which must not re-fire.
+  scheduler_.disarm();
+  throw memsim::CrashException(at, accesses_);
+}
+
+}  // namespace adcc::core

@@ -1,0 +1,81 @@
+// FaultSurface — the fault-injection engine threading memsim's CrashScheduler
+// through the Workload API, so ScenarioRunner can land crashes *inside* a work
+// unit (the paper's two crash-emulator trigger modes: after a named statement,
+// and after N memory accesses), not just at unit boundaries.
+//
+// Two backings share one arming interface:
+//
+//  * simulator-backed — a workload that executes under a memsim::MemorySimulator
+//    (the *CrashConsistent classes) binds its simulator; arming forwards to
+//    sim->scheduler() and the simulator's own per-line access accounting raises
+//    memsim::CrashException mid-kernel exactly as it always has.
+//
+//  * software-counted — a native-speed workload adapter owns an unbound
+//    surface and instruments its run_step engines with tick(accesses) /
+//    point(name) calls at sub-unit sites. The surface drives a private
+//    CrashScheduler and throws the same memsim::CrashException when the armed
+//    trigger fires, so ScenarioRunner handles both backings identically.
+//
+// Triggers are one-shot: the surface disarms itself as the exception is thrown
+// (mirroring MemorySimulator::crash + reset_after_crash), so recovery's
+// re-execution of the crashed unit cannot re-fire the same trigger.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "memsim/crash.hpp"
+
+namespace adcc::memsim {
+class MemorySimulator;
+}
+
+namespace adcc::core {
+
+class FaultSurface {
+ public:
+  /// Binds to (or, with nullptr, unbinds from) an external simulator. While
+  /// bound, arming forwards to sim->scheduler() and tick/point are no-ops —
+  /// the simulator already announces every access itself.
+  void bind(memsim::MemorySimulator* sim);
+  memsim::MemorySimulator* sim() const { return sim_; }
+
+  // ---- Arming (ScenarioRunner side) ---------------------------------------
+
+  /// Crash once the access count reaches `n` (fires on access #n).
+  void arm_at_access(std::uint64_t n);
+
+  /// Crash at the `occurrence`-th (1-based) hit of point(`name`).
+  void arm_at_point(std::string name, std::uint64_t occurrence = 1);
+
+  void disarm();
+  bool armed() const;
+
+  /// Accesses announced so far: the simulator's line-granular count when
+  /// bound, else the sum of tick() weights since the last reset_counter().
+  std::uint64_t access_count() const;
+
+  /// Rewinds the software access counter (workload prepare(); bound surfaces
+  /// get a fresh simulator instead).
+  void reset_counter() { accesses_ = 0; }
+
+  // ---- Instrumentation (workload run_step side) ---------------------------
+
+  /// Announces `accesses` memory accesses (element-granular approximations of
+  /// the paper's "instructions"); throws memsim::CrashException if an armed
+  /// access trigger fires inside this batch. No-op while bound.
+  void tick(std::uint64_t accesses);
+
+  /// Names a program point (the paper's crash-after-statement sites); throws
+  /// memsim::CrashException at the armed occurrence. No-op while bound.
+  void point(const char* name);
+
+ private:
+  [[noreturn]] void fire(const std::string& at);
+
+  memsim::MemorySimulator* sim_ = nullptr;
+  memsim::CrashScheduler scheduler_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace adcc::core

@@ -33,7 +33,12 @@ struct RecomputationBreakdown {
   double detect_seconds = 0.0;
   double resume_seconds = 0.0;
   double unit_seconds = 0.0;   ///< Normalizer.
-  std::size_t units_lost = 0;
+  std::size_t units_lost = 0;      ///< Completed units destroyed by crashes.
+  std::size_t partial_units = 0;   ///< Interrupted mid-unit and re-executed.
+  std::size_t units_corrected = 0; ///< Repaired from checksums, not recomputed.
+
+  /// The paper's "iterations lost" count: destroyed + interrupted units.
+  std::size_t units_redone() const { return units_lost + partial_units; }
 
   double detect_normalized() const { return unit_seconds > 0 ? detect_seconds / unit_seconds : 0; }
   double resume_normalized() const { return unit_seconds > 0 ? resume_seconds / unit_seconds : 0; }

@@ -34,6 +34,75 @@ void Table::print() const {
   std::fflush(stdout);
 }
 
+std::optional<TableFormat> parse_table_format(std::string_view name) {
+  if (name.empty() || name == "table" || name == "plain") return TableFormat::kPlain;
+  if (name == "csv") return TableFormat::kCsv;
+  if (name == "json") return TableFormat::kJson;
+  return std::nullopt;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Table::print(TableFormat format) const {
+  switch (format) {
+    case TableFormat::kPlain: print(); break;
+    case TableFormat::kCsv: print_csv(); break;
+    case TableFormat::kJson: print_json(); break;
+  }
+}
+
+void Table::print_csv() const {
+  auto emit = [](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%s", c == 0 ? "" : ",", csv_escape(row[c]).c_str());
+    }
+    std::printf("\n");
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  std::fflush(stdout);
+}
+
+void Table::print_json() const {
+  std::printf("[");
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::printf("%s\n  {", r == 0 ? "" : ",");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s\"%s\": \"%s\"", c == 0 ? "" : ", ", json_escape(headers_[c]).c_str(),
+                  json_escape(rows_[r][c]).c_str());
+    }
+    std::printf("}");
+  }
+  std::printf("\n]\n");
+  std::fflush(stdout);
+}
+
 std::string Table::fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);

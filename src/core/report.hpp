@@ -1,12 +1,21 @@
 // Plain-text table reporting for the figure-reproduction benches: every bench
 // prints the same rows/series the paper's figure shows, in a stable,
-// grep-friendly format that EXPERIMENTS.md references.
+// grep-friendly format that EXPERIMENTS.md references. Tables can also render
+// as CSV or JSON (adccbench --format=csv|json) so matrix/fuzz sweeps feed
+// dashboards without scraping the aligned-column layout.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace adcc::core {
+
+enum class TableFormat { kPlain, kCsv, kJson };
+
+/// Parses "table"/"plain", "csv", "json" (case-sensitive); nullopt otherwise.
+std::optional<TableFormat> parse_table_format(std::string_view name);
 
 class Table {
  public:
@@ -17,10 +26,17 @@ class Table {
   /// Renders with aligned columns to stdout.
   void print() const;
 
+  /// Renders in the requested format to stdout: kPlain as print(), kCsv as an
+  /// RFC-4180 header + rows, kJson as an array of header-keyed objects.
+  void print(TableFormat format) const;
+
   static std::string fmt(double v, int precision = 3);
   static std::string pct(double fraction, int precision = 1);  ///< 0.082 → "8.2%"
 
  private:
+  void print_csv() const;
+  void print_json() const;
+
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };

@@ -7,6 +7,8 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/timer.hpp"
+#include "core/fault.hpp"
+#include "memsim/crash.hpp"
 
 namespace adcc::core {
 
@@ -51,6 +53,44 @@ std::optional<CrashScenario> parse_crash(std::string_view spec) {
     c.count = static_cast<std::size_t>(*n);
     return c;
   }
+  if (head == "access") {
+    const auto n = parse_u64(arg);
+    if (!n || *n == 0) return std::nullopt;
+    c.kind = CrashScenario::Kind::kAtAccess;
+    c.access = *n;
+    return c;
+  }
+  if (head == "point") {
+    // Crash-point names contain ':' themselves (cg:p_updated), so the
+    // occurrence suffix is the last ':'-separated token — and only when it
+    // parses as a number with a non-empty name before it.
+    if (colon == std::string_view::npos || arg.empty()) return std::nullopt;
+    std::string_view name = arg;
+    std::uint64_t occurrence = 1;
+    const auto last = arg.rfind(':');
+    if (last != std::string_view::npos) {
+      const auto k = parse_u64(arg.substr(last + 1));
+      if (k && last > 0) {
+        if (*k == 0) return std::nullopt;
+        name = arg.substr(0, last);
+        occurrence = *k;
+      }
+    }
+    if (name.empty() || name.front() == ':' || name.back() == ':') return std::nullopt;
+    c.kind = CrashScenario::Kind::kAtPoint;
+    c.point = std::string(name);
+    c.occurrence = occurrence;
+    return c;
+  }
+  if (head == "fuzz") {
+    c.kind = CrashScenario::Kind::kFuzz;
+    if (colon != std::string_view::npos) {
+      const auto s = parse_u64(arg);
+      if (!s) return std::nullopt;
+      c.seed = *s;
+    }
+    return c;
+  }
   return std::nullopt;
 }
 
@@ -60,13 +100,24 @@ std::string crash_name(const CrashScenario& crash) {
     case CrashScenario::Kind::kAtStep: return "step:" + std::to_string(crash.step);
     case CrashScenario::Kind::kRandom: return "random:" + std::to_string(crash.seed);
     case CrashScenario::Kind::kRepeated: return "repeat:" + std::to_string(crash.count);
+    case CrashScenario::Kind::kAtAccess: return "access:" + std::to_string(crash.access);
+    case CrashScenario::Kind::kAtPoint:
+      return "point:" + crash.point +
+             (crash.occurrence == 1 ? "" : ":" + std::to_string(crash.occurrence));
+    case CrashScenario::Kind::kFuzz: return "fuzz:" + std::to_string(crash.seed);
   }
   ADCC_CHECK(false, "unknown crash kind");
 }
 
+bool crash_is_mid_unit(const CrashScenario& crash) {
+  return crash.kind == CrashScenario::Kind::kAtAccess ||
+         crash.kind == CrashScenario::Kind::kAtPoint ||
+         crash.kind == CrashScenario::Kind::kFuzz;
+}
+
 std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t work_units) {
   std::vector<std::size_t> out;
-  if (work_units == 0) return out;
+  if (work_units == 0 || crash_is_mid_unit(crash)) return out;
   switch (crash.kind) {
     case CrashScenario::Kind::kNone:
       break;
@@ -86,6 +137,8 @@ std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t wor
       }
       break;
     }
+    default:
+      break;
   }
   return out;
 }
@@ -110,9 +163,69 @@ void ScenarioRunner::ensure_env() {
   env_ = std::make_unique<ModeEnv>(make_env(cfg_.mode, cfg_.env));
 }
 
+void ScenarioRunner::plan_fuzz(FaultSurface& fault) {
+  // Untimed probe repetition: run crash-free, recording the cumulative access
+  // count at every unit boundary, then pick a seeded random unit and a seeded
+  // random access inside it. Access announcements are deterministic, so the
+  // resulting plan is a pure function of (seed, workload, mode).
+  std::vector<std::uint64_t> at_boundary;
+  at_boundary.push_back(fault.access_count());
+  while (workload_.run_step()) {
+    workload_.make_durable();
+    at_boundary.push_back(fault.access_count());
+  }
+  const std::size_t units = at_boundary.size() - 1;
+  ADCC_CHECK(units >= 1, "fuzz crash plan needs at least one work unit");
+  ADCC_CHECK(at_boundary.back() > at_boundary.front(),
+             "fuzz crash plan needs a fault surface that announces accesses");
+  const std::size_t u =
+      static_cast<std::size_t>(splitmix64(cfg_.crash.seed) % units);  // 0-based.
+  const std::uint64_t lo = at_boundary[u];
+  const std::uint64_t hi = at_boundary[u + 1];
+  // Land in (lo, hi]; a unit announcing nothing degenerates to the first
+  // access of the next announcing unit.
+  const std::uint64_t span = hi > lo ? hi - lo : 1;
+  fuzz_access_ = lo + 1 + splitmix64(cfg_.crash.seed ^ 0x9E3779B97F4A7C15ULL) % span;
+}
+
+void ScenarioRunner::arm_fault(FaultSurface& fault) {
+  switch (cfg_.crash.kind) {
+    case CrashScenario::Kind::kAtAccess:
+      fault.arm_at_access(cfg_.crash.access);
+      break;
+    case CrashScenario::Kind::kAtPoint:
+      fault.arm_at_point(cfg_.crash.point, cfg_.crash.occurrence);
+      break;
+    case CrashScenario::Kind::kFuzz:
+      ADCC_CHECK(fuzz_access_ > 0, "fuzz plan not probed");
+      fault.arm_at_access(fuzz_access_);
+      break;
+    default:
+      break;
+  }
+}
+
 double ScenarioRunner::run_once(ScenarioResult& result) {
   ensure_env();
   workload_.prepare(*env_);
+
+  const bool mid_unit = crash_is_mid_unit(cfg_.crash);
+  FaultSurface* fault = workload_.fault();
+  if (mid_unit) {
+    ADCC_CHECK(fault != nullptr,
+               "mid-unit crash plans (access/point/fuzz) need a workload with a fault surface");
+    if (cfg_.crash.kind == CrashScenario::Kind::kFuzz && fuzz_access_ == 0) {
+      plan_fuzz(*fault);
+      // The probe consumed this prepared run; rebuild substrate + run state so
+      // the measured repetition starts clean.
+      env_.reset();
+      ensure_env();
+      workload_.prepare(*env_);
+      fault = workload_.fault();
+    }
+    arm_fault(*fault);
+  }
+
   const std::size_t units = workload_.work_units();
   const std::vector<std::size_t> targets = crash_units(cfg_.crash, units);
   std::size_t next_target = 0;
@@ -121,19 +234,46 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
   result.crashes = 0;
   result.crash_unit = 0;
   result.restart_unit = 0;
+  result.crash_access = 0;
+  result.crash_site.clear();
   result.recomputation = {};
 
   double first_crash_elapsed = 0.0;
   std::size_t first_crash_unit = 0;
 
   Timer total;
-  while (workload_.run_step()) {
-    workload_.make_durable();
-    if (next_target >= targets.size() || workload_.units_done() < targets[next_target]) {
-      continue;
+  for (;;) {
+    const std::size_t before = workload_.units_done();
+    bool crashed_mid = false;
+    bool stepped = false;
+    try {
+      stepped = workload_.run_step();
+    } catch (const memsim::CrashException& e) {
+      // A FaultSurface / MemorySimulator trigger fired inside the unit. The
+      // surface is one-shot, so recovery's re-execution cannot re-fire it.
+      crashed_mid = true;
+      result.crash_access = e.access_count();
+      result.crash_site = e.point();
     }
-    ++next_target;
-    const std::size_t crash_unit = workload_.units_done();
+
+    std::size_t crash_unit = 0;
+    bool partial = false;
+    if (crashed_mid) {
+      crash_unit = workload_.units_done();
+      // End-of-unit crash points may fire after the workload advanced its
+      // cursor; only a crash before the advance interrupted a unit mid-flight.
+      partial = workload_.units_done() == before;
+    } else {
+      if (!stepped) break;
+      workload_.make_durable();
+      if (next_target >= targets.size() ||
+          workload_.units_done() < targets[next_target]) {
+        continue;
+      }
+      ++next_target;
+      crash_unit = workload_.units_done();
+    }
+
     if (result.crashes == 0) {
       first_crash_elapsed = total.elapsed();
       first_crash_unit = crash_unit;
@@ -142,22 +282,31 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
 
     Timer detect;
     const WorkloadRecovery rec = workload_.recover();
-    result.recomputation.detect_seconds += detect.elapsed();
+    const double recover_seconds = detect.elapsed();
+    // Checksum-classifying recoveries recompute/repair units inside recover();
+    // that work is resume time, not detection time (the fig3/fig7 split).
+    result.recomputation.detect_seconds +=
+        std::max(0.0, recover_seconds - rec.repair_seconds);
+    result.recomputation.resume_seconds += std::min(rec.repair_seconds, recover_seconds);
     ADCC_CHECK(rec.restart_unit >= 1 && rec.restart_unit <= crash_unit + 1,
                "workload recovery restarted outside [1, crash_unit + 1]");
-    ADCC_CHECK(rec.units_lost == crash_unit + 1 - rec.restart_unit,
-               "workload recovery units_lost inconsistent with restart_unit");
+    ADCC_CHECK(rec.units_lost >= crash_unit + 1 - rec.restart_unit,
+               "workload recovery units_lost below the restart gap");
     ADCC_CHECK(workload_.units_done() + 1 == rec.restart_unit,
                "workload cursor does not match reported restart_unit");
 
     // Resume: re-execute the destroyed units (targets are strictly increasing,
-    // so no target re-fires below crash_unit).
+    // so no boundary target re-fires below crash_unit). A mid-unit crash also
+    // re-executes the interrupted unit — the paper counts it as lost work.
+    const std::size_t resume_to = crash_unit + (partial ? 1 : 0);
     Timer resume;
-    while (workload_.units_done() < crash_unit && workload_.run_step()) {
+    while (workload_.units_done() < resume_to && workload_.run_step()) {
       workload_.make_durable();
     }
     result.recomputation.resume_seconds += resume.elapsed();
     result.recomputation.units_lost += rec.units_lost;
+    result.recomputation.units_corrected += rec.units_corrected;
+    if (partial) ++result.recomputation.partial_units;
     ++result.crashes;
     result.crash_unit = crash_unit;
     result.restart_unit = rec.restart_unit;

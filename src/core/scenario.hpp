@@ -3,16 +3,29 @@
 // A scenario is (workload, mode, crash plan, repetitions). The runner owns the
 // driver loop every bench binary used to hand-roll: build the mode substrate
 // (untimed), prepare the workload, execute work units with their per-unit
-// durability action, fire crashes at the planned unit boundaries, time the
+// durability action, fire crashes at the planned unit boundaries — or arm the
+// workload's FaultSurface so the crash lands *inside* a unit — time the
 // recovery (detect) and re-execution (resume) phases separately, and fold the
 // measurements into the existing NormalizedTime / RecomputationBreakdown
 // reporting structures.
 //
 // Crash plans (CLI spellings accepted by parse_crash):
-//   none          — no crash
-//   step:K        — one crash after work unit K completes (clamped to the run)
-//   random[:SEED] — one crash at a seed-chosen unit boundary
-//   repeat:N      — N crashes at evenly spaced unit boundaries
+//   none            — no crash
+//   step:K          — one crash after work unit K completes (clamped to the run)
+//   random[:SEED]   — one crash at a seed-chosen unit boundary
+//   repeat:N        — N crashes at evenly spaced unit boundaries
+//   access:N        — mid-unit: crash on the N-th announced memory access
+//   point:NAME[:K]  — mid-unit: crash at the K-th hit of crash point NAME
+//                     (NAME may itself contain ':', e.g. point:cg:p_updated:15)
+//   fuzz:SEED       — mid-unit: a seeded random access inside a seeded random
+//                     unit (an untimed probe repetition measures the per-unit
+//                     access boundaries first; the plan is deterministic in
+//                     SEED, problem and mode)
+//
+// Mid-unit plans require Workload::fault() != nullptr; the runner catches the
+// memsim::CrashException raised out of run_step, accounts the interrupted unit
+// as a partial unit in RecomputationBreakdown, and drives inject_crash /
+// recover / re-execution exactly as for boundary crashes.
 #pragma once
 
 #include <cstdint>
@@ -28,11 +41,14 @@
 namespace adcc::core {
 
 struct CrashScenario {
-  enum class Kind { kNone, kAtStep, kRandom, kRepeated };
+  enum class Kind { kNone, kAtStep, kRandom, kRepeated, kAtAccess, kAtPoint, kFuzz };
   Kind kind = Kind::kNone;
-  std::size_t step = 0;      ///< kAtStep: crash after this many completed units.
-  std::uint64_t seed = 1;    ///< kRandom: picks the crash unit.
-  std::size_t count = 1;     ///< kRepeated: number of crashes.
+  std::size_t step = 0;        ///< kAtStep: crash after this many completed units.
+  std::uint64_t seed = 1;      ///< kRandom / kFuzz: picks the crash site.
+  std::size_t count = 1;       ///< kRepeated: number of crashes.
+  std::uint64_t access = 0;    ///< kAtAccess: the triggering access count.
+  std::string point;           ///< kAtPoint: crash-point name.
+  std::uint64_t occurrence = 1;///< kAtPoint: 1-based hit of `point`.
 };
 
 /// Parses the CLI spelling; nullopt on malformed input.
@@ -41,8 +57,13 @@ std::optional<CrashScenario> parse_crash(std::string_view spec);
 /// Canonical spelling, round-tripping through parse_crash.
 std::string crash_name(const CrashScenario& crash);
 
+/// True for the plans that fire inside a work unit through a FaultSurface
+/// (access / point / fuzz) rather than at a boundary the runner controls.
+bool crash_is_mid_unit(const CrashScenario& crash);
+
 /// The unit boundaries (completed-unit counts, 1-based) at which `crash` fires
-/// for a run of `work_units` units, in firing order. Empty for kNone.
+/// for a run of `work_units` units, in firing order. Empty for kNone and for
+/// every mid-unit plan (those arm the FaultSurface instead).
 std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t work_units);
 
 struct ScenarioConfig {
@@ -61,13 +82,16 @@ struct ScenarioResult {
   double seconds = 0.0;     ///< Median wall time of one full run (incl. recovery).
   NormalizedTime time;      ///< vs cfg.native_seconds when provided.
   /// Last repetition's recovery accounting (all-zero for crash-free runs):
-  /// detect = recover() time, resume = re-execution of lost units, unit =
-  /// mean pre-crash unit time, units_lost summed over all crashes.
+  /// detect = recover() time, resume = re-execution of lost units (plus any
+  /// recover()-internal repair work), unit = mean pre-crash unit time,
+  /// units_lost/partial_units summed over all crashes.
   RecomputationBreakdown recomputation;
   std::size_t work_units = 0;
   std::size_t crashes = 0;       ///< Crashes fired in the last repetition.
   std::size_t crash_unit = 0;    ///< Last crash: completed units when it hit.
   std::size_t restart_unit = 0;  ///< Last crash: first re-executed unit.
+  std::uint64_t crash_access = 0;///< Last mid-unit crash: firing access count.
+  std::string crash_site;        ///< Last mid-unit crash: firing point name.
   bool verify_ran = false;
   bool verified = false;
 };
@@ -89,10 +113,13 @@ class ScenarioRunner {
  private:
   double run_once(ScenarioResult& result);
   void ensure_env();
+  void arm_fault(FaultSurface& fault);
+  void plan_fuzz(FaultSurface& fault);
 
   Workload& workload_;
   ScenarioConfig cfg_;
   std::unique_ptr<ModeEnv> env_;
+  std::uint64_t fuzz_access_ = 0;  ///< Cached fuzz probe result (0 = not probed).
 };
 
 /// Convenience: run a scenario over `workload` with `cfg` once-off.

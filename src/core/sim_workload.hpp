@@ -1,0 +1,47 @@
+// SimWorkloadBase — shared scaffolding for workloads that execute under a
+// memsim::MemorySimulator (the *-sim adapters wrapping the *CrashConsistent
+// classes): the simulator-bound FaultSurface, the boundary-crash injection
+// rule, and the token substrate sizing (the simulator owns the durable
+// images, so the mode substrate goes unused and the adapters are
+// mode-agnostic).
+#pragma once
+
+#include "core/fault.hpp"
+#include "core/workload.hpp"
+#include "memsim/memsim.hpp"
+
+namespace adcc::core {
+
+class SimWorkloadBase : public Workload {
+ public:
+  void tune_env(Mode mode, ModeEnvConfig& env) const override {
+    (void)mode;
+    env.arena_bytes = 1u << 20;
+    env.slot_bytes = 64u << 10;
+  }
+
+  FaultSurface* fault() override { return &fault_; }
+
+  void inject_crash() override {
+    crashed_done_ = units_done();
+    // Mid-unit triggers already crashed the simulator as they threw; boundary
+    // plans inject the power loss here.
+    memsim::MemorySimulator& s = sim();
+    if (!s.crashed()) s.crash();
+  }
+
+ protected:
+  /// The live run's simulator (valid after prepare).
+  virtual memsim::MemorySimulator& sim() = 0;
+
+  /// Call from prepare() after (re)creating the simulated run.
+  void bind_sim(memsim::MemorySimulator& s) {
+    crashed_done_ = 0;
+    fault_.bind(&s);
+  }
+
+  FaultSurface fault_;
+  std::size_t crashed_done_ = 0;  ///< units_done at the last inject_crash.
+};
+
+}  // namespace adcc::core

@@ -23,15 +23,24 @@
 
 namespace adcc::core {
 
+class FaultSurface;
+
 /// What recover() reports after a crash: where execution restarts and how much
 /// completed work the crash destroyed. Units are 1-based; restart_unit is the
 /// first unit that must be (re-)executed, so `restart_unit <= crash_unit + 1`
-/// and `units_lost == crash_unit + 1 - restart_unit` always hold (a crash
-/// after unit k with nothing lost restarts at k + 1).
+/// and `units_lost >= crash_unit + 1 - restart_unit` always hold, with
+/// equality for sequential-cursor recoveries (a crash after unit k with
+/// nothing lost restarts at k + 1). Checksum-classifying recoveries (ABFT-MM)
+/// may additionally repair or recompute non-contiguous earlier units inside
+/// recover() itself; they report that work via units_lost/units_corrected and
+/// charge its wall time to repair_seconds so the runner can split the paper's
+/// detect-vs-resume breakdown correctly.
 struct WorkloadRecovery {
   std::size_t restart_unit = 1;        ///< First unit to (re-)execute (1-based).
   std::size_t units_lost = 0;          ///< Completed units the crash destroyed.
+  std::size_t units_corrected = 0;     ///< Units repaired purely from checksums.
   std::size_t candidates_checked = 0;  ///< Detection probes (invariant scans).
+  double repair_seconds = 0.0;         ///< recover()-internal re-execution time.
 };
 
 class Workload {
@@ -83,6 +92,13 @@ class Workload {
     (void)mode;
     (void)cfg;
   }
+
+  /// The workload's fault surface, if it supports mid-unit crash injection:
+  /// the runner arms access/point triggers on it after prepare(), and the
+  /// workload's instrumented kernels (or its bound MemorySimulator) raise
+  /// memsim::CrashException out of run_step() when the trigger fires. nullptr
+  /// means only unit-boundary crash plans are available.
+  virtual FaultSurface* fault() { return nullptr; }
 };
 
 }  // namespace adcc::core

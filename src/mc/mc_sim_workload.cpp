@@ -1,0 +1,84 @@
+#include "mc/mc_sim_workload.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace adcc::mc {
+
+McSimWorkloadConfig mc_sim_workload_config(const Options& opts) {
+  const bool quick = opts.get_bool("quick");
+  McSimWorkloadConfig cfg;
+  cfg.data.n_nuclides = opts.get_size("nuclides", quick ? 10 : 24);
+  cfg.data.gridpoints_per_nuclide = opts.get_size("gridpoints", quick ? 128 : 500);
+  cfg.lookups = opts.get_size("lookups", quick ? 2'500 : 50'000);
+  cfg.flush_interval = opts.get_size(
+      "interval", std::max<std::uint64_t>(1, cfg.lookups / (quick ? 100 : 2'500)));
+  const std::string policy = opts.get("policy", "selective");
+  if (policy == "basic") {
+    cfg.policy = XsFlushPolicy::kBasicIdea;
+  } else if (policy == "every") {
+    cfg.policy = XsFlushPolicy::kEveryIteration;
+  } else {
+    ADCC_CHECK(policy == "selective", "unknown --policy (want basic|selective|every)");
+    cfg.policy = XsFlushPolicy::kSelective;
+  }
+  cfg.cache_bytes = opts.get_size("cache_mb", quick ? 1 : 8) << 20;
+  cfg.rng_seed = static_cast<std::uint64_t>(opts.get_int("seed", 99));
+  return cfg;
+}
+
+McSimWorkload::McSimWorkload(const McSimWorkloadConfig& cfg) : cfg_(cfg), data_(cfg.data) {
+  ADCC_CHECK(cfg_.lookups > 0, "MC sim workload needs lookups");
+}
+
+XsCcConfig McSimWorkload::cc_config() const {
+  XsCcConfig cc;
+  cc.total_lookups = cfg_.lookups;
+  cc.policy = cfg_.policy;
+  cc.flush_interval = cfg_.flush_interval;
+  cc.cache.size_bytes = cfg_.cache_bytes;
+  cc.cache.ways = cfg_.cache_ways;
+  cc.rng_seed = cfg_.rng_seed;
+  return cc;
+}
+
+void McSimWorkload::prepare(core::ModeEnv& env) {
+  (void)env;  // Mode-agnostic: the flush policy defines the durability scheme.
+  cc_ = std::make_unique<XsCrashConsistent>(data_, cc_config());
+  bind_sim(cc_->sim());
+}
+
+bool McSimWorkload::run_step() { return cc_->step(); }
+
+core::WorkloadRecovery McSimWorkload::recover() {
+  Timer timer;
+  const XsRecovery rec = cc_->begin_recovery();
+  core::WorkloadRecovery out;
+  out.restart_unit = static_cast<std::size_t>(rec.restart_lookup) + 1;
+  out.units_lost = static_cast<std::size_t>(crashed_done_ - rec.restart_lookup);
+  out.repair_seconds = std::max(0.0, timer.elapsed() - rec.detect_seconds);
+  return out;
+}
+
+bool McSimWorkload::verify() {
+  ADCC_CHECK(units_done() == work_units(), "verify requires a completed run");
+  if (!reference_) {
+    // The no-crash reference runs the same simulated kernel on the same
+    // counter-based samples; crashed runs must reproduce it bit-for-bit
+    // (except the basic-idea policy, whose divergence is Fig. 10's point).
+    XsCrashConsistent probe(data_, cc_config());
+    ADCC_CHECK(!probe.run(), "reference run crashed");
+    reference_ = probe.tally();
+  }
+  return tally().counts == reference_->counts;
+}
+
+ADCC_REGISTER_WORKLOAD(
+    "mc-sim", "XSBench under the memsim crash emulator (Figs. 10/12; mode-agnostic)",
+    [](const Options& opts) -> std::unique_ptr<core::Workload> {
+      return std::make_unique<McSimWorkload>(mc_sim_workload_config(opts));
+    });
+
+}  // namespace adcc::mc

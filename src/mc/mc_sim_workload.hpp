@@ -1,0 +1,68 @@
+// XsCrashConsistent as a core::Workload — the memsim-backed twin of
+// mc::McWorkload, registered as "mc-sim".
+//
+// Work unit: ONE lookup (the finest paper granule), so Fig. 10/12's "crash at
+// 10 % of lookups" is simply `--crash=point:xs:lookup_end:K`. The flush policy
+// is part of the workload config (--policy=basic|selective|every): Fig. 10
+// demonstrates the basic idea's tally divergence (verify() fails by design —
+// the cache-resident counters died), Fig. 12 the selective flushing's exact
+// recovery. Mode-agnostic (see cg_sim_workload.hpp) and excluded from
+// `adccbench --matrix`.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/options.hpp"
+#include "core/registry.hpp"
+#include "core/sim_workload.hpp"
+#include "mc/xs_cc.hpp"
+
+namespace adcc::mc {
+
+struct McSimWorkloadConfig {
+  XsConfig data;
+  std::uint64_t lookups = 50'000;
+  XsFlushPolicy policy = XsFlushPolicy::kSelective;
+  std::size_t flush_interval = 20;  ///< Selective: lookups between flushes.
+  std::size_t cache_bytes = 8u << 20;
+  std::size_t cache_ways = 16;
+  std::uint64_t rng_seed = 99;
+};
+
+/// Builds the config from CLI options (--lookups, --nuclides, --gridpoints,
+/// --interval, --policy, --cache_mb, --quick).
+McSimWorkloadConfig mc_sim_workload_config(const Options& opts);
+
+class McSimWorkload final : public core::SimWorkloadBase {
+ public:
+  explicit McSimWorkload(const McSimWorkloadConfig& cfg);
+
+  std::string name() const override { return "mc-sim"; }
+  std::size_t work_units() const override { return static_cast<std::size_t>(cfg_.lookups); }
+  std::size_t units_done() const override {
+    return cc_ ? static_cast<std::size_t>(cc_->cursor()) : 0;
+  }
+  void prepare(core::ModeEnv& env) override;
+  bool run_step() override;
+  void make_durable() override {}  ///< Policy flushes are inside the lookup.
+  core::WorkloadRecovery recover() override;
+  bool verify() override;
+
+  XsCrashConsistent& cc() { return *cc_; }
+
+  /// Final tallies of the last run.
+  Tally tally() const { return cc_->tally(); }
+
+ private:
+  memsim::MemorySimulator& sim() override { return cc_->sim(); }
+  XsCcConfig cc_config() const;
+
+  McSimWorkloadConfig cfg_;
+  XsDataHost data_;
+  std::optional<Tally> reference_;
+
+  std::unique_ptr<XsCrashConsistent> cc_;
+};
+
+}  // namespace adcc::mc

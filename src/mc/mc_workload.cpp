@@ -5,8 +5,16 @@
 
 #include "common/align.hpp"
 #include "common/check.hpp"
+#include "mc/xs_cc.hpp"
 
 namespace adcc::mc {
+
+namespace {
+// Element accesses one lookup announces to the software fault surface: the
+// grid probes, per-nuclide interpolation reads and the tally update. An
+// approximation — determinism, not exactness, is what the triggers need.
+constexpr std::uint64_t kLookupAccessEstimate = 48;
+}  // namespace
 
 McWorkloadConfig mc_workload_config(const Options& opts) {
   const bool quick = opts.get_bool("quick");
@@ -42,6 +50,7 @@ void McWorkload::prepare(core::ModeEnv& env) {
   counters_.fill(0);
   durable_units_ = 0;
   scratch_index_ = 0;
+  fault_.reset_counter();
   engine_ = core::durability_kind(env.mode);
 
   switch (engine_) {
@@ -88,12 +97,15 @@ bool McWorkload::run_step() {
   if (done_ >= units_) return false;
   const std::uint64_t begin = static_cast<std::uint64_t>(done_) * cfg_.interval;
   const std::uint64_t end = std::min(cfg_.lookups, begin + cfg_.interval);
-  const bool persistent = engine_ == core::DurabilityKind::kTransaction || engine_ == core::DurabilityKind::kAlgorithm;
-  double* macro = persistent ? pmacro_.data() : macro_.data();
-  std::uint64_t* counters = persistent ? pcounters_.data() : counters_.data();
-  run_xs_range(data_, rng_, begin, end, macro, counters, &scratch_index_);
+  // All engines accumulate into the volatile working copy, one lookup at a
+  // time with a fault-surface site after each (Fig. 9's per-lookup "end of
+  // statement" granularity); make_durable publishes the interval boundary.
+  for (std::uint64_t i = begin; i < end; ++i) {
+    run_xs_range(data_, rng_, i, i + 1, macro_.data(), counters_.data(), &scratch_index_);
+    fault_.tick(kLookupAccessEstimate);
+    fault_.point(XsCrashConsistent::kPointLookupEnd);
+  }
   ++done_;
-  if (persistent) punits_[0] = done_;
   return true;
 }
 
@@ -107,17 +119,26 @@ void McWorkload::make_durable() {
       break;
     case core::DurabilityKind::kTransaction: {
       // One undo-log transaction per interval — the PMEM-library equivalent
-      // of checkpointing the three restart objects (as in run_xs_tx).
+      // of checkpointing the three restart objects (as in run_xs_tx). The
+      // snapshots are taken before the copy, so a crash mid-publish rolls
+      // back to the previous boundary.
       pmemtx::Transaction tx(*log_);
       tx.add(pmacro_);
       tx.add(pcounters_);
       tx.add(punits_);
+      std::copy(macro_.begin(), macro_.end(), pmacro_.begin());
+      std::copy(counters_.begin(), counters_.end(), pcounters_.begin());
+      punits_[0] = done_;
       tx.commit();
       break;
     }
     case core::DurabilityKind::kAlgorithm:
-      // Fig. 11 line 9: flush macro_xs_vector, the five counters and the
-      // progress counter — three cache lines.
+      // Fig. 11 line 9: publish macro_xs_vector, the five counters and the
+      // progress counter to their boundary snapshot lines and flush — three
+      // cache lines per interval.
+      std::copy(macro_.begin(), macro_.end(), pmacro_.begin());
+      std::copy(counters_.begin(), counters_.end(), pcounters_.begin());
+      punits_[0] = done_;
       env_->region->persist(pmacro_.data(), pmacro_.size_bytes());
       env_->region->persist(pcounters_.data(), pcounters_.size_bytes());
       env_->region->persist(punits_.data(), sizeof(std::uint64_t));
@@ -127,17 +148,11 @@ void McWorkload::make_durable() {
 
 void McWorkload::inject_crash() {
   crashed_done_ = done_;
-  switch (engine_) {
-    case core::DurabilityKind::kNone:
-    case core::DurabilityKind::kCheckpoint:
-      macro_.fill(0.0);  // The DRAM image dies with the power.
-      counters_.fill(0);
-      durable_units_ = 0;
-      break;
-    case core::DurabilityKind::kTransaction:
-    case core::DurabilityKind::kAlgorithm:
-      break;  // Restart state lives in the durable heap / arena.
-  }
+  // The DRAM working copy dies with the power in every mode; the durable
+  // snapshot (checkpoint / heap / arena) is all recovery may read.
+  macro_.fill(0.0);
+  counters_.fill(0);
+  durable_units_ = 0;
 }
 
 core::WorkloadRecovery McWorkload::recover() {
@@ -155,9 +170,13 @@ core::WorkloadRecovery McWorkload::recover() {
       break;
     case core::DurabilityKind::kTransaction:
       log_->recover();  // Rolls back an uncommitted transaction, if any.
+      std::copy(pmacro_.begin(), pmacro_.end(), macro_.begin());
+      std::copy(pcounters_.begin(), pcounters_.end(), counters_.begin());
       done_ = static_cast<std::size_t>(punits_[0]);
       break;
     case core::DurabilityKind::kAlgorithm:
+      std::copy(pmacro_.begin(), pmacro_.end(), macro_.begin());
+      std::copy(pcounters_.begin(), pcounters_.end(), counters_.begin());
       done_ = static_cast<std::size_t>(punits_[0]);
       break;
   }
@@ -167,12 +186,9 @@ core::WorkloadRecovery McWorkload::recover() {
 }
 
 Tally McWorkload::tally() const {
-  const bool persistent = engine_ == core::DurabilityKind::kTransaction || engine_ == core::DurabilityKind::kAlgorithm;
   Tally t;
   for (int c = 0; c < kChannels; ++c) {
-    t.counts[static_cast<std::size_t>(c)] =
-        persistent ? pcounters_[static_cast<std::size_t>(c)]
-                   : counters_[static_cast<std::size_t>(c)];
+    t.counts[static_cast<std::size_t>(c)] = counters_[static_cast<std::size_t>(c)];
   }
   return t;
 }

@@ -5,9 +5,13 @@
 // macro_xs_vector, the five tally counters, and the progress counter — made
 // durable per unit by the mode's mechanism: nothing (native), a checkpoint
 // (ckpt-*), an undo-log transaction (pmem-tx), or three CLFLUSHed cache lines
-// (alg-*, Fig. 11 line 9). Lookup inputs are counter-based RNG draws, so
-// crashed and crash-free runs are exactly comparable — verify() checks the
-// final tallies against a no-crash native reference bit-for-bit.
+// (alg-*, Fig. 11 line 9). Lookups accumulate into the volatile working copy;
+// make_durable publishes it to the mode's durable snapshot, so a mid-unit
+// crash (FaultSurface sites after every lookup) can never leak a partial
+// interval into the restart state — the same boundary-snapshot discipline
+// XsCrashConsistent uses under the simulator. Lookup inputs are counter-based
+// RNG draws, so crashed and crash-free runs are exactly comparable — verify()
+// checks the final tallies against a no-crash native reference bit-for-bit.
 #pragma once
 
 #include <array>
@@ -17,6 +21,7 @@
 
 #include "checkpoint/checkpoint_set.hpp"
 #include "common/options.hpp"
+#include "core/fault.hpp"
 #include "core/registry.hpp"
 #include "core/workload.hpp"
 #include "mc/mc_ckpt.hpp"
@@ -47,6 +52,7 @@ class McWorkload final : public core::Workload {
   core::WorkloadRecovery recover() override;
   bool verify() override;
   void tune_env(core::Mode mode, core::ModeEnvConfig& cfg) const override;
+  core::FaultSurface* fault() override { return &fault_; }
 
   /// Final tallies; valid once the run completed.
   Tally tally() const;
@@ -60,11 +66,12 @@ class McWorkload final : public core::Workload {
 
   core::ModeEnv* env_ = nullptr;
   core::DurabilityKind engine_ = core::DurabilityKind::kNone;
+  core::FaultSurface fault_;  ///< Software-counted mid-unit crash surface.
   std::size_t done_ = 0;
   std::size_t crashed_done_ = 0;
   std::uint64_t scratch_index_ = 0;  ///< Live lookup cursor for run_xs_range.
 
-  // native / ckpt state (volatile DRAM image).
+  // Volatile working copy (all engines accumulate here; dies with the power).
   std::array<double, kChannels> macro_{};
   std::array<std::uint64_t, kChannels> counters_{};
   std::uint64_t durable_units_ = 0;  ///< Checkpointed progress scalar.
@@ -74,7 +81,8 @@ class McWorkload final : public core::Workload {
   std::unique_ptr<pmemtx::PersistentHeap> heap_;
   std::unique_ptr<pmemtx::UndoLog> log_;
 
-  // tx / alg persistent views (heap or arena).
+  // tx / alg durable boundary snapshots (heap or arena), written only by
+  // make_durable so no partial interval can reach them.
   std::span<double> pmacro_;
   std::span<std::uint64_t> pcounters_;
   std::span<std::uint64_t> punits_;

@@ -115,17 +115,24 @@ void XsCrashConsistent::lookup(std::uint64_t i) {
   sim_.crash_point(kPointLookupEnd);
 }
 
+bool XsCrashConsistent::step() {
+  if (cursor_ >= cfg_.total_lookups) return false;
+  lookup(cursor_);
+  return true;
+}
+
 bool XsCrashConsistent::run() {
   try {
-    for (std::uint64_t i = cursor_; i < cfg_.total_lookups; ++i) lookup(i);
+    while (step()) {
+    }
   } catch (const memsim::CrashException&) {
     return true;
   }
   return false;
 }
 
-XsRecovery XsCrashConsistent::recover_and_resume() {
-  ADCC_CHECK(sim_.crashed(), "recover_and_resume requires a prior crash");
+XsRecovery XsCrashConsistent::begin_recovery() {
+  ADCC_CHECK(sim_.crashed(), "recovery requires a prior crash");
   XsRecovery rec;
   rec.crash_lookup = cursor_;  // The in-flight lookup.
 
@@ -138,7 +145,7 @@ XsRecovery XsCrashConsistent::recover_and_resume() {
   }
   rec.detect_seconds = detect.elapsed();
 
-  Timer resume;
+  Timer reload;
   sim_.reset_after_crash();
   sim_.restore_all();  // Live tallies/accumulator reload from NVM.
   if (cfg_.policy != XsFlushPolicy::kBasicIdea) {
@@ -157,8 +164,15 @@ XsRecovery XsCrashConsistent::recover_and_resume() {
     counters_.touch_write(0, kChannels);
   }
   cursor_ = rec.restart_lookup;
+  rec.resume_seconds = reload.elapsed();
+  return rec;
+}
+
+XsRecovery XsCrashConsistent::recover_and_resume() {
+  XsRecovery rec = begin_recovery();
+  Timer resume;
   run();
-  rec.resume_seconds = resume.elapsed();
+  rec.resume_seconds += resume.elapsed();
   return rec;
 }
 

@@ -50,8 +50,19 @@ class XsCrashConsistent {
   /// sim().scheduler() first; returns true if it fired.
   bool run();
 
+  /// Executes the next lookup; returns false once total_lookups is reached.
+  /// An armed crash trigger propagates memsim::CrashException (the
+  /// ScenarioRunner surface).
+  bool step();
+
   /// Restart from the durable NVM state and run to completion.
   XsRecovery recover_and_resume();
+
+  /// Detection + reload only: decodes the durable progress counter, reinstalls
+  /// the boundary tally snapshot, and rewinds the cursor to restart_lookup so
+  /// step() re-executes the lost lookups. Reload time is pre-charged to
+  /// resume_seconds.
+  XsRecovery begin_recovery();
 
   /// Final tallies (live view; after a completed run / recovery).
   Tally tally() const;

@@ -124,11 +124,22 @@ void MmCrashConsistent::add_block(std::size_t blk) {
   sim_.crash_point(kPointAddEnd);
 }
 
+bool MmCrashConsistent::step() {
+  if (done_mults_ < panels_) {
+    multiply_panel(done_mults_ + 1);
+    return true;
+  }
+  if (done_adds_ < blocks_) {
+    add_block(done_adds_ + 1);
+    return true;
+  }
+  return false;
+}
+
 bool MmCrashConsistent::run() {
   try {
-    for (std::size_t s = 1; s <= panels_; ++s) multiply_panel(s);
-    for (std::size_t blk = 1; blk <= blocks_; ++blk) add_block(blk);
-    finished_ = true;
+    while (step()) {
+    }
   } catch (const memsim::CrashException&) {
     return true;
   }
@@ -141,8 +152,8 @@ bool MmCrashConsistent::durable_full_consistent(const memsim::TrackedArray<doubl
   return abft::verify_full_checksums(scratch, cfg_.tol).consistent();
 }
 
-MmRecovery MmCrashConsistent::recover_and_resume() {
-  ADCC_CHECK(sim_.crashed(), "recover_and_resume requires a prior crash");
+MmRecovery MmCrashConsistent::begin_recovery() {
+  ADCC_CHECK(sim_.crashed(), "recovery requires a prior crash");
   MmRecovery rec;
 
   // ---- Phase 1: classify every unit from the durable image. ----
@@ -219,11 +230,16 @@ MmRecovery MmCrashConsistent::recover_and_resume() {
   }
   done_mults_ = done_mults;
   rec.resume_seconds = resume.elapsed();  // Caught up to the crash point.
+  return rec;
+}
 
-  // ---- Finish the remaining (never-executed) units normally. ----
-  for (std::size_t s = done_mults + 1; s <= panels_; ++s) multiply_panel(s);
-  for (std::size_t blk = done_adds_ + 1; blk <= blocks_; ++blk) add_block(blk);
-  finished_ = true;
+MmRecovery MmCrashConsistent::recover_and_resume() {
+  MmRecovery rec = begin_recovery();
+
+  // ---- Finish the remaining (never-executed) units normally (untimed:
+  // resume_seconds covers only the catch-up to the crash point). ----
+  while (step()) {
+  }
   return rec;
 }
 
@@ -239,7 +255,7 @@ void MmCrashConsistent::corrupt_element_for_test(std::size_t s, std::size_t i, s
 }
 
 Matrix MmCrashConsistent::result() const {
-  ADCC_CHECK(finished_, "result before completion");
+  ADCC_CHECK(finished(), "result before completion");
   Matrix c(cfg_.n, cfg_.n);
   const double* src = ctemp_.data();
   for (std::size_t i = 0; i < cfg_.n; ++i) {

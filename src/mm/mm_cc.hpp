@@ -56,14 +56,30 @@ class MmCrashConsistent {
   /// Arm a crash via sim().scheduler() first; returns true if it fired.
   bool run();
 
+  /// Executes the next unit — loop-1 panels first, then loop-2 blocks.
+  /// Returns false once both loops are done. An armed crash trigger
+  /// propagates memsim::CrashException (the ScenarioRunner surface).
+  bool step();
+
   /// Detects inconsistent units from the durable image, repairs or recomputes
   /// them, and completes the product.
   MmRecovery recover_and_resume();
+
+  /// Detection + catch-up only (recover_and_resume minus the never-executed
+  /// trailing units): classifies every completed unit from the durable image,
+  /// repairs correctable ones, recomputes lost ones, and leaves the unit
+  /// cursor at the crash point so step() continues the run. The repair work's
+  /// wall time is pre-charged to resume_seconds.
+  MmRecovery begin_recovery();
+
+  /// Completed units (loop-1 multiplications + loop-2 additions).
+  std::size_t units_done() const { return done_mults_ + done_adds_; }
 
   /// The n×n product (checksums stripped). Valid after run()/recover.
   linalg::Matrix result() const;
 
   std::size_t num_panels() const { return panels_; }
+  std::size_t num_blocks() const { return blocks_; }
   double avg_mult_seconds() const;  ///< Normalizer for loop-1 recomputation.
   double avg_add_seconds() const;   ///< Normalizer for loop-2 recomputation.
   memsim::MemorySimulator& sim() { return sim_; }
@@ -97,11 +113,16 @@ class MmCrashConsistent {
   memsim::TrackedArray<double> ctemp_;
   std::unique_ptr<memsim::TrackedScalar<std::int64_t>> progress_;  ///< phase*1M + unit.
 
+  /// Both loops complete. Derived from the unit counters (not a latched flag)
+  /// so a crash at the very last crash point — after the counters advanced but
+  /// before any flag assignment could run — still reads as finished once
+  /// recovery restores the durable counters.
+  bool finished() const { return done_mults_ == panels_ && done_adds_ == blocks_; }
+
   std::size_t done_mults_ = 0;
   std::size_t done_adds_ = 0;
   double mult_seconds_ = 0.0;
   double add_seconds_ = 0.0;
-  bool finished_ = false;
 };
 
 /// Native-mode Fig. 6 algorithm for the Fig. 8 runtime comparison: temporal

@@ -1,0 +1,62 @@
+// MmCrashConsistent as a core::Workload — the memsim-backed twin of
+// mm::MmWorkload, registered as "mm-sim".
+//
+// Runs the Fig. 6 two-loop ABFT multiplication under the crash emulator; work
+// units are loop-1 panel multiplications followed by loop-2 addition blocks.
+// Arm `--crash=point:mm:loop1_end:4` / `point:mm:loop2_end:4` for the Fig. 7
+// crash tests, or any access/fuzz plan. Recovery classifies every completed
+// unit from the durable image (consistent / correctable / lost) and reports
+// the checksum-vs-recompute split through WorkloadRecovery. Mode-agnostic
+// (see cg_sim_workload.hpp) and excluded from `adccbench --matrix`.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/options.hpp"
+#include "core/registry.hpp"
+#include "core/sim_workload.hpp"
+#include "mm/mm_cc.hpp"
+
+namespace adcc::mm {
+
+struct MmSimWorkloadConfig {
+  std::size_t n = 512;              ///< Square matrix dimension (fig7 scaling).
+  std::size_t rank_k = 64;          ///< Panel width.
+  std::uint64_t seed_a = 7;
+  std::uint64_t seed_b = 8;
+  std::size_t cache_bytes = 8u << 20;
+  std::size_t cache_ways = 16;
+  abft::ChecksumTolerance tol;
+  double verify_rel_tol = 1e-8;
+};
+
+/// Builds the config from CLI options (--n, --rank, --cache_mb, --quick).
+MmSimWorkloadConfig mm_sim_workload_config(const Options& opts);
+
+class MmSimWorkload final : public core::SimWorkloadBase {
+ public:
+  explicit MmSimWorkload(const MmSimWorkloadConfig& cfg);
+
+  std::string name() const override { return "mm-sim"; }
+  std::size_t work_units() const override;
+  std::size_t units_done() const override { return cc_ ? cc_->units_done() : 0; }
+  void prepare(core::ModeEnv& env) override;
+  bool run_step() override;
+  void make_durable() override {}  ///< Checksum/progress flushes are inside the unit.
+  core::WorkloadRecovery recover() override;
+  bool verify() override;
+
+  MmCrashConsistent& cc() { return *cc_; }
+
+ private:
+  memsim::MemorySimulator& sim() override { return cc_->sim(); }
+
+  MmSimWorkloadConfig cfg_;
+  linalg::Matrix a_, b_;
+  std::optional<linalg::Matrix> reference_;
+
+  std::unique_ptr<MmCrashConsistent> cc_;
+};
+
+}  // namespace adcc::mm

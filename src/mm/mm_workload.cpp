@@ -61,6 +61,7 @@ void MmWorkload::prepare(core::ModeEnv& env) {
   env_ = &env;
   done_ = 0;
   crashed_done_ = 0;
+  fault_.reset_counter();
   engine_ = core::durability_kind(env.mode);
 
   switch (engine_) {
@@ -127,28 +128,41 @@ void MmWorkload::alg_add_block(std::size_t blk) {
 }
 
 bool MmWorkload::run_step() {
+  // Fault-surface sites (tick/point may throw mid-unit, see cg_workload.cpp):
+  // all precede ++done_ and the tx commit, so a crash leaves the durable image
+  // at the previous unit boundary.
   if (done_ >= work_units()) return false;
+  const std::size_t panel_cost =
+      nc_ * nc_ * std::min(cfg_.rank_k, cfg_.n);  // Elements a panel GEMM touches.
   switch (engine_) {
     case core::DurabilityKind::kNone: {
       // Fig. 5 line 2: verify Cf's checksum relationship before the update,
       // attempting single-error correction on failure (abft_gemm semantics) —
       // the native-ABFT baseline cost the fig8 comparison normalizes against.
       const abft::ChecksumReport rep = abft::verify_full_checksums(cf_, cfg_.tol);
+      fault_.tick(nc_ * nc_);
       if (!rep.consistent()) {
         ADCC_CHECK(abft::try_correct(cf_, rep, cfg_.tol) > 0,
                    "uncorrectable checksum error in native ABFT accumulator");
       }
       multiply_panel_into(done_ + 1, cf_.data(), /*accumulate=*/true);
+      fault_.tick(panel_cost);
+      fault_.point(MmCrashConsistent::kPointMultEnd);
       break;
     }
     case core::DurabilityKind::kCheckpoint:
       multiply_panel_into(done_ + 1, cf_.data(), /*accumulate=*/true);
+      fault_.tick(panel_cost);
+      fault_.point(MmCrashConsistent::kPointMultEnd);
       break;
     case core::DurabilityKind::kTransaction: {
       pmemtx::Transaction tx(*log_);
       tx.add(tx_cf_);  // Snapshot the whole accumulator (undo log).
       tx.add(tx_step_.subspan(0, 1));
+      fault_.tick(nc_ * nc_);
       multiply_panel_into(done_ + 1, tx_cf_.data(), /*accumulate=*/true);
+      fault_.tick(panel_cost);
+      fault_.point(MmCrashConsistent::kPointMultEnd);
       tx_step_[0] = done_ + 1;
       tx.commit();
       break;
@@ -156,8 +170,12 @@ bool MmWorkload::run_step() {
     case core::DurabilityKind::kAlgorithm: {
       if (done_ < panels_) {
         multiply_panel_into(done_ + 1, ctemp_s_[done_].data(), /*accumulate=*/false);
+        fault_.tick(panel_cost);
+        fault_.point(MmCrashConsistent::kPointMultEnd);
       } else {
         alg_add_block(done_ - panels_ + 1);
+        fault_.tick(cfg_.rank_k * nc_ * (panels_ + 1));
+        fault_.point(MmCrashConsistent::kPointAddEnd);
       }
       break;
     }

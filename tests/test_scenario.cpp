@@ -13,6 +13,27 @@
 namespace adcc::core {
 namespace {
 
+CrashScenario at_step(std::size_t k) {
+  CrashScenario c;
+  c.kind = CrashScenario::Kind::kAtStep;
+  c.step = k;
+  return c;
+}
+
+CrashScenario at_random(std::uint64_t seed) {
+  CrashScenario c;
+  c.kind = CrashScenario::Kind::kRandom;
+  c.seed = seed;
+  return c;
+}
+
+CrashScenario repeated(std::size_t n) {
+  CrashScenario c;
+  c.kind = CrashScenario::Kind::kRepeated;
+  c.count = n;
+  return c;
+}
+
 // ---------------------------------------------------------------- parsing --
 
 TEST(ParseCrash, AcceptsAllSpellings) {
@@ -32,38 +53,97 @@ TEST(ParseCrash, AcceptsAllSpellings) {
   EXPECT_EQ(rep->count, 3u);
 }
 
+TEST(ParseCrash, AcceptsMidUnitSpellings) {
+  const auto acc = parse_crash("access:1234");
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_EQ(acc->kind, CrashScenario::Kind::kAtAccess);
+  EXPECT_EQ(acc->access, 1234u);
+
+  // Point names contain ':' themselves; the occurrence is the numeric tail.
+  const auto p1 = parse_crash("point:cg:p_updated");
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->kind, CrashScenario::Kind::kAtPoint);
+  EXPECT_EQ(p1->point, "cg:p_updated");
+  EXPECT_EQ(p1->occurrence, 1u);
+  const auto p15 = parse_crash("point:cg:p_updated:15");
+  ASSERT_TRUE(p15.has_value());
+  EXPECT_EQ(p15->point, "cg:p_updated");
+  EXPECT_EQ(p15->occurrence, 15u);
+  const auto plain = parse_crash("point:boundary:7");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->point, "boundary");
+  EXPECT_EQ(plain->occurrence, 7u);
+
+  const auto fz = parse_crash("fuzz:42");
+  ASSERT_TRUE(fz.has_value());
+  EXPECT_EQ(fz->kind, CrashScenario::Kind::kFuzz);
+  EXPECT_EQ(fz->seed, 42u);
+  EXPECT_TRUE(parse_crash("fuzz").has_value());
+
+  for (const char* spec : {"access:1", "point:xs:lookup_end:100", "fuzz:9"}) {
+    EXPECT_TRUE(crash_is_mid_unit(*parse_crash(spec))) << spec;
+  }
+  for (const char* spec : {"none", "step:3", "random", "repeat:2"}) {
+    EXPECT_FALSE(crash_is_mid_unit(*parse_crash(spec))) << spec;
+  }
+}
+
 TEST(ParseCrash, RejectsMalformedSpecs) {
-  for (const char* bad : {"step", "step:", "step:0", "step:x", "repeat:0", "boom", "random:x"}) {
+  for (const char* bad : {"step", "step:", "step:0", "step:x", "repeat:0", "boom", "random:x",
+                          "access", "access:", "access:0", "access:x", "point", "point:",
+                          "point::3", "point:name:0", "fuzz:x"}) {
     EXPECT_FALSE(parse_crash(bad).has_value()) << bad;
   }
 }
 
 TEST(ParseCrash, RoundTripsThroughCrashName) {
-  for (const char* spec : {"none", "step:4", "random:12", "repeat:2"}) {
+  for (const char* spec : {"none", "step:4", "random:12", "repeat:2", "access:5000",
+                           "point:cg:p_updated", "point:cg:p_updated:15",
+                           "point:mm:loop2_end:4", "fuzz:31"}) {
     const auto c = parse_crash(spec);
     ASSERT_TRUE(c.has_value()) << spec;
     const auto again = parse_crash(crash_name(*c));
     ASSERT_TRUE(again.has_value()) << spec;
     EXPECT_EQ(again->kind, c->kind) << spec;
+    EXPECT_EQ(again->access, c->access) << spec;
+    EXPECT_EQ(again->point, c->point) << spec;
+    EXPECT_EQ(again->occurrence, c->occurrence) << spec;
+    EXPECT_EQ(crash_name(*again), crash_name(*c)) << spec;
   }
 }
 
 TEST(CrashUnits, PlansBoundaries) {
   EXPECT_TRUE(crash_units({}, 10).empty());
-  CrashScenario step{CrashScenario::Kind::kAtStep, 25, 1, 1};
+  CrashScenario step = at_step(25);
   EXPECT_EQ(crash_units(step, 10), std::vector<std::size_t>{10});  // Clamped.
   step.step = 3;
   EXPECT_EQ(crash_units(step, 10), std::vector<std::size_t>{3});
-  CrashScenario rnd{CrashScenario::Kind::kRandom, 0, 42, 1};
+  const CrashScenario rnd = at_random(42);
   const auto a = crash_units(rnd, 10);
   ASSERT_EQ(a.size(), 1u);
   EXPECT_GE(a[0], 1u);
   EXPECT_LE(a[0], 10u);
   EXPECT_EQ(a, crash_units(rnd, 10));  // Deterministic in the seed.
-  CrashScenario rep{CrashScenario::Kind::kRepeated, 0, 1, 3};
-  const auto units = crash_units(rep, 12);
+  const auto units = crash_units(repeated(3), 12);
   EXPECT_EQ(units, (std::vector<std::size_t>{3, 6, 9}));
   EXPECT_TRUE(std::is_sorted(units.begin(), units.end()));
+}
+
+TEST(CrashUnits, EdgeCases) {
+  // step:K past the end of the run clamps to the final boundary.
+  EXPECT_EQ(crash_units(at_step(1000), 6), std::vector<std::size_t>{6});
+  // repeat:N > work units degrades to at most one crash per boundary.
+  const auto dense = crash_units(repeated(50), 4);
+  EXPECT_LE(dense.size(), 4u);
+  EXPECT_FALSE(dense.empty());
+  for (std::size_t i = 1; i < dense.size(); ++i) EXPECT_LT(dense[i - 1], dense[i]);
+  // Zero-unit runs crash nowhere.
+  EXPECT_TRUE(crash_units(at_step(1), 0).empty());
+  EXPECT_TRUE(crash_units(repeated(3), 0).empty());
+  // Mid-unit plans have no boundary schedule: they arm the fault surface.
+  EXPECT_TRUE(crash_units(*parse_crash("access:100"), 10).empty());
+  EXPECT_TRUE(crash_units(*parse_crash("point:cg:iter_end"), 10).empty());
+  EXPECT_TRUE(crash_units(*parse_crash("fuzz:1"), 10).empty());
 }
 
 // ----------------------------------------------------------------- runner --
@@ -135,7 +215,7 @@ TEST(ScenarioRunner, TinyMcVerifiesInAllSevenModes) {
 // with restart <= k + 1 and units_lost == k + 1 - restart, and still verifies.
 TEST(ScenarioRunner, CrashAtStepKInvariantsHoldInAllModes) {
   cg::CgWorkload w(tiny_cg());
-  CrashScenario crash{CrashScenario::Kind::kAtStep, 3, 1, 1};
+  const CrashScenario crash = at_step(3);
   for (Mode m : all_modes()) {
     ScenarioConfig cfg = tiny_config(w, m);
     cfg.crash = crash;
@@ -153,7 +233,7 @@ TEST(ScenarioRunner, CrashAtStepKInvariantsHoldInAllModes) {
 TEST(ScenarioRunner, NativeCrashLosesEverything) {
   cg::CgWorkload w(tiny_cg());
   ScenarioConfig cfg = tiny_config(w, Mode::kNative);
-  cfg.crash = {CrashScenario::Kind::kAtStep, 4, 1, 1};
+  cfg.crash = at_step(4);
   const ScenarioResult res = run_scenario(w, cfg);
   EXPECT_EQ(res.restart_unit, 1u);       // restart <= crash: all work redone.
   EXPECT_LE(res.restart_unit, res.crash_unit);
@@ -166,7 +246,7 @@ TEST(ScenarioRunner, DurableModesLoseNothingAtBoundaries) {
   cg::CgWorkload w(tiny_cg());
   for (Mode m : {Mode::kCkptNvm, Mode::kPmemTx, Mode::kAlgNvm}) {
     ScenarioConfig cfg = tiny_config(w, m);
-    cfg.crash = {CrashScenario::Kind::kAtStep, 4, 1, 1};
+    cfg.crash = at_step(4);
     const ScenarioResult res = run_scenario(w, cfg);
     EXPECT_EQ(res.recomputation.units_lost, 0u) << mode_name(m);
     EXPECT_EQ(res.restart_unit, 5u) << mode_name(m);
@@ -178,7 +258,7 @@ TEST(ScenarioRunner, RepeatedCrashesAllRecover) {
   mc::McWorkload w(tiny_mc());
   for (Mode m : {Mode::kNative, Mode::kCkptNvm, Mode::kAlgNvm}) {
     ScenarioConfig cfg = tiny_config(w, m);
-    cfg.crash = {CrashScenario::Kind::kRepeated, 0, 1, 2};
+    cfg.crash = repeated(2);
     const ScenarioResult res = run_scenario(w, cfg);
     EXPECT_EQ(res.crashes, 2u) << mode_name(m);
     EXPECT_TRUE(res.verified) << mode_name(m);
@@ -188,7 +268,7 @@ TEST(ScenarioRunner, RepeatedCrashesAllRecover) {
 TEST(ScenarioRunner, RandomCrashIsDeterministicInSeed) {
   cg::CgWorkload w(tiny_cg());
   ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
-  cfg.crash = {CrashScenario::Kind::kRandom, 0, 77, 1};
+  cfg.crash = at_random(77);
   const ScenarioResult a = run_scenario(w, cfg);
   const ScenarioResult b = run_scenario(w, cfg);
   EXPECT_EQ(a.crash_unit, b.crash_unit);
@@ -199,7 +279,7 @@ TEST(ScenarioRunner, RandomCrashIsDeterministicInSeed) {
 TEST(ScenarioRunner, MmAlgCrashInLoopTwoRecovers) {
   mm::MmWorkload w(tiny_mm());
   ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
-  cfg.crash = {CrashScenario::Kind::kAtStep, 6, 1, 1};  // Unit 6 = addition block 2.
+  cfg.crash = at_step(6);  // Unit 6 = addition block 2.
   const ScenarioResult res = run_scenario(w, cfg);
   EXPECT_EQ(res.crash_unit, 6u);
   EXPECT_EQ(res.recomputation.units_lost, 0u);
@@ -222,6 +302,88 @@ TEST(ScenarioRunner, MultipleRepsReportMedian) {
   const ScenarioResult res = run_scenario(w, cfg);
   EXPECT_GT(res.seconds, 0.0);
   EXPECT_TRUE(res.verified);
+}
+
+// --------------------------------------------------------------- mid-unit --
+
+TEST(ScenarioRunner, MidUnitPointCrashRecoversInAllModes) {
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : all_modes()) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("point:cg:iter_end:3");
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 1u) << mode_name(m);
+    // iter_end fires after the unit's compute, before make_durable/++done.
+    EXPECT_EQ(res.recomputation.partial_units, 1u) << mode_name(m);
+    EXPECT_EQ(res.crash_unit, 2u) << mode_name(m);  // Two units had completed.
+    EXPECT_EQ(res.crash_site, "cg:iter_end") << mode_name(m);
+    EXPECT_GT(res.crash_access, 0u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, MidUnitAccessCrashRecoversInAllModes) {
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : all_modes()) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("access:2000");  // Inside unit 2 at n=96, nz=6.
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 1u) << mode_name(m);
+    EXPECT_EQ(res.recomputation.partial_units, 1u) << mode_name(m);
+    EXPECT_GE(res.crash_access, 2000u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, FuzzCrashIsDeterministicInSeed) {
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
+  cfg.crash = *parse_crash("fuzz:17");
+  const ScenarioResult a = run_scenario(w, cfg);
+  const ScenarioResult b = run_scenario(w, cfg);
+  EXPECT_EQ(a.crashes, 1u);
+  EXPECT_EQ(a.crash_access, b.crash_access);
+  EXPECT_EQ(a.crash_unit, b.crash_unit);
+  EXPECT_TRUE(a.verified);
+  EXPECT_TRUE(b.verified);
+
+  // A different seed lands elsewhere (overwhelmingly likely across the run).
+  cfg.crash = *parse_crash("fuzz:18");
+  const ScenarioResult c = run_scenario(w, cfg);
+  EXPECT_EQ(c.crashes, 1u);
+  EXPECT_TRUE(c.verified);
+}
+
+TEST(ScenarioRunner, FuzzSweepRecoversForAllWorkloadsAndModes) {
+  cg::CgWorkload cg(tiny_cg());
+  mm::MmWorkload mm(tiny_mm());
+  mc::McWorkload mc(tiny_mc());
+  Workload* workloads[] = {&cg, &mm, &mc};
+  for (Workload* w : workloads) {
+    for (Mode m : all_modes()) {
+      ScenarioConfig cfg = tiny_config(*w, m);
+      cfg.crash = *parse_crash("fuzz:5");
+      const ScenarioResult res = run_scenario(*w, cfg);
+      EXPECT_EQ(res.crashes, 1u) << w->name() << "/" << mode_name(m);
+      EXPECT_TRUE(res.verified) << w->name() << "/" << mode_name(m);
+    }
+  }
+}
+
+TEST(ScenarioRunner, MidUnitCrashInMcIntervalNeverLeaksPartialTallies) {
+  // A crash between two lookups of one interval must restart from the last
+  // durable boundary with boundary-exact tallies — the hazard the volatile
+  // working copy + durable snapshot split exists to prevent.
+  mc::McWorkload w(tiny_mc());
+  for (Mode m : {Mode::kPmemTx, Mode::kAlgNvm, Mode::kCkptNvm}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("point:xs:lookup_end:250");  // Lookup 250 = unit 3.
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 1u) << mode_name(m);
+    EXPECT_EQ(res.crash_unit, 2u) << mode_name(m);
+    EXPECT_EQ(res.recomputation.units_lost, 0u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
 }
 
 }  // namespace
