@@ -6,57 +6,95 @@
 // recomputation is bounded by ~1 iteration; a cache large enough to hold the
 // whole history loses everything. This sweep exposes that boundary directly.
 //
-// Flags: --n=14000 --nz=11 --iters=15 --cache_mbs=1,2,4,8,16,32,64 --quick
+// Since the sweep-engine port this is a thin SweepSpec declaration over the
+// cg-sim workload — equivalent to
+//
+//   adccbench --sweep=workload=cg-sim,cache_mb=1:64:x2,crash=point:cg:p_updated:15
+//   (plus --no_baseline)
+//
+// so it inherits --sweep_jobs, --format/--out, per-cell failure capture, and
+// every other engine feature. Any mid-unit crash plan works via --crash.
+//
+// Flags: --n=14000 --nz=11 --iters=15 --cache_mbs=1+2+4+8+16+32+64 --quick
+// (--cache_mbs also accepts the legacy comma-separated spelling)
+#include <algorithm>
 #include <cstdio>
-#include <sstream>
 
 #include "cg/cg_cc.hpp"
-#include "common/check.hpp"
 #include "common/options.hpp"
 #include "core/report.hpp"
-#include "linalg/spgen.hpp"
+#include "core/sweep.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace adcc;
-  const Options opts(argc, argv);
+  Options opts(argc, argv);
+  opts.doc("n", "CG problem rows", "14000 (quick: 4000)")
+      .doc("nz", "nonzeros per row", "11")
+      .doc("iters", "CG iteration count (the crash lands in the last one)", "15")
+      .doc("cache_mbs", "simulated LLC sizes to sweep, MB", "1+2+4+8+16+32+64")
+      .doc("crash", "crash plan override", "point:cg:p_updated:<iters>")
+      .doc("sweep_jobs", "worker threads executing deck cells", "1")
+      .doc("format", "table output: table | csv | json", "table")
+      .doc("no_timing", "blank wall-clock columns", "off")
+      .doc("quick", "CI-sized problem defaults", "off");
+  if (opts.maybe_print_help("ablation_cg_cachesize")) return 0;
   const bool quick = opts.get_bool("quick");
-  const std::size_t n = static_cast<std::size_t>(opts.get_int("n", quick ? 4000 : 14000));
-  const std::size_t nz = static_cast<std::size_t>(opts.get_int("nz", 11));
-  const std::size_t iters = static_cast<std::size_t>(opts.get_int("iters", 15));
-  std::vector<std::size_t> cache_mbs;
-  {
-    std::stringstream ss(opts.get("cache_mbs", quick ? "1,4,16" : "1,2,4,8,16,32,64"));
-    std::string tok;
-    while (std::getline(ss, tok, ',')) cache_mbs.push_back(std::stoul(tok));
+  const auto format = core::parse_table_format(opts.get("format", "table"));
+  if (!format) {
+    std::fprintf(stderr, "ablation_cg_cachesize: bad --format\n");
+    return 2;
   }
 
-  const auto a = linalg::make_spd(n, nz, 42);
-  const auto b = linalg::make_rhs(n, 43);
-  const std::size_t per_iter_kb =
-      (a.footprint_bytes() + 4 * n * sizeof(double)) >> 10;
+  // The ablation's own problem defaults (denser per-iteration working set than
+  // the cg-sim registry defaults, so the cache boundary lands inside the
+  // swept range); explicit flags still win.
+  if (!opts.has("n")) opts.set("n", quick ? "4000" : "14000");
+  if (!opts.has("nz")) opts.set("nz", "11");
+  const std::size_t iters = opts.get_size("iters", 15);
+  opts.set("iters", std::to_string(iters));
 
-  core::print_banner("Ablation", "CG iterations lost vs simulated LLC size (n=" +
-                                     std::to_string(n) + ", per-iteration working set ~" +
-                                     std::to_string(per_iter_kb) + " KB)");
+  std::string cache_mbs = opts.get("cache_mbs", quick ? "1+4+16" : "1+2+4+8+16+32+64");
+  std::replace(cache_mbs.begin(), cache_mbs.end(), ',', '+');  // Legacy spelling.
+  const std::string crash = opts.get(
+      "crash", std::string("point:") + cg::CgCrashConsistent::kPointPUpdated + ":" +
+                   std::to_string(iters));
 
-  core::Table table({"cache_mb", "iters_lost", "restart_iter", "detect/iter", "resume/iter"});
-  for (const std::size_t mb : cache_mbs) {
-    cg::CgCcConfig cfg;
-    cfg.n_iters = iters;
-    cfg.cache.size_bytes = mb << 20;
-    cfg.cache.ways = 16;
-    cg::CgCrashConsistent cc(a, b, cfg);
-    cc.sim().scheduler().arm_at_point(cg::CgCrashConsistent::kPointPUpdated, iters);
-    ADCC_CHECK(cc.run(), "crash did not fire");
-    const cg::CgRecovery rec = cc.recover_and_resume();
-    const double unit = cc.avg_iter_seconds();
-    table.add_row({std::to_string(mb), std::to_string(rec.iters_lost),
-                   std::to_string(rec.restart_iter),
-                   core::Table::fmt(unit > 0 ? rec.detect_seconds / unit : 0, 2),
-                   core::Table::fmt(unit > 0 ? rec.resume_seconds / unit : 0, 2)});
+  std::string error;
+  const auto spec = core::parse_sweep(
+      "workload=cg-sim,cache_mb=" + cache_mbs + ",crash=" + crash, &error);
+  if (!spec) {
+    std::fprintf(stderr, "ablation_cg_cachesize: %s\n", error.c_str());
+    return 2;
   }
-  table.print();
-  std::printf("\nExpected: iterations lost grow with cache capacity — the opportunistic\n"
-              "eviction persistence the paper relies on needs working set >> LLC.\n");
-  return 0;
+
+  core::SweepConfig cfg;
+  cfg.base = opts;
+  cfg.jobs = std::max(1, static_cast<int>(opts.get_int("sweep_jobs", 1)));
+  cfg.baseline = false;  // The table is a recomputation sweep, not an overhead one.
+
+  if (*format == core::TableFormat::kPlain) {
+    core::print_banner("Ablation", "CG iterations lost vs simulated LLC size (n=" +
+                                       opts.get("n", "") + ", crash=" + crash + ")");
+  }
+  const core::SweepResult deck = core::run_sweep(*spec, cfg);
+  deck.table(!opts.get_bool("no_timing")).print(*format);
+  if (*format == core::TableFormat::kPlain) {
+    std::printf("\nExpected: iterations lost grow with cache capacity — the opportunistic\n"
+                "eviction persistence the paper relies on needs working set >> LLC.\n");
+  }
+  // The pre-port ADCC_CHECK(cc.run(), "crash did not fire"): a recomputation
+  // table whose cells never crashed (typo'd point name, occurrence past the
+  // run) measures nothing and must not pass silently.
+  for (const core::SweepCellResult& cell : deck.cells) {
+    if (cell.status == core::SweepCellResult::Status::kOk && cell.result.crashes == 0) {
+      std::fprintf(stderr,
+                   "ablation_cg_cachesize: crash plan '%s' never fired in cell %zu\n",
+                   cell.crash_label.c_str(), cell.index);
+      return 1;
+    }
+  }
+  return deck.all_ok() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "ablation_cg_cachesize: %s\n", e.what());
+  return 2;
 }

@@ -2,61 +2,94 @@
 // size: "a larger rank size results in a smaller runtime overhead, because the
 // algorithm does not need to frequently flush checksum cache blocks".
 //
-// Flags: --n=800 --ranks=25,50,100,200,400 --reps=2 --threads=1 --quick
-// (single-threaded by default, matching the Fig. 8 methodology)
-#include <omp.h>
-
+// Since the sweep-engine port this is a thin SweepSpec declaration over the mm
+// workload — equivalent to
+//
+//   adccbench --workload=mm --sweep=mode=alg-nvm,rank=25+50+100+200+400 --threads=1
+//
+// The `overhead` column against the per-rank native baseline is the paper's
+// trend. --mode=all widens the deck to the full seven-mode cross-product, and
+// --crash adds any crash plan — both for free from the engine.
+//
+// Flags: --n=800 --ranks=25+50+100+200+400 --mode=alg-nvm --reps=2 --threads=1
+//        --quick  (--ranks also accepts the legacy comma-separated spelling)
+#include <algorithm>
 #include <cstdio>
-#include <sstream>
 
-#include "abft/abft_gemm.hpp"
 #include "common/options.hpp"
-#include "core/harness.hpp"
 #include "core/report.hpp"
-#include "mm/mm_cc.hpp"
+#include "core/sweep.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace adcc;
-  const Options opts(argc, argv);
+  Options opts(argc, argv);
+  opts.doc("n", "matrix dimension", "800 (quick: 400)")
+      .doc("ranks", "panel ranks to sweep", "25+50+100+200+400")
+      .doc("mode", "durability mode(s) for the deck, or 'all'", "alg-nvm")
+      .doc("crash", "crash plan for every cell", "none")
+      .doc("reps", "timed repetitions per cell (median reported)", "2 (quick: 1)")
+      .doc("threads", "OpenMP threads (Fig. 8 methodology: 1)", "1")
+      .doc("sweep_jobs", "worker threads executing deck cells", "1")
+      .doc("format", "table output: table | csv | json", "table")
+      .doc("no_timing", "blank wall-clock columns", "off")
+      .doc("quick", "CI-sized problem defaults", "off");
+  if (opts.maybe_print_help("ablation_mm_rank")) return 0;
   const bool quick = opts.get_bool("quick");
-  const std::size_t n = static_cast<std::size_t>(opts.get_int("n", quick ? 400 : 800));
-  std::vector<std::size_t> ranks;
+  const auto format = core::parse_table_format(opts.get("format", "table"));
+  if (!format) {
+    std::fprintf(stderr, "ablation_mm_rank: bad --format\n");
+    return 2;
+  }
+
+  if (!opts.has("n")) opts.set("n", quick ? "400" : "800");
+  if (!opts.has("reps")) opts.set("reps", quick ? "1" : "2");
+  if (!opts.has("threads")) opts.set("threads", "1");  // Single-threaded, as Fig. 8.
+
+  std::string ranks = opts.get("ranks", quick ? "25+100+400" : "25+50+100+200+400");
+  std::replace(ranks.begin(), ranks.end(), ',', '+');  // Legacy spelling.
+
+  std::string error;
+  auto spec = core::parse_sweep("workload=mm,mode=" + opts.get("mode", "alg-nvm") +
+                                    ",rank=" + ranks +
+                                    ",crash=" + opts.get("crash", "none"),
+                                &error);
+  if (!spec) {
+    std::fprintf(stderr, "ablation_mm_rank: %s\n", error.c_str());
+    return 2;
+  }
+  // Legacy clamp, applied to the expanded axis so the table's rank column
+  // matches what each cell actually ran: a panel cannot be wider than the
+  // matrix (duplicates after clamping are dropped).
   {
-    std::stringstream ss(opts.get("ranks", quick ? "25,100,400" : "25,50,100,200,400"));
-    std::string tok;
-    while (std::getline(ss, tok, ',')) ranks.push_back(std::min(std::stoul(tok), n));
+    const std::size_t n = opts.get_size("n", 800);
+    auto& values = spec->axes[2].values;  // workload, mode, rank, crash.
+    std::vector<std::string> clamped;
+    for (const std::string& v : values) {
+      std::string c = std::to_string(std::min<std::size_t>(std::stoull(v), n));
+      if (std::find(clamped.begin(), clamped.end(), c) == clamped.end()) {
+        clamped.push_back(std::move(c));
+      }
+    }
+    values = std::move(clamped);
   }
-  const int reps = static_cast<int>(opts.get_int("reps", quick ? 1 : 2));
-  const int threads = static_cast<int>(opts.get_int("threads", 1));
-  if (threads > 0) omp_set_num_threads(threads);
 
-  linalg::Matrix a(n, n), b(n, n);
-  a.fill_random(3, -1, 1);
-  b.fill_random(4, -1, 1);
+  core::SweepConfig cfg;
+  cfg.base = opts;
+  cfg.jobs = std::max(1, static_cast<int>(opts.get_int("sweep_jobs", 1)));
+  cfg.baseline = !opts.get_bool("no_timing");  // Baselines only feed timing columns.
 
-  core::print_banner("Ablation", "algorithm-directed ABFT-MM overhead vs rank, n=" +
-                                     std::to_string(n));
-
-  core::Table table({"rank", "panels", "flush_lines", "native_s", "alg_s", "overhead"});
-  for (const std::size_t rank : ranks) {
-    const double native_s =
-        core::median_seconds([&] { abft::abft_gemm(a, b, rank); }, reps);
-    std::uint64_t flushed = 0;
-    const double alg_s = core::median_seconds(
-        [&] {
-          nvm::PerfModel perf(nvm::PerfConfig{.bandwidth_slowdown = 1.0, .enabled = false});
-          nvm::NvmRegion region(mm::mm_cc_native_arena_bytes(n, rank), perf);
-          flushed = mm::run_mm_cc_native(a, b, rank, region).checksum_lines_flushed;
-        },
-        reps);
-    const auto nt = core::normalize(alg_s, native_s);
-    table.add_row({std::to_string(rank), std::to_string((n + rank - 1) / rank),
-                   std::to_string(flushed), core::Table::fmt(native_s, 4),
-                   core::Table::fmt(alg_s, 4),
-                   core::Table::fmt(nt.overhead_percent(), 1) + "%"});
+  if (*format == core::TableFormat::kPlain) {
+    core::print_banner("Ablation", "algorithm-directed ABFT-MM overhead vs rank, n=" +
+                                       opts.get("n", ""));
   }
-  table.print();
-  std::printf("\nExpected: overhead falls as the rank grows (fewer checksum flushes and\n"
-              "fewer temporal matrices), the paper's 8.2%% -> 1.3%% trend.\n");
-  return 0;
+  const core::SweepResult deck = core::run_sweep(*spec, cfg);
+  deck.table(!opts.get_bool("no_timing")).print(*format);
+  if (*format == core::TableFormat::kPlain) {
+    std::printf("\nExpected: overhead falls as the rank grows (fewer checksum flushes and\n"
+                "fewer temporal matrices), the paper's 8.2%% -> 1.3%% trend.\n");
+  }
+  return deck.all_ok() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "ablation_mm_rank: %s\n", e.what());
+  return 2;
 }

@@ -2,59 +2,85 @@
 // frequency: flushing every iteration cost the paper ~16 %; every 0.01 % of
 // lookups was free. This sweep regenerates the trade-off curve.
 //
+// Since the sweep-engine port this is a thin SweepSpec declaration over the mc
+// workload — equivalent to
+//
+//   adccbench --workload=mc --sweep=mode=alg-nvm,interval=1+4+16+64+256+1024+8192
+//
+// The `overhead` column against the shared native baseline is the paper's
+// curve (cells differing only in mode/crash share one baseline run). As with
+// every deck, --mode=all / --crash widen the grid for free.
+//
 // Flags: --lookups=1000000 --nuclides=24 --gridpoints=500
-//        --intervals=1,4,16,64,256,1024,8192 --reps=3 --quick
+//        --intervals=1+4+16+64+256+1024+8192 --mode=alg-nvm --reps=3 --quick
+//        (--intervals also accepts the legacy comma-separated spelling)
+#include <algorithm>
 #include <cstdio>
-#include <sstream>
 
 #include "common/options.hpp"
-#include "core/harness.hpp"
 #include "core/report.hpp"
-#include "mc/mc_ckpt.hpp"
+#include "core/sweep.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace adcc;
-  const Options opts(argc, argv);
+  Options opts(argc, argv);
+  opts.doc("lookups", "total XS lookups (suffixes: K/M/G)", "1000000 (quick: 200000)")
+      .doc("nuclides", "nuclide count", "24")
+      .doc("gridpoints", "gridpoints per nuclide", "500")
+      .doc("intervals", "tally-flush intervals to sweep (lookups per flush)",
+           "1+4+16+64+256+1024+8192")
+      .doc("mode", "durability mode(s) for the deck, or 'all'", "alg-nvm")
+      .doc("crash", "crash plan for every cell", "none")
+      .doc("reps", "timed repetitions per cell (median reported)", "3 (quick: 1)")
+      .doc("sweep_jobs", "worker threads executing deck cells", "1")
+      .doc("format", "table output: table | csv | json", "table")
+      .doc("no_timing", "blank wall-clock columns", "off")
+      .doc("quick", "CI-sized problem defaults", "off");
+  if (opts.maybe_print_help("ablation_xs_flushfreq")) return 0;
   const bool quick = opts.get_bool("quick");
-  mc::XsConfig dc;
-  dc.n_nuclides = static_cast<std::size_t>(opts.get_int("nuclides", 24));
-  dc.gridpoints_per_nuclide = static_cast<std::size_t>(opts.get_int("gridpoints", 500));
-  const auto lookups =
-      static_cast<std::uint64_t>(opts.get_int("lookups", quick ? 200'000 : 1'000'000));
-  std::vector<std::uint64_t> intervals;
-  {
-    std::stringstream ss(opts.get("intervals", quick ? "1,64,1024" : "1,4,16,64,256,1024,8192"));
-    std::string tok;
-    while (std::getline(ss, tok, ',')) intervals.push_back(std::stoull(tok));
+  const auto format = core::parse_table_format(opts.get("format", "table"));
+  if (!format) {
+    std::fprintf(stderr, "ablation_xs_flushfreq: bad --format\n");
+    return 2;
   }
-  const int reps = static_cast<int>(opts.get_int("reps", quick ? 1 : 3));
 
-  const mc::XsDataHost data(dc);
-  const std::uint64_t seed = 5;
-  core::print_banner("Ablation", "XSBench overhead vs tally-flush interval, " +
-                                     std::to_string(lookups) + " lookups");
+  if (!opts.has("lookups")) opts.set("lookups", quick ? "200000" : "1000000");
+  if (!opts.has("nuclides")) opts.set("nuclides", "24");
+  if (!opts.has("gridpoints")) opts.set("gridpoints", "500");
+  if (!opts.has("reps")) opts.set("reps", quick ? "1" : "3");
+  if (!opts.has("seed")) opts.set("seed", "5");
 
-  const double native_s =
-      core::median_seconds([&] { mc::run_xs_native(data, lookups, seed); }, reps);
+  std::string intervals =
+      opts.get("intervals", quick ? "1+64+1024" : "1+4+16+64+256+1024+8192");
+  std::replace(intervals.begin(), intervals.end(), ',', '+');  // Legacy spelling.
 
-  core::Table table({"flush every N lookups", "pct of lookups", "seconds", "overhead"});
-  for (const std::uint64_t interval : intervals) {
-    const double s = core::median_seconds(
-        [&] {
-          nvm::PerfModel perf(nvm::PerfConfig{.bandwidth_slowdown = 1.0, .enabled = false});
-          nvm::NvmRegion region(1u << 20, perf);
-          mc::run_xs_cc_native(data, lookups, seed, interval, region);
-        },
-        reps);
-    const auto nt = core::normalize(s, native_s);
-    table.add_row({std::to_string(interval),
-                   core::Table::fmt(100.0 * static_cast<double>(interval) /
-                                        static_cast<double>(lookups), 4) + "%",
-                   core::Table::fmt(s, 4),
-                   core::Table::fmt(nt.overhead_percent(), 2) + "%"});
+  std::string error;
+  const auto spec = core::parse_sweep("workload=mc,mode=" + opts.get("mode", "alg-nvm") +
+                                          ",interval=" + intervals +
+                                          ",crash=" + opts.get("crash", "none"),
+                                      &error);
+  if (!spec) {
+    std::fprintf(stderr, "ablation_xs_flushfreq: %s\n", error.c_str());
+    return 2;
   }
-  table.print();
-  std::printf("\nnative: %.4fs. Paper: flushing every iteration ~16%% overhead; every\n"
-              "0.01%% of lookups, ~0.05%%.\n", native_s);
-  return 0;
+
+  core::SweepConfig cfg;
+  cfg.base = opts;
+  cfg.jobs = std::max(1, static_cast<int>(opts.get_int("sweep_jobs", 1)));
+  cfg.baseline = !opts.get_bool("no_timing");  // Baselines only feed timing columns.
+
+  if (*format == core::TableFormat::kPlain) {
+    core::print_banner("Ablation", "XSBench overhead vs tally-flush interval, " +
+                                       opts.get("lookups", "") + " lookups");
+  }
+  const core::SweepResult deck = core::run_sweep(*spec, cfg);
+  deck.table(!opts.get_bool("no_timing")).print(*format);
+  if (*format == core::TableFormat::kPlain) {
+    std::printf("\nExpected: overhead falls as the flush interval grows. Paper: flushing\n"
+                "every iteration ~16%%; every 0.01%% of lookups, ~0.05%%.\n");
+  }
+  return deck.all_ok() ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "ablation_xs_flushfreq: %s\n", e.what());
+  return 2;
 }

@@ -1,5 +1,6 @@
 // adccbench — the registry-driven scenario driver: any workload x any of the
-// seven durability modes x any crash plan, one binary.
+// seven durability modes x any crash plan x any swept parameter axis, one
+// binary, one process.
 //
 //   adccbench --list
 //   adccbench --workload=cg --mode=alg-nvm/dram --crash=step:7
@@ -7,24 +8,33 @@
 //   adccbench --workload=cg --mode=all --crash=fuzz:17     # mid-unit fuzzing
 //   adccbench --workload=cg-sim --crash=point:cg:p_updated:15
 //   adccbench --matrix --quick          # full workload x mode cross-product
-//   adccbench --matrix --quick --format=csv                # machine-readable
+//   adccbench --sweep=mode=all,n=1000:4000:1000 --quick    # batched deck
+//   adccbench --sweep=workload=cg-sim,cache_mb=1:64:x2 --sweep_jobs=4
+//   adccbench --sweep=mode=all,threads=1:4 --format=csv --out=deck.csv
 //
-// Unless --no_baseline is passed, a native run of the same workload is timed
-// first and every row is normalized against it (the paper's y-axis).
-// Mid-unit crash plans (access:/point:/fuzz:) are armed on the workload's
-// FaultSurface; the *-sim workloads run under the memsim crash emulator and
-// ignore the mode axis, so --matrix skips them.
+// Every run is a sweep deck: the scalar --workload/--mode/--crash flags are
+// injected as axes when --sweep doesn't name them (--matrix is shorthand for
+// workload=all), so `--workload=cg --mode=all` is the 7-cell deck it reads
+// as. Decks execute in one process — optionally on --sweep_jobs worker
+// threads with per-cell isolated checkpoint scratch dirs — and one crashed
+// cell reports ERROR in its row instead of killing the deck.
+//
+// Unless --no_baseline is passed, a native run of each distinct problem shape
+// is timed once and its cells are normalized against it (the paper's y-axis).
+// --no_timing blanks every wall-clock column so serial and parallel decks
+// emit byte-identical csv/json.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
-#include <vector>
 
 #include "common/check.hpp"
 #include "common/options.hpp"
 #include "core/registry.hpp"
 #include "core/report.hpp"
-#include "core/scenario.hpp"
+#include "core/sweep.hpp"
 
 namespace {
 
@@ -38,75 +48,6 @@ const std::filesystem::path& scratch_dir() {
   return dir;
 }
 
-core::ScenarioConfig make_config(const core::Workload& workload, core::Mode mode,
-                                 const core::CrashScenario& crash, const Options& opts) {
-  core::ScenarioConfig cfg;
-  cfg.mode = mode;
-  cfg.crash = crash;
-  cfg.env.scratch_dir = scratch_dir();
-  cfg.env.disk_throttle_bytes_per_s = opts.get_double("disk_mbps", 150.0) * 1e6;
-  workload.tune_env(mode, cfg.env);
-  if (opts.has("arena")) cfg.env.arena_bytes = opts.get_size("arena", cfg.env.arena_bytes);
-  if (opts.has("slot")) cfg.env.slot_bytes = opts.get_size("slot", cfg.env.slot_bytes);
-  cfg.reps = static_cast<int>(opts.get_int("reps", 1));
-  cfg.warmup = opts.get_bool("warmup", false);
-  cfg.verify = opts.get_bool("verify", true);
-  return cfg;
-}
-
-/// Runs one workload across `modes`, appending one row per scenario to
-/// `table` (shared across workloads so csv/json stay one parseable document);
-/// returns false if any verification failed.
-bool run_workload(const std::string& name, const std::vector<core::Mode>& modes,
-                  const core::CrashScenario& crash, const Options& opts, bool banner,
-                  core::TableFormat format, core::Table& table) {
-  const auto workload = core::WorkloadRegistry::instance().create(name, opts);
-  if (banner && format == core::TableFormat::kPlain) {
-    core::print_banner("adccbench", name + " — " +
-                                        core::WorkloadRegistry::instance().description(name) +
-                                        ", crash=" + core::crash_name(crash));
-  }
-
-  // Native baseline for the normalized column (skipped with --no_baseline).
-  // When the mode list itself starts with a crash-free kNative scenario, that
-  // row doubles as the baseline instead of paying a second native run.
-  double native_seconds = 0.0;
-  const bool reuse_native_row = !modes.empty() && modes.front() == core::Mode::kNative &&
-                                crash.kind == core::CrashScenario::Kind::kNone;
-  if (!opts.get_bool("no_baseline") && !reuse_native_row) {
-    core::ScenarioConfig nc = make_config(*workload, core::Mode::kNative, {}, opts);
-    nc.verify = false;
-    native_seconds = core::run_scenario(*workload, nc).seconds;
-  }
-
-  bool all_ok = true;
-  for (core::Mode mode : modes) {
-    core::ScenarioConfig cfg = make_config(*workload, mode, crash, opts);
-    cfg.native_seconds = native_seconds;
-    core::ScenarioRunner runner(*workload, cfg);
-    core::ScenarioResult res = runner.run();
-    if (reuse_native_row && mode == core::Mode::kNative && native_seconds == 0.0 &&
-        !opts.get_bool("no_baseline")) {
-      native_seconds = res.seconds;  // This row is the baseline.
-      res.time = core::normalize(res.seconds, native_seconds);
-    }
-    const bool ok = !res.verify_ran || res.verified;
-    all_ok = all_ok && ok;
-    const auto& rb = res.recomputation;
-    table.add_row({name, core::mode_name(mode), core::crash_name(res.crash),
-                   std::to_string(res.work_units), core::Table::fmt(res.seconds, 4),
-                   native_seconds > 0 ? core::Table::fmt(res.time.normalized, 3) : "-",
-                   native_seconds > 0
-                       ? core::Table::fmt(res.time.overhead_percent(), 1) + "%"
-                       : "-",
-                   std::to_string(rb.units_lost), std::to_string(rb.partial_units),
-                   res.crashes > 0 ? core::Table::fmt(rb.detect_normalized(), 2) : "-",
-                   res.crashes > 0 ? core::Table::fmt(rb.resume_normalized(), 2) : "-",
-                   res.verify_ran ? (res.verified ? "yes" : "FAIL") : "-"});
-  }
-  return all_ok;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -117,9 +58,15 @@ int main(int argc, char** argv) try {
            "crash plan: none | step:K | random[:SEED] | repeat:N | access:N | "
            "point:NAME[:K] | fuzz:SEED",
            "none")
+      .doc("sweep",
+           "axis grid: key=v1+v2,key=lo:hi[:step|:xF],... (axes: workload, mode, "
+           "crash, policy, and any workload option key)")
+      .doc("sweep_jobs", "worker threads executing deck cells", "1")
       .doc("matrix", "run every registered workload x every mode (skips *-sim)", "off")
       .doc("list", "list registered workloads and exit")
       .doc("format", "table output: table | csv | json", "table")
+      .doc("out", "also write the table to this file (format from extension)")
+      .doc("no_timing", "blank wall-clock columns (byte-stable serial vs parallel)", "off")
       .doc("reps", "timed repetitions per scenario (median reported)", "1")
       .doc("warmup", "one discarded repetition first", "off")
       .doc("verify", "check results against references", "on")
@@ -129,6 +76,7 @@ int main(int argc, char** argv) try {
       .doc("nz", "cg: nonzeros per row", "15")
       .doc("iters", "cg: iteration count", "15")
       .doc("rank", "mm: panel rank k")
+      .doc("threads", "OpenMP threads per cell (sweepable axis)")
       .doc("lookups", "mc: total lookups (suffixes: K/M/G)")
       .doc("interval", "mc: lookups per durability unit")
       .doc("nuclides", "mc: nuclide count")
@@ -157,69 +105,90 @@ int main(int argc, char** argv) try {
     return 0;
   }
 
-  const auto crash = core::parse_crash(opts.get("crash", "none"));
-  if (!crash) {
-    std::fprintf(stderr,
-                 "adccbench: bad --crash (want none | step:K | random[:SEED] | repeat:N | "
-                 "access:N | point:NAME[:K] | fuzz:SEED)\n");
+  // Build the deck: the --sweep axes, with the scalar flags injected as axes
+  // when absent so the single-scenario and --matrix spellings are the same
+  // engine path (--matrix is workload=all).
+  std::string error;
+  core::SweepSpec spec;
+  if (opts.has("sweep")) {
+    auto parsed = core::parse_sweep(opts.get("sweep", ""), &error);
+    if (!parsed) {
+      std::fprintf(stderr, "adccbench: bad --sweep: %s\n", error.c_str());
+      return 2;
+    }
+    spec = std::move(*parsed);
+  }
+  auto inject = [&](const char* key, const std::string& value, bool front) -> bool {
+    if (spec.find(key) != nullptr) return true;
+    auto axis = core::make_axis(key, value, &error);
+    if (!axis) {
+      std::fprintf(stderr, "adccbench: bad --%s: %s\n", key, error.c_str());
+      return false;
+    }
+    spec.axes.insert(front ? spec.axes.begin() : spec.axes.end(), std::move(*axis));
+    return true;
+  };
+  // Workload first: the mode default depends on what the deck sweeps.
+  if (!inject("workload", opts.get_bool("matrix") ? "all" : opts.get("workload", "cg"),
+              /*front=*/true)) {
     return 2;
   }
-
-  std::vector<core::Mode> modes;
-  const std::string mode_spec = opts.get("mode", "all");
-  if (mode_spec == "all") {
-    modes = core::all_modes();
-  } else {
-    const auto m = core::parse_mode(mode_spec);
-    if (!m) {
-      std::fprintf(stderr, "adccbench: unknown --mode '%s'; known:", mode_spec.c_str());
-      for (core::Mode k : core::all_modes()) {
-        std::fprintf(stderr, " %s", core::mode_name(k).c_str());
-      }
-      std::fprintf(stderr, "\n");
+  // The *-sim workloads ignore the mode axis, so a deck of only sims would run
+  // every scenario seven times under the default mode=all injection; an
+  // explicit --mode (or a mode axis in --sweep) still wins.
+  const core::SweepAxis* workloads = spec.find("workload");
+  const bool all_sim =
+      std::all_of(workloads->values.begin(), workloads->values.end(),
+                  [](const std::string& name) { return name.ends_with("-sim"); });
+  const std::string default_mode = all_sim && !opts.has("mode") ? "native" : "all";
+  if (spec.find("mode") == nullptr) {
+    auto axis = core::make_axis("mode", opts.get("mode", default_mode), &error);
+    if (!axis) {
+      std::fprintf(stderr, "adccbench: bad --mode: %s\n", error.c_str());
       return 2;
     }
-    modes = {*m};
+    spec.axes.insert(spec.axes.begin() + 1, std::move(*axis));  // After workload.
+  }
+  if (!inject("crash", opts.get("crash", "none"), /*front=*/false)) return 2;
+
+  core::SweepConfig cfg;
+  cfg.base = opts;
+  cfg.jobs = std::max(1, static_cast<int>(opts.get_int("sweep_jobs", 1)));
+  // Baselines only feed the wall-clock columns, which --no_timing blanks.
+  cfg.baseline = !opts.get_bool("no_baseline") && !opts.get_bool("no_timing");
+  cfg.scratch_root = scratch_dir();
+
+  if (*format == core::TableFormat::kPlain) {
+    core::print_banner("adccbench", "sweep " + spec.canonical() + " (" +
+                                        std::to_string(spec.cells()) + " cells)");
   }
 
-  std::vector<std::string> workloads;
-  if (opts.get_bool("matrix")) {
-    // The *-sim workloads ignore the mode axis (the simulator fixes the
-    // durability scheme), so the cross-product would repeat one scenario
-    // seven times; run them explicitly via --workload instead.
-    for (const auto& name : registry.names()) {
-      if (name.size() < 4 || name.substr(name.size() - 4) != "-sim") {
-        workloads.push_back(name);
-      }
-    }
-  } else {
-    workloads.push_back(opts.get("workload", "cg"));
-    if (!registry.contains(workloads.back())) {
-      std::fprintf(stderr, "adccbench: unknown --workload '%s'; try --list\n",
-                   workloads.back().c_str());
-      return 2;
-    }
-  }
-
-  bool all_ok = true;
-  std::size_t scenarios = 0;
-  core::Table table({"workload", "mode", "crash", "units", "seconds", "normalized", "overhead",
-                     "lost", "partial", "detect/unit", "resume/unit", "verified"});
-  for (const auto& name : workloads) {
-    all_ok = run_workload(name, modes, *crash, opts, /*banner=*/!opts.get_bool("matrix"),
-                          *format, table) &&
-             all_ok;
-    scenarios += modes.size();
-  }
+  const core::SweepResult deck = core::run_sweep(spec, cfg);
+  const bool timing = !opts.get_bool("no_timing");
+  const core::Table table = deck.table(timing);
   table.print(*format);
-  if (opts.get_bool("matrix") && *format == core::TableFormat::kPlain) {
-    std::printf("\nMATRIX %s (%zu workloads x %zu modes = %zu scenarios, crash=%s)\n",
-                all_ok ? "OK" : "FAILED", workloads.size(), modes.size(), scenarios,
-                core::crash_name(*crash).c_str());
+
+  if (opts.has("out")) {
+    const std::filesystem::path path = opts.get("out", "");
+    const auto ext = path.extension().string();
+    const core::TableFormat file_format = ext == ".csv"    ? core::TableFormat::kCsv
+                                          : ext == ".json" ? core::TableFormat::kJson
+                                                           : *format;
+    std::ofstream out(path);
+    ADCC_CHECK(out.good(), "cannot open --out file");
+    out << table.render(file_format);
+  }
+
+  if (*format == core::TableFormat::kPlain) {
+    std::printf("\nSWEEP %s (%zu cells: %zu ok, %zu verify-failed, %zu errors)\n",
+                deck.all_ok() ? "OK" : "FAILED", deck.cells.size(),
+                deck.count(core::SweepCellResult::Status::kOk),
+                deck.count(core::SweepCellResult::Status::kVerifyFailed),
+                deck.count(core::SweepCellResult::Status::kError));
   }
   std::error_code ec;
   std::filesystem::remove_all(scratch_dir(), ec);
-  return all_ok ? 0 : 1;
+  return deck.all_ok() ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "adccbench: %s\n", e.what());
   std::error_code ec;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Pinned perf-tracking sweep deck: one adccbench invocation over every non-sim
+# workload x all seven modes (crash-free, CI-sized, median of 3 reps), written
+# to BENCH_sweep.json at the repo root so the perf trajectory is tracked in
+# version control / CI artifacts from PR 3 onward.
+#
+#   scripts/bench_matrix.sh                 # build + deck -> BENCH_sweep.json
+#   scripts/bench_matrix.sh --out /tmp/b.json --bin ./build/adccbench --no-build
+#
+# The deck is deliberately pinned (workloads, sizes, reps, throttle defaults):
+# compare BENCH_sweep.json across commits, not across machines.
+set -euo pipefail
+cd "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/.."
+
+BIN=""
+OUT="BENCH_sweep.json"
+BUILD=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) BIN="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    --no-build) BUILD=0; shift ;;
+    *) echo "bench_matrix.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+if [[ -z "$BIN" ]]; then
+  if [[ "$BUILD" -eq 1 ]]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j "$(nproc)" --target adccbench >/dev/null
+  fi
+  BIN=./build/adccbench
+fi
+
+# Pinned deck: every workload under every mode with a mid-run crash pass too,
+# so both steady-state overhead and recovery cost stay on the trajectory.
+"$BIN" --sweep="workload=all,mode=all,crash=none+step:2" \
+  --quick --reps=3 --format=json --out="$OUT" >/dev/null
+
+echo "bench_matrix OK -> $OUT ($(grep -c '"workload"' "$OUT") cells)"

@@ -7,11 +7,18 @@
 #   scripts/fuzz.sh                         # build + 20 seeds, quick sizes
 #   scripts/fuzz.sh --seeds 5 --start 100   # seeds 100..104
 #   scripts/fuzz.sh --bin ./build/adccbench --no-build
+#   scripts/fuzz.sh --full                  # nightly sizes (no --quick)
+#   scripts/fuzz.sh --workloads cg,cg-sim,mm-sim,mc-sim   # widen to *-sim
+#
+# Each (workload, seed) pair is one adccbench sweep deck over mode=all, so the
+# whole seed range is a handful of processes. cwd-independent and fail-fast:
+# the first failing sweep aborts the script with that sweep's exit code and a
+# pointer at the failing scenario.
 #
 # CTest runs a 2-seed slice under the "fuzz" label (kept out of "smoke" so
 # tier-1 smoke time stays flat): ctest -L fuzz
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/.."
 
 BIN=""
 SEEDS=20
@@ -19,6 +26,7 @@ START=1
 WORKLOADS="cg mm mc"
 BUILD=1
 QUICK="--quick"
+JOBS="${ADCC_SWEEP_JOBS:-1}"
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -26,6 +34,7 @@ while [[ $# -gt 0 ]]; do
     --seeds) SEEDS="$2"; shift 2 ;;
     --start) START="$2"; shift 2 ;;
     --workloads) WORKLOADS="${2//,/ }"; shift 2 ;;
+    --jobs) JOBS="$2"; shift 2 ;;
     --no-build) BUILD=0; shift ;;
     --full) QUICK=""; shift ;;
     *) echo "fuzz.sh: unknown argument '$1'" >&2; exit 2 ;;
@@ -42,12 +51,23 @@ fi
 
 runs=0
 for workload in $WORKLOADS; do
+  # The *-sim workloads ignore the mode axis (the simulator fixes the
+  # durability scheme), so fuzzing them across all seven modes would run one
+  # scenario seven times.
+  mode="all"
+  [[ "$workload" == *-sim ]] && mode="native"
   for ((seed = START; seed < START + SEEDS; ++seed)); do
     echo "fuzz: workload=$workload seed=$seed"
-    "$BIN" --workload="$workload" --mode=all --crash="fuzz:$seed" \
-      --no_baseline $QUICK >/dev/null
+    rc=0
+    "$BIN" --workload="$workload" --mode="$mode" --crash="fuzz:$seed" \
+      --sweep_jobs="$JOBS" --no_baseline $QUICK >/dev/null || rc=$?
+    if [[ "$rc" -ne 0 ]]; then
+      echo "fuzz.sh: FAILED at workload=$workload seed=$seed (exit $rc); reproduce with:" >&2
+      echo "  $BIN --workload=$workload --mode=$mode --crash=fuzz:$seed --no_baseline $QUICK" >&2
+      exit "$rc"
+    fi
     runs=$((runs + 1))
   done
 done
 
-echo "fuzz OK ($runs sweeps x 7 modes)"
+echo "fuzz OK ($runs sweeps, mode=all per non-sim workload)"

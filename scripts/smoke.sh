@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Quick smoke for CI: build, then exercise the full workload x mode cross-
-# product at tiny sizes, crash-free and under two crash plans. Equivalent to
-# `ctest -L smoke` plus a repeated-crash pass.
+# product at tiny sizes, crash-free and under two crash plans, plus a batched
+# sweep deck run serially and on 4 workers whose csv output must match byte
+# for byte (--no_timing blanks the wall-clock columns; everything else is
+# deterministic). Equivalent to `ctest -L smoke` plus the repeated-crash pass.
+# cwd-independent and fail-fast: the first failing command aborts the script
+# with its exit code.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/.."
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)" >/dev/null
@@ -11,5 +15,19 @@ cmake --build build -j "$(nproc)" >/dev/null
 ./build/adccbench --matrix --quick
 ./build/adccbench --matrix --quick --crash=step:2
 ./build/adccbench --matrix --quick --crash=repeat:2
+
+# Serial vs parallel deck determinism (the sweep-engine acceptance check).
+SWEEP="mode=all,n=300+600,crash=none+step:2+fuzz:5"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./build/adccbench --sweep="$SWEEP" --workload=cg --quick --no_timing \
+  --format=csv >"$tmp/serial.csv"
+./build/adccbench --sweep="$SWEEP" --workload=cg --quick --no_timing \
+  --format=csv --sweep_jobs=4 >"$tmp/parallel.csv"
+if ! cmp -s "$tmp/serial.csv" "$tmp/parallel.csv"; then
+  echo "smoke.sh: serial and parallel sweep decks diverged:" >&2
+  diff "$tmp/serial.csv" "$tmp/parallel.csv" >&2 || true
+  exit 1
+fi
 
 echo "smoke OK"

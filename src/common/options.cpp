@@ -78,6 +78,11 @@ std::size_t Options::get_size(const std::string& key, std::size_t fallback) cons
   return *parsed;
 }
 
+Options& Options::set(std::string key, std::string value) {
+  kv_[std::move(key)] = std::move(value);
+  return *this;
+}
+
 Options& Options::doc(std::string key, std::string help, std::string fallback) {
   docs_.push_back({std::move(key), std::move(help), std::move(fallback)});
   return *this;

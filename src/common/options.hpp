@@ -38,6 +38,10 @@ class Options {
   /// Throws ContractViolation on malformed values.
   std::size_t get_size(const std::string& key, std::size_t fallback) const;
 
+  /// Sets (or overrides) a key programmatically — how the sweep engine overlays
+  /// one deck cell's axis assignment onto the base CLI options. Chainable.
+  Options& set(std::string key, std::string value);
+
   /// Registers a key for the generated --help output. Chainable.
   Options& doc(std::string key, std::string help, std::string fallback = "");
 

@@ -15,23 +15,31 @@ void Table::add_row(std::vector<std::string> cells) {
 }
 
 void Table::print() const {
+  std::fputs(render_plain().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string Table::render_plain() const {
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
   }
-  auto print_row = [&](const std::vector<std::string>& row) {
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::printf("%-*s", static_cast<int>(widths[c] + 2), row[c].c_str());
+      out += row[c];
+      out.append(widths[c] + 2 - row[c].size(), ' ');
     }
-    std::printf("\n");
+    out += '\n';
   };
-  print_row(headers_);
+  emit_row(headers_);
   std::size_t total = 0;
   for (const std::size_t w : widths) total += w + 2;
-  std::printf("%s\n", std::string(total, '-').c_str());
-  for (const auto& row : rows_) print_row(row);
-  std::fflush(stdout);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
 }
 
 std::optional<TableFormat> parse_table_format(std::string_view name) {
@@ -70,37 +78,49 @@ std::string json_escape(const std::string& s) {
 }  // namespace
 
 void Table::print(TableFormat format) const {
-  switch (format) {
-    case TableFormat::kPlain: print(); break;
-    case TableFormat::kCsv: print_csv(); break;
-    case TableFormat::kJson: print_json(); break;
-  }
+  std::fputs(render(format).c_str(), stdout);
+  std::fflush(stdout);
 }
 
-void Table::print_csv() const {
-  auto emit = [](const std::vector<std::string>& row) {
+std::string Table::render(TableFormat format) const {
+  switch (format) {
+    case TableFormat::kPlain: return render_plain();
+    case TableFormat::kCsv: return render_csv();
+    case TableFormat::kJson: return render_json();
+  }
+  ADCC_CHECK(false, "unknown table format");
+}
+
+std::string Table::render_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      std::printf("%s%s", c == 0 ? "" : ",", csv_escape(row[c]).c_str());
+      if (c != 0) out += ',';
+      out += csv_escape(row[c]);
     }
-    std::printf("\n");
+    out += '\n';
   };
   emit(headers_);
   for (const auto& row : rows_) emit(row);
-  std::fflush(stdout);
+  return out;
 }
 
-void Table::print_json() const {
-  std::printf("[");
+std::string Table::render_json() const {
+  std::string out = "[";
   for (std::size_t r = 0; r < rows_.size(); ++r) {
-    std::printf("%s\n  {", r == 0 ? "" : ",");
+    out += r == 0 ? "\n  {" : ",\n  {";
     for (std::size_t c = 0; c < headers_.size(); ++c) {
-      std::printf("%s\"%s\": \"%s\"", c == 0 ? "" : ", ", json_escape(headers_[c]).c_str(),
-                  json_escape(rows_[r][c]).c_str());
+      if (c != 0) out += ", ";
+      out += '"';
+      out += json_escape(headers_[c]);
+      out += "\": \"";
+      out += json_escape(rows_[r][c]);
+      out += '"';
     }
-    std::printf("}");
+    out += '}';
   }
-  std::printf("\n]\n");
-  std::fflush(stdout);
+  out += "\n]\n";
+  return out;
 }
 
 std::string Table::fmt(double v, int precision) {

@@ -30,12 +30,17 @@ class Table {
   /// RFC-4180 header + rows, kJson as an array of header-keyed objects.
   void print(TableFormat format) const;
 
+  /// The exact bytes print(format) would write — for tables going to files
+  /// (adccbench --out, scripts/bench_matrix.sh) or byte-stability tests.
+  std::string render(TableFormat format) const;
+
   static std::string fmt(double v, int precision = 3);
   static std::string pct(double fraction, int precision = 1);  ///< 0.082 → "8.2%"
 
  private:
-  void print_csv() const;
-  void print_json() const;
+  std::string render_plain() const;
+  std::string render_csv() const;
+  std::string render_json() const;
 
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -101,9 +101,17 @@ std::string crash_name(const CrashScenario& crash) {
     case CrashScenario::Kind::kRandom: return "random:" + std::to_string(crash.seed);
     case CrashScenario::Kind::kRepeated: return "repeat:" + std::to_string(crash.count);
     case CrashScenario::Kind::kAtAccess: return "access:" + std::to_string(crash.access);
-    case CrashScenario::Kind::kAtPoint:
-      return "point:" + crash.point +
-             (crash.occurrence == 1 ? "" : ":" + std::to_string(crash.occurrence));
+    case CrashScenario::Kind::kAtPoint: {
+      // Built up incrementally: the `"literal" + str + (cond ? ...)` spelling
+      // trips GCC 12's -Wrestrict false positive (PR 105651).
+      std::string out = "point:";
+      out += crash.point;
+      if (crash.occurrence != 1) {
+        out += ':';
+        out += std::to_string(crash.occurrence);
+      }
+      return out;
+    }
     case CrashScenario::Kind::kFuzz: return "fuzz:" + std::to_string(crash.seed);
   }
   ADCC_CHECK(false, "unknown crash kind");
@@ -159,7 +167,11 @@ void ScenarioRunner::ensure_env() {
     return;
   }
   // Crash repetitions rebuild the substrate so stale checkpoints / undo logs
-  // from the previous repetition cannot be restored by mistake.
+  // from the previous repetition cannot be restored by mistake. Destroy the
+  // old env first: a FileBackend removes its slot files and (then-empty)
+  // scratch directory in its destructor, which would delete the replacement
+  // backend's freshly created directory out from under it.
+  env_.reset();
   env_ = std::make_unique<ModeEnv>(make_env(cfg_.mode, cfg_.env));
 }
 
