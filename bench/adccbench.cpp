@@ -56,7 +56,8 @@ int main(int argc, char** argv) try {
       .doc("mode", "durability mode, or 'all' for the paper's seven", "all")
       .doc("crash",
            "crash plan: none | step:K | random[:SEED] | repeat:N | access:N | "
-           "point:NAME[:K] | fuzz:SEED",
+           "point:NAME[:K] | fuzz:SEED, chainable with ^ for crash-during-"
+           "recovery double faults (e.g. step:2^point:ckpt_restore:1)",
            "none")
       .doc("sweep",
            "axis grid: key=v1+v2,key=lo:hi[:step|:xF],... (axes: workload, mode, "
@@ -87,7 +88,9 @@ int main(int argc, char** argv) try {
       .doc("seed_b", "mm: seed of matrix B", "seed+1")
       .doc("arena", "NVM arena bytes override (e.g. 64M, 1G)")
       .doc("slot", "checkpoint slot bytes override (e.g. 16M)")
-      .doc("disk_mbps", "ckpt-disk throttle, MB/s", "150")
+      .doc("ckpt_threads", "checkpoint write-pipeline workers (sweepable axis)", "1")
+      .doc("ckpt_chunk_kb", "checkpoint chunk payload size, KB (sweepable axis)", "256")
+      .doc("disk_mbps", "ckpt-disk device model bandwidth, MB/s (0 = real device)", "150")
       .doc("seed", "problem seed");
   if (opts.maybe_print_help("adccbench")) return 0;
 

@@ -102,8 +102,9 @@ BENCHMARK(BM_UndoLogSnapshotCommit)->Range(4096, 4 << 20);
 
 void BM_CheckpointSaveNvm(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));
-  nvm::NvmRegion region(3 * bytes + (1u << 16), fast_model());
-  checkpoint::NvmBackend backend(region, bytes + kCacheLine);
+  // Slot capacity covers the chunked image: payload + per-chunk headers.
+  nvm::NvmRegion region(3 * bytes + (1u << 20), fast_model());
+  checkpoint::NvmBackend backend(region, bytes + (64u << 10));
   AlignedBuffer obj(bytes);
   std::vector<checkpoint::ObjectView> objs = {{"obj", obj.data(), bytes}};
   std::uint64_t version = 0;

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Perf-deck regression gate: compare a fresh BENCH_*.json against the
+checked-in baseline and fail on regressions.
+
+The pinned decks (scripts/bench_matrix.sh) are the perf trajectory; this turns
+them from an uploaded artifact into a gate:
+
+  bench_check.py CURRENT BASELINE                      # structural + overhead gate
+  bench_check.py CURRENT BASELINE --speedup-axis ckpt_threads \
+      --speedup-from 1 --speedup-to 4 --speedup-min 1.05
+
+Checks, in order:
+  1. Both decks hold the same cell set (same workload/mode/crash/axis keys).
+  2. Every current cell reports status "ok".
+  3. Normalized-overhead regressions: a cell's `normalized` may not exceed the
+     baseline's by more than --tol (relative) AND --abs-floor (absolute) at
+     once. Normalized values are machine-comparable; raw seconds are not.
+     Cells faster than --min-seconds in either deck are skipped (noise).
+  4. With --speedup-axis: within each cell group that differs only in that
+     axis, seconds[axis=--speedup-to] must beat seconds[axis=--speedup-from]
+     by at least --speedup-min (the "parallel durability must actually win"
+     acceptance gate — self-relative, so it holds on any machine).
+
+Exit status: 0 clean, 1 regression(s), 2 usage/structural error.
+"""
+
+import argparse
+import json
+import sys
+
+# Columns that are measurements, not cell identity.
+MEASUREMENT_COLS = {
+    "cell", "units", "seconds", "normalized", "overhead", "lost", "partial",
+    "corrected", "torn", "detect/unit", "resume/unit", "status",
+}
+
+
+def load_deck(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_check: cannot read deck {path}: {e}")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"bench_check: {path} is not a non-empty JSON row array")
+    return rows
+
+
+def cell_key(row, axis_excluded=()):
+    return tuple(sorted((k, v) for k, v in row.items()
+                        if k not in MEASUREMENT_COLS and k not in axis_excluded))
+
+
+def parse_float(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tol", type=float, default=0.5,
+                    help="max relative normalized-overhead growth (default 0.5)")
+    ap.add_argument("--abs-floor", type=float, default=0.75,
+                    help="absolute normalized growth ignored below this (default 0.75)")
+    ap.add_argument("--min-seconds", type=float, default=0.005,
+                    help="skip normalized comparison for cells faster than this")
+    ap.add_argument("--speedup-axis", default=None,
+                    help="axis column for the self-relative speedup gate")
+    ap.add_argument("--speedup-from", default="1")
+    ap.add_argument("--speedup-to", default="4")
+    ap.add_argument("--speedup-min", type=float, default=1.05)
+    args = ap.parse_args()
+
+    current = load_deck(args.current)
+    baseline = load_deck(args.baseline)
+
+    cur_by_key = {cell_key(r): r for r in current}
+    base_by_key = {cell_key(r): r for r in baseline}
+    failures = []
+
+    missing = sorted(set(base_by_key) - set(cur_by_key))
+    extra = sorted(set(cur_by_key) - set(base_by_key))
+    for key in missing:
+        failures.append(f"cell disappeared from the deck: {dict(key)}")
+    for key in extra:
+        failures.append(f"unbaselined cell in the deck (re-pin the baseline): {dict(key)}")
+
+    for key, row in sorted(cur_by_key.items()):
+        if row.get("status") != "ok":
+            failures.append(f"cell not ok ({row.get('status')!r}): {dict(key)}")
+
+    for key, row in sorted(cur_by_key.items()):
+        base = base_by_key.get(key)
+        if base is None:
+            continue
+        cur_norm, base_norm = parse_float(row.get("normalized")), parse_float(base.get("normalized"))
+        cur_s, base_s = parse_float(row.get("seconds")), parse_float(base.get("seconds"))
+        if None in (cur_norm, base_norm, cur_s, base_s):
+            continue
+        if min(cur_s, base_s) < args.min_seconds:
+            continue  # Sub-noise-floor cells cannot carry a verdict.
+        if (cur_norm > base_norm * (1 + args.tol)
+                and cur_norm - base_norm > args.abs_floor):
+            failures.append(
+                f"normalized regression {base_norm:.3f} -> {cur_norm:.3f} "
+                f"(tol {args.tol:.0%} + {args.abs_floor}): {dict(key)}")
+
+    if args.speedup_axis:
+        axis = args.speedup_axis
+        groups = {}
+        for row in current:
+            if axis not in row:
+                continue
+            groups.setdefault(cell_key(row, axis_excluded=(axis,)), {})[row[axis]] = row
+        if not groups:
+            failures.append(f"speedup gate: no cells carry axis '{axis}'")
+        for gkey, by_axis in sorted(groups.items()):
+            lo = by_axis.get(args.speedup_from)
+            hi = by_axis.get(args.speedup_to)
+            if lo is None or hi is None:
+                failures.append(
+                    f"speedup gate: {axis}={args.speedup_from}/{args.speedup_to} "
+                    f"missing in group {dict(gkey)}")
+                continue
+            lo_s, hi_s = parse_float(lo.get("seconds")), parse_float(hi.get("seconds"))
+            if lo_s is None or hi_s is None or hi_s <= 0:
+                failures.append(f"speedup gate: unreadable seconds in group {dict(gkey)}")
+                continue
+            speedup = lo_s / hi_s
+            verdict = "ok" if speedup >= args.speedup_min else "FAIL"
+            print(f"bench_check: {axis} {args.speedup_from}->{args.speedup_to} "
+                  f"speedup {speedup:.2f}x (need >= {args.speedup_min:.2f}x) "
+                  f"[{verdict}] {dict(gkey)}")
+            if speedup < args.speedup_min:
+                failures.append(
+                    f"{axis}={args.speedup_to} does not beat ={args.speedup_from}: "
+                    f"{lo_s:.4f}s -> {hi_s:.4f}s ({speedup:.2f}x) in {dict(gkey)}")
+
+    if failures:
+        print(f"bench_check: {len(failures)} regression(s) vs {args.baseline}:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"bench_check OK: {len(current)} cells within tolerance of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

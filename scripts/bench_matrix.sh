@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
-# Pinned perf-tracking sweep deck: one adccbench invocation over every non-sim
-# workload x all seven modes (crash-free, CI-sized, median of 3 reps), written
-# to BENCH_sweep.json at the repo root so the perf trajectory is tracked in
-# version control / CI artifacts from PR 3 onward.
+# Pinned perf-tracking sweep decks, written to the repo root so the perf
+# trajectory is tracked in version control / CI from PR 3 onward:
 #
-#   scripts/bench_matrix.sh                 # build + deck -> BENCH_sweep.json
+#   BENCH_sweep.json        every non-sim workload x all seven modes,
+#                           crash-free + step:2, CI-sized, median of 3 reps
+#   BENCH_ckpt_threads.json the durability-engine scaling deck: one >= 64 MB
+#                           CG checkpoint payload on ckpt-disk, swept over
+#                           ckpt_threads=1:8:x2 — the "parallel checkpointing
+#                           must actually win" trajectory
+#
+#   scripts/bench_matrix.sh                 # build + decks -> BENCH_*.json
 #   scripts/bench_matrix.sh --out /tmp/b.json --bin ./build/adccbench --no-build
 #
-# The deck is deliberately pinned (workloads, sizes, reps, throttle defaults):
-# compare BENCH_sweep.json across commits, not across machines.
+# The decks are deliberately pinned (workloads, sizes, reps, throttle
+# defaults): compare BENCH_*.json across commits, not across machines.
+# scripts/bench_check.py turns the comparison into a CI gate.
 set -euo pipefail
 cd "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/.."
 
 BIN=""
 OUT="BENCH_sweep.json"
+OUT_CKPT="BENCH_ckpt_threads.json"
 BUILD=1
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --bin) BIN="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --out-ckpt) OUT_CKPT="$2"; shift 2 ;;
     --no-build) BUILD=0; shift ;;
     *) echo "bench_matrix.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
@@ -39,3 +47,14 @@ fi
   --quick --reps=3 --format=json --out="$OUT" >/dev/null
 
 echo "bench_matrix OK -> $OUT ($(grep -c '"workload"' "$OUT") cells)"
+
+# Durability-engine scaling deck: 3 CG iterations checkpointing a 67 MB
+# payload (3 vectors of n=2.8M doubles) per unit to ckpt-disk under the
+# default 150 MB/s device model. ckpt_threads=1 reproduces the synchronous
+# seed path; higher values pipeline chunk serialization + CRC against the
+# device window. bench_check.py gates threads=4 beating threads=1.
+"$BIN" --workload=cg --mode=ckpt-disk --sweep="ckpt_threads=1:8:x2" \
+  --n=2800000 --nz=8 --iters=3 --reps=3 --no_baseline --verify=off \
+  --format=json --out="$OUT_CKPT" >/dev/null
+
+echo "bench_matrix OK -> $OUT_CKPT ($(grep -c '"workload"' "$OUT_CKPT") cells)"

@@ -56,14 +56,21 @@ for workload in $WORKLOADS; do
   # scenario seven times.
   mode="all"
   [[ "$workload" == *-sim ]] && mode="native"
+  # Three crash families per seed, one in-process deck (cells of one shape
+  # share a single fuzz probe): the classic mid-unit fuzz crash, the same
+  # crash followed by a second fault inside the recovery (ckpt_restore fires
+  # in checkpoint modes; elsewhere the armed tail is disarmed harmlessly),
+  # and a crash mid-checkpoint-save (ckpt_chunk, checkpoint modes only —
+  # crash-free elsewhere, which must also stay green).
   for ((seed = START; seed < START + SEEDS; ++seed)); do
+    crash="fuzz:$seed+fuzz:$seed^point:ckpt_restore:1+point:ckpt_chunk:$((seed % 7 + 1))"
     echo "fuzz: workload=$workload seed=$seed"
     rc=0
-    "$BIN" --workload="$workload" --mode="$mode" --crash="fuzz:$seed" \
+    "$BIN" --workload="$workload" --mode="$mode" --sweep="crash=$crash" \
       --sweep_jobs="$JOBS" --no_baseline $QUICK >/dev/null || rc=$?
     if [[ "$rc" -ne 0 ]]; then
       echo "fuzz.sh: FAILED at workload=$workload seed=$seed (exit $rc); reproduce with:" >&2
-      echo "  $BIN --workload=$workload --mode=$mode --crash=fuzz:$seed --no_baseline $QUICK" >&2
+      echo "  $BIN --workload=$workload --mode=$mode --sweep='crash=$crash' --no_baseline $QUICK" >&2
       exit "$rc"
     fi
     runs=$((runs + 1))

@@ -64,7 +64,10 @@ void CgWorkload::prepare(core::ModeEnv& env) {
       ADCC_CHECK(env.backend != nullptr, "checkpoint modes need a backend");
       cg_init(a_, b_, state_);
       ckpt_scalars_ = {state_.rho, 0};
-      ckpt_ = std::make_unique<checkpoint::CheckpointSet>(*env.backend);
+      // The chunk engine announces ckpt_chunk / ckpt_restore through the
+      // fault surface, so crash plans land inside save and restore too.
+      ckpt_ = std::make_unique<checkpoint::CheckpointSet>(
+          *env.backend, [this](const char* p) { fault_.point(p); });
       ckpt_->add("p", state_.p.data(), state_.p.size() * sizeof(double));
       ckpt_->add("r", state_.r.data(), state_.r.size() * sizeof(double));
       ckpt_->add("z", state_.z.data(), state_.z.size() * sizeof(double));
@@ -213,6 +216,8 @@ void CgWorkload::make_durable() {
 
 void CgWorkload::inject_crash() {
   crashed_done_ = done_;
+  // Staged-but-undrained DRAM cache contents die with the power.
+  if (env_ != nullptr && env_->dram) env_->dram->discard();
   switch (engine_) {
     case core::DurabilityKind::kNone:
     case core::DurabilityKind::kCheckpoint:
@@ -281,7 +286,11 @@ core::WorkloadRecovery CgWorkload::recover() {
       done_ = 0;
       break;
     case core::DurabilityKind::kCheckpoint: {
-      if (ckpt_->restore() != 0) {
+      const std::uint64_t ver = ckpt_->restore();
+      const auto& rs = ckpt_->last_restore();
+      rec.candidates_checked += rs.chunks_probed;
+      rec.torn_chunks = rs.torn_chunks;
+      if (ver != 0) {
         state_.rho = ckpt_scalars_.rho;
         state_.iter = static_cast<std::size_t>(ckpt_scalars_.iter);
         // q is reconstructed by the next cg_step; p was checkpointed so the

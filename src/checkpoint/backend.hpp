@@ -1,62 +1,175 @@
-// Checkpoint backends — the paper's traditional-checkpoint baselines.
+// Checkpoint backends — the paper's traditional-checkpoint baselines, rebuilt
+// as media behind one shared chunk engine.
 //
 // A checkpoint is an atomic durable copy of a set of application objects.
 // Three media are modelled, matching the paper's test cases (2)-(4):
-//   * FileBackend   — local hard drive (write + fdatasync, optional HDD throttle)
+//   * FileBackend   — local hard drive (pwrite + fdatasync, optional device
+//                     bandwidth model)
 //   * NvmBackend    — NVM-only main memory (memcpy + CLFLUSH + fence)
 //   * HeteroBackend — heterogeneous NVM/DRAM (copy into the DRAM cache, then
 //                     drain the DRAM cache through to NVM)
 //
-// All backends are double-buffer safe: CheckpointSet alternates slots and
-// commits a version marker last, so a crash mid-checkpoint leaves the previous
-// checkpoint intact.
+// save()/load() are now NON-virtual: the base class owns the chunk engine
+// (layout, CRC32 integrity headers, the WritePipeline fan-out across
+// --ckpt_threads workers, dirty-chunk filtering, and the commit order), and a
+// medium implements only the span primitives below — "persist this chunk
+// span", "read this span", "commit the (slot, version) marker".
+//
+// All backends remain double-buffer safe: CheckpointSet alternates slots and
+// the version marker is committed last, so a crash mid-checkpoint leaves the
+// previous checkpoint intact — and, new with the chunk format, the *torn*
+// slot is detectable (mixed chunk versions / CRC mismatches) instead of being
+// silent garbage.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "checkpoint/chunk.hpp"
 
 namespace adcc::checkpoint {
 
-/// A view of one application object included in checkpoints.
-struct ObjectView {
-  std::string name;
-  void* data = nullptr;
-  std::size_t bytes = 0;
+/// Base of every durable-image integrity failure the chunk engine reports.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// load() found evidence of an interrupted save: a broken slot/chunk header,
+/// a payload CRC mismatch, or a chunk newer than its slot's committed image.
+class TornCheckpoint : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
+/// The registered objects do not match the saved layout (object count or
+/// sizes differ) — restoring would memcpy over live objects at wrong offsets.
+class LayoutMismatch : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
+/// Crash-point names the engine announces through ChunkHooks::point — the
+/// crash-mid-checkpoint / crash-during-recovery sites of the crash-plan
+/// grammar (point:ckpt_chunk[:K], point:ckpt_restore[:K]).
+inline constexpr const char* kPointChunkSaved = "ckpt_chunk";
+inline constexpr const char* kPointChunkLoaded = "ckpt_restore";
+
+/// Optional per-chunk callbacks threaded through save()/load().
+struct ChunkHooks {
+  /// Fired once per chunk persisted (save, kPointChunkSaved) or verified and
+  /// copied back (load, kPointChunkLoaded). May throw — the fault surface's
+  /// crash points inside the durability path ride this; a throw mid-save
+  /// leaves a torn slot with the marker uncommitted. Calls are serialized
+  /// across pipeline workers.
+  std::function<void(const char*)> point;
+  /// save() only: restrict the save to a chunk subset (dirty hints).
+  /// Unselected chunks are neither checksummed nor written.
+  std::function<bool(std::size_t chunk)> select;
+  /// save() only: veto writing a selected chunk whose payload CRC is `crc` —
+  /// CheckpointSet's per-slot CRC cache skips unchanged chunks with this.
+  std::function<bool(std::size_t chunk, std::uint32_t crc)> should_write;
+};
+
+/// What one save() did, chunk by chunk (CheckpointSet feeds its CRC cache and
+/// the incremental stats from this).
+struct SaveReceipt {
+  enum class Chunk : unsigned char { kUnselected, kClean, kWritten };
+  std::vector<Chunk> chunks;
+  std::vector<std::uint32_t> crcs;  ///< Valid where chunks[i] != kUnselected.
+  std::size_t written = 0;
+  std::size_t skipped = 0;          ///< Selected but unchanged (kClean).
+  std::size_t payload_bytes = 0;    ///< Payload bytes actually written.
+};
+
+/// Result of the cheap torn-save classifier (chunk-header scan, no payloads).
+struct TornProbe {
+  std::size_t chunks_probed = 0;
+  std::size_t torn_chunks = 0;  ///< Chunks of an interrupted newer save.
+  bool torn() const { return torn_chunks > 0; }
 };
 
 struct BackendStats {
   std::uint64_t saves = 0;
   std::uint64_t loads = 0;
-  std::uint64_t bytes_saved = 0;
+  std::uint64_t bytes_saved = 0;     ///< Payload bytes written (headers excluded).
   std::uint64_t bytes_loaded = 0;
+  std::uint64_t chunks_written = 0;
+  std::uint64_t chunks_skipped = 0;  ///< Dirty-filtered (clean) chunks.
+  std::uint64_t chunks_loaded = 0;
 };
 
 class Backend {
  public:
   virtual ~Backend() = default;
 
-  /// Durably stores the objects as `slot` and then durably records
-  /// (slot, version) as the newest checkpoint. `slot` is 0 or 1.
-  virtual void save(int slot, std::uint64_t version, std::span<const ObjectView> objs) = 0;
+  /// Chunk size / pipeline width for subsequent saves (--ckpt_chunk_kb,
+  /// --ckpt_threads).
+  void configure_chunks(const ChunkConfig& cfg);
+  const ChunkConfig& chunk_config() const { return chunks_; }
 
-  /// Loads slot contents back into the object pointers (sizes must match the
-  /// saved layout). Returns the version stored with the slot.
-  virtual std::uint64_t load(int slot, std::span<const ObjectView> objs) = 0;
+  /// Durably stores the objects as `slot` and then durably records
+  /// (slot, version) as the newest checkpoint. Chunks are serialized on the
+  /// configured pipeline workers at deterministic image offsets (images are
+  /// byte-identical across worker counts); the marker commit stays last.
+  /// `layout`, when given, must be ChunkLayout::make(objs, chunk_bytes) —
+  /// CheckpointSet passes its memoized copy so per-unit saves skip the
+  /// rebuild.
+  SaveReceipt save(int slot, std::uint64_t version, std::span<const ObjectView> objs,
+                   const ChunkHooks& hooks = {}, const ChunkLayout* layout = nullptr);
+
+  /// Verifies and loads the slot image back into the object pointers.
+  /// Throws LayoutMismatch when the saved object table does not match `objs`
+  /// (no object is modified), and TornCheckpoint on any integrity failure
+  /// (objects already verified may have been copied). Returns the version
+  /// stored with the slot.
+  std::uint64_t load(int slot, std::span<const ObjectView> objs, const ChunkHooks& hooks = {});
+
+  /// Chunk-header scan classifying whether `slot` holds pieces of a save that
+  /// never committed (version > the slot's own committed image). Payloads are
+  /// not read; missing/blank slots probe clean.
+  TornProbe probe_torn(int slot, std::span<const ObjectView> objs);
 
   /// Newest committed (slot, version); version 0 means "no checkpoint yet".
   virtual std::pair<int, std::uint64_t> latest() const = 0;
+
+  /// Double-buffer slot count (1 for mirror-style incremental backends).
+  virtual int slot_count() const { return 2; }
+
+  /// Raw slot image bytes (tests / crash inspection). Returns bytes read.
+  std::size_t read_image(int slot, std::span<std::byte> out) const;
 
   const BackendStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
  protected:
-  BackendStats stats_;
-};
+  // ---- The per-medium surface -------------------------------------------
+  /// Prepares `slot` to receive an image of `image_bytes` (open/size the
+  /// file, check arena capacity). Existing slot content must be preserved
+  /// where not overwritten — the dirty-chunk filter depends on it.
+  virtual void begin_slot(int slot, std::size_t image_bytes) = 0;
+  /// Durably writes [offset, offset+bytes) of the slot image. Must be safe to
+  /// call concurrently from pipeline workers (disjoint spans).
+  virtual void write_span(int slot, std::size_t offset, const void* src,
+                          std::size_t bytes) = 0;
+  /// Save epilogue (e.g. fdatasync) before the marker commit.
+  virtual void finish_slot(int slot) = 0;
+  /// Durably records (slot, version) as the newest checkpoint — the commit
+  /// point, always last.
+  virtual void commit_marker(int slot, std::uint64_t version) = 0;
+  /// Best-effort read of the slot image; returns bytes actually read (short
+  /// or 0 when the slot holds no such data).
+  virtual std::size_t read_span(int slot, std::size_t offset, void* dst,
+                                std::size_t bytes) const = 0;
 
-/// Total payload bytes of an object set.
-std::size_t total_bytes(std::span<const ObjectView> objs);
+  BackendStats stats_;
+  ChunkConfig chunks_;
+};
 
 }  // namespace adcc::checkpoint

@@ -6,25 +6,124 @@ namespace adcc::checkpoint {
 
 void CheckpointSet::add(std::string name, void* data, std::size_t bytes) {
   ADCC_CHECK(!frozen_, "objects must be registered before the first save");
-  ADCC_CHECK(data != nullptr && bytes > 0, "object must be non-empty");
+  ADCC_CHECK(data != nullptr || bytes == 0, "non-empty object needs a pointer");
   objs_.push_back({std::move(name), data, bytes});
 }
 
-std::uint64_t CheckpointSet::save() {
+int CheckpointSet::save_slot() const {
+  return backend_.slot_count() == 1 ? 0 : static_cast<int>(version_ % 2);
+}
+
+std::uint64_t CheckpointSet::save_with(const std::function<bool(std::size_t)>& select) {
   ADCC_CHECK(!objs_.empty(), "no objects registered");
   frozen_ = true;
   ++version_;
-  backend_.save(static_cast<int>(version_ % 2), version_, objs_);
+  const int slot = save_slot();
+
+  slot_crcs_.resize(static_cast<std::size_t>(backend_.slot_count()));
+  auto& crcs = slot_crcs_[static_cast<std::size_t>(slot)];
+  const std::size_t chunk_count = layout().chunks.size();
+  if (crcs.size() != chunk_count) crcs.assign(chunk_count, std::nullopt);
+
+  ChunkHooks hooks;
+  hooks.point = point_hook_;
+  if (select) {
+    hooks.select = [&crcs, &select](std::size_t chunk) {
+      // A chunk this slot has never held must be written regardless of the
+      // hints — a committed image may not contain never-written holes (the
+      // first save landing in each slot is implicitly full).
+      return !crcs[chunk].has_value() || select(chunk);
+    };
+  }
+  hooks.should_write = [&crcs](std::size_t chunk, std::uint32_t crc) {
+    return crcs[chunk] != crc;
+  };
+
+  SaveReceipt receipt;
+  try {
+    receipt = backend_.save(slot, version_, objs_, hooks, &layout());
+  } catch (...) {
+    // The save died mid-flight (crash point, medium failure): some chunks of
+    // the new image may be in the slot, so everything we believed about it is
+    // suspect. Forget it — the next save to this slot rewrites in full — and
+    // roll the version back so a retried save targets this same uncommitted
+    // slot again instead of advancing onto the committed one (the double
+    // buffer must keep protecting the last marker).
+    crcs.assign(crcs.size(), std::nullopt);
+    --version_;
+    throw;
+  }
+
+  for (std::size_t i = 0; i < receipt.chunks.size(); ++i) {
+    if (receipt.chunks[i] == SaveReceipt::Chunk::kWritten) crcs[i] = receipt.crcs[i];
+  }
+  save_stats_ = {receipt.written, receipt.skipped, receipt.payload_bytes};
   return version_;
+}
+
+std::uint64_t CheckpointSet::save() { return save_with({}); }
+
+const ChunkLayout& CheckpointSet::layout() {
+  // A pure function of (objects, chunk size); objects freeze at the first
+  // save, so the memo only invalidates on a chunk-size reconfiguration.
+  const std::size_t chunk_bytes = backend_.chunk_config().chunk_bytes;
+  if (!layout_ || layout_chunk_bytes_ != chunk_bytes) {
+    layout_ = ChunkLayout::make(objs_, chunk_bytes);
+    layout_chunk_bytes_ = chunk_bytes;
+  }
+  return *layout_;
+}
+
+std::uint64_t CheckpointSet::save(std::span<const DirtyRange> dirty) {
+  ADCC_CHECK(!objs_.empty(), "no objects registered");
+  const std::size_t chunk_bytes = backend_.chunk_config().chunk_bytes;
+  const ChunkLayout& layout = this->layout();
+
+  // Per-chunk hint bitmap so overlapping hints are examined once.
+  std::vector<bool> hinted(layout.chunks.size(), false);
+  std::vector<std::size_t> first_chunk(objs_.size(), 0);  // Global index of chunk 0.
+  for (std::size_t i = 0; i < layout.chunks.size(); ++i) {
+    if (layout.chunks[i].index == 0) first_chunk[layout.chunks[i].object] = i;
+  }
+  for (const DirtyRange& d : dirty) {
+    ADCC_CHECK(d.object < objs_.size(), "dirty hint for unknown object");
+    ADCC_CHECK(d.offset + d.bytes <= objs_[d.object].bytes, "dirty hint out of bounds");
+    if (d.bytes == 0) continue;
+    const std::size_t base = first_chunk[d.object];
+    for (std::size_t c = d.offset / chunk_bytes; c <= (d.offset + d.bytes - 1) / chunk_bytes;
+         ++c) {
+      hinted[base + c] = true;
+    }
+  }
+  return save_with([hinted = std::move(hinted)](std::size_t chunk) { return hinted[chunk]; });
 }
 
 std::uint64_t CheckpointSet::restore() {
   ADCC_CHECK(!objs_.empty(), "no objects registered");
-  const auto [slot, ver] = backend_.latest();
-  if (ver == 0) return 0;
-  const std::uint64_t loaded = backend_.load(slot, objs_);
-  version_ = loaded;
   frozen_ = true;
+  restore_stats_ = {};
+  const auto [slot, ver] = backend_.latest();
+
+  // Classify the slot(s) a save may have been writing when the power failed:
+  // every slot except the committed one. Detected torn chunks surface in
+  // recovery accounting (the "was a checkpoint in flight?" question the CRC
+  // headers exist to answer).
+  for (int s = 0; s < backend_.slot_count(); ++s) {
+    if (ver != 0 && s == slot) continue;
+    const TornProbe probe = backend_.probe_torn(s, objs_);
+    restore_stats_.chunks_probed += probe.chunks_probed;
+    restore_stats_.torn_chunks += probe.torn_chunks;
+  }
+  if (ver == 0) return 0;
+
+  ChunkHooks hooks;
+  hooks.point = point_hook_;
+  const std::uint64_t before = backend_.stats().chunks_loaded;
+  const std::uint64_t loaded = backend_.load(slot, objs_, hooks);
+  restore_stats_.version = loaded;
+  restore_stats_.chunks_loaded =
+      static_cast<std::size_t>(backend_.stats().chunks_loaded - before);
+  version_ = loaded;
   return loaded;
 }
 

@@ -1,12 +1,30 @@
-// CheckpointSet — application-facing checkpoint manager.
+// CheckpointSet — application-facing manager of the chunked durability engine.
 //
-// Registers the critical data objects once, then `save()` writes them all to
-// the backend with alternating slots and monotonically increasing versions
-// (classic double buffering: a crash mid-save leaves the previous checkpoint
-// committed). `restore()` loads the newest committed checkpoint back into the
-// registered objects and returns its version (0 = nothing to restore).
+// Registers the critical data objects once, then `save()` chunk-serializes
+// them all to the backend with alternating slots and monotonically increasing
+// versions (classic double buffering: a crash mid-save leaves the previous
+// checkpoint committed). Every save reuses the engine's dirty-chunk filter:
+// the payload CRC is computed per chunk anyway (it goes into the chunk
+// header), so chunks whose CRC matches what this slot already holds are
+// skipped for free — incremental checkpointing is this filter, not a second
+// implementation. `save(dirty)` narrows the scan to hinted byte ranges.
+//
+// `restore()` loads the newest committed checkpoint back into the registered
+// objects and returns its version (0 = nothing to restore). Before loading it
+// probes the non-committed slot for chunks of an interrupted save — the
+// detected-torn-write classification surfaced to recovery accounting via
+// last_restore(). A saved layout that does not match the registered objects
+// raises checkpoint::LayoutMismatch instead of silently memcpy-ing over live
+// objects; integrity failures raise checkpoint::TornCheckpoint.
+//
+// The optional point hook is fired once per chunk persisted ("ckpt_chunk")
+// and per chunk loaded ("ckpt_restore") — workload adapters route it into
+// their FaultSurface so crash plans can land inside the durability path
+// (crash-mid-checkpoint, crash-during-recovery).
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <vector>
 
 #include "checkpoint/backend.hpp"
@@ -15,9 +33,13 @@ namespace adcc::checkpoint {
 
 class CheckpointSet {
  public:
-  explicit CheckpointSet(Backend& backend) : backend_(backend) {}
+  using PointHook = std::function<void(const char*)>;
 
-  /// Registers an object; must happen before the first save.
+  explicit CheckpointSet(Backend& backend, PointHook point_hook = {})
+      : backend_(backend), point_hook_(std::move(point_hook)) {}
+
+  /// Registers an object; must happen before the first save. Zero-byte
+  /// objects are legal (they participate in the layout but carry no chunks).
   void add(std::string name, void* data, std::size_t bytes);
 
   template <typename T>
@@ -25,21 +47,66 @@ class CheckpointSet {
     add(std::move(name), s.data(), s.size_bytes());
   }
 
-  /// Checkpoints all registered objects; returns the new version.
+  /// A half-open dirty byte range within one object, used as a save() hint.
+  struct DirtyRange {
+    std::size_t object;  ///< Index in registration order.
+    std::size_t offset;
+    std::size_t bytes;
+  };
+
+  /// Checkpoints all registered objects; returns the new version. Chunks
+  /// unchanged since this slot's previous image are skipped (CRC filter).
   std::uint64_t save();
 
+  /// Hinted save: only chunks overlapping the given ranges are checksummed
+  /// and (when changed) written. Hints must cover every modification since
+  /// this SLOT's previous image — with a two-slot backend that is the save
+  /// before last; un-hinted dirty chunks silently age the slot.
+  std::uint64_t save(std::span<const DirtyRange> dirty);
+
   /// Restores the newest committed checkpoint; returns its version
-  /// (0 = no checkpoint, objects untouched).
+  /// (0 = no checkpoint, objects untouched). Throws LayoutMismatch /
+  /// TornCheckpoint per Backend::load; details land in last_restore().
   std::uint64_t restore();
+
+  struct SaveStats {
+    std::size_t chunks_written = 0;
+    std::size_t chunks_skipped = 0;   ///< Clean under the CRC filter.
+    std::size_t payload_bytes_written = 0;
+    std::size_t chunks_examined() const { return chunks_written + chunks_skipped; }
+  };
+  const SaveStats& last_save() const { return save_stats_; }
+
+  struct RestoreStats {
+    std::uint64_t version = 0;
+    std::size_t chunks_loaded = 0;
+    std::size_t chunks_probed = 0;  ///< Torn-classifier scan of in-flight slots.
+    std::size_t torn_chunks = 0;    ///< Detected chunks of an uncommitted save.
+  };
+  const RestoreStats& last_restore() const { return restore_stats_; }
 
   std::size_t payload_bytes() const { return total_bytes(objs_); }
   std::uint64_t version() const { return version_; }
 
  private:
+  std::uint64_t save_with(const std::function<bool(std::size_t)>& select);
+  int save_slot() const;
+  const ChunkLayout& layout();
+
   Backend& backend_;
+  PointHook point_hook_;
   std::vector<ObjectView> objs_;
   std::uint64_t version_ = 0;
   bool frozen_ = false;
+  std::optional<ChunkLayout> layout_;  ///< Memo (objects freeze at first save).
+  std::size_t layout_chunk_bytes_ = 0;
+  SaveStats save_stats_;
+  RestoreStats restore_stats_;
+
+  /// Per-slot payload CRC of the chunk each slot currently holds (nullopt =
+  /// unknown → must write). Volatile by design: a fresh process rebuilds it
+  /// with one full save.
+  std::vector<std::vector<std::optional<std::uint32_t>>> slot_crcs_;
 };
 
 }  // namespace adcc::checkpoint

@@ -1,0 +1,93 @@
+#include "checkpoint/chunk.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace adcc::checkpoint {
+
+std::size_t total_bytes(std::span<const ObjectView> objs) {
+  std::size_t n = 0;
+  for (const ObjectView& o : objs) n += o.bytes;
+  return n;
+}
+
+namespace {
+
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 4>;
+
+CrcTables make_crc_tables() {
+  CrcTables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c >> 1) ^ (0xEDB88320u & (0u - (c & 1u)));
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+    t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+    t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  static const CrcTables t = make_crc_tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  while (bytes >= 4) {
+    c ^= static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+    c = t[3][c & 0xFFu] ^ t[2][(c >> 8) & 0xFFu] ^ t[1][(c >> 16) & 0xFFu] ^ t[0][c >> 24];
+    p += 4;
+    bytes -= 4;
+  }
+  while (bytes-- > 0) c = (c >> 8) ^ t[0][(c ^ *p++) & 0xFFu];
+  return ~c;
+}
+
+std::uint32_t slot_header_crc(const SlotHeader& h) {
+  SlotHeader copy = h;
+  copy.header_crc = 0;
+  return crc32(&copy, sizeof(copy));
+}
+
+std::uint32_t chunk_header_crc(const ChunkHeader& h) {
+  ChunkHeader copy = h;
+  copy.header_crc = 0;
+  return crc32(&copy, sizeof(copy));
+}
+
+ChunkLayout ChunkLayout::make(std::span<const ObjectView> objs, std::size_t chunk_bytes) {
+  ADCC_CHECK(chunk_bytes > 0, "chunk size must be positive");
+  ChunkLayout layout;
+  layout.object_bytes.reserve(objs.size());
+  std::size_t off = sizeof(SlotHeader) + objs.size() * sizeof(std::uint64_t);
+  layout.header_bytes = off;
+  for (std::size_t oi = 0; oi < objs.size(); ++oi) {
+    const ObjectView& o = objs[oi];
+    layout.object_bytes.push_back(o.bytes);
+    layout.payload_bytes += o.bytes;
+    for (std::size_t pos = 0; pos < o.bytes; pos += chunk_bytes) {
+      Chunk c;
+      c.object = static_cast<std::uint32_t>(oi);
+      c.index = static_cast<std::uint32_t>(pos / chunk_bytes);
+      c.object_offset = pos;
+      c.payload_bytes = static_cast<std::uint32_t>(std::min(chunk_bytes, o.bytes - pos));
+      c.image_offset = off;
+      off += sizeof(ChunkHeader) + c.payload_bytes;
+      layout.chunks.push_back(c);
+    }
+  }
+  layout.image_bytes = off;
+  return layout;
+}
+
+std::size_t checkpoint_image_bytes(std::span<const ObjectView> objs, std::size_t chunk_bytes) {
+  return ChunkLayout::make(objs, chunk_bytes).image_bytes;
+}
+
+}  // namespace adcc::checkpoint

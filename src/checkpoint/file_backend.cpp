@@ -3,35 +3,13 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <cstring>
-#include <fstream>
+#include <chrono>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
 
 namespace adcc::checkpoint {
-
-namespace {
-
-/// Writes `bytes` from `p` to fd, spinning as needed to stay under `bw`.
-void throttled_write(int fd, const void* p, std::size_t bytes, double bw) {
-  const char* src = static_cast<const char*>(p);
-  std::size_t done = 0;
-  while (done < bytes) {
-    const std::size_t chunk = std::min<std::size_t>(bytes - done, 4u << 20);
-    Timer t;
-    ssize_t w = ::write(fd, src + done, chunk);
-    ADCC_CHECK(w == static_cast<ssize_t>(chunk), "checkpoint write failed");
-    if (bw > 0) {
-      const double target = static_cast<double>(chunk) / bw;
-      const double spent = t.elapsed();
-      if (spent < target) spin_for(target - spent);
-    }
-    done += chunk;
-  }
-}
-
-}  // namespace
 
 FileBackend::FileBackend(const FileBackendConfig& cfg) : cfg_(cfg) {
   ADCC_CHECK(!cfg_.directory.empty(), "FileBackend needs a directory");
@@ -39,6 +17,12 @@ FileBackend::FileBackend(const FileBackendConfig& cfg) : cfg_(cfg) {
 }
 
 FileBackend::~FileBackend() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  for (int& fd : read_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
   std::error_code ec;
   std::filesystem::remove(slot_path(0), ec);
   std::filesystem::remove(slot_path(1), ec);
@@ -56,48 +40,93 @@ std::filesystem::path FileBackend::slot_path(int slot) const {
 
 std::filesystem::path FileBackend::meta_path() const { return cfg_.directory / "meta.ckpt"; }
 
-void FileBackend::save(int slot, std::uint64_t version, std::span<const ObjectView> objs) {
-  ADCC_CHECK(slot == 0 || slot == 1, "two slots");
-  const int fd = ::open(slot_path(slot).c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  ADCC_CHECK(fd >= 0, "cannot open checkpoint slot file");
-  for (const ObjectView& o : objs) {
-    throttled_write(fd, o.data, o.bytes, cfg_.throttle_bytes_per_s);
+void FileBackend::begin_slot(int slot, std::size_t image_bytes) {
+  // A crash injected mid-save unwinds past finish_slot and leaves the write
+  // fd open; reclaim it here so repeated crash scenarios cannot leak fds.
+  if (fds_[slot] >= 0) {
+    ::close(fds_[slot]);
+    fds_[slot] = -1;
   }
-  if (cfg_.sync) ::fdatasync(fd);
-  ::close(fd);
+  // No O_TRUNC: preserved content is what makes the dirty-chunk filter valid
+  // for files too — clean chunks keep their bytes from the previous save to
+  // this slot. The image size is fixed by the object set, so the ftruncate is
+  // a no-op after the first save.
+  const int fd = ::open(slot_path(slot).c_str(), O_WRONLY | O_CREAT, 0644);
+  ADCC_CHECK(fd >= 0, "cannot open checkpoint slot file");
+  ADCC_CHECK(::ftruncate(fd, static_cast<off_t>(image_bytes)) == 0,
+             "cannot size checkpoint slot file");
+  fds_[slot] = fd;
+  device_free_at_ = now_seconds();
+}
 
-  // Commit marker last: tiny meta file with (slot, version), synced.
+void FileBackend::write_span(int slot, std::size_t offset, const void* src,
+                             std::size_t bytes) {
+  ADCC_CHECK(fds_[slot] >= 0, "write_span outside begin_slot/finish_slot");
+  const char* p = static_cast<const char*>(src);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t w = ::pwrite(fds_[slot], p + done, bytes - done,
+                               static_cast<off_t>(offset + done));
+    ADCC_CHECK(w > 0, "checkpoint write failed");
+    done += static_cast<std::size_t>(w);
+  }
+  if (cfg_.throttle_bytes_per_s > 0) {
+    double window_end;
+    {
+      std::lock_guard<std::mutex> lock(device_mu_);
+      const double start = std::max(now_seconds(), device_free_at_);
+      device_free_at_ = start + static_cast<double>(bytes) / cfg_.throttle_bytes_per_s;
+      window_end = device_free_at_;
+    }
+    const double wait = window_end - now_seconds();
+    if (wait > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    }
+  }
+}
+
+void FileBackend::finish_slot(int slot) {
+  ADCC_CHECK(fds_[slot] >= 0, "finish_slot without begin_slot");
+  if (cfg_.sync) ::fdatasync(fds_[slot]);
+  ::close(fds_[slot]);
+  fds_[slot] = -1;
+}
+
+void FileBackend::commit_marker(int slot, std::uint64_t version) {
   const int mfd = ::open(meta_path().c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   ADCC_CHECK(mfd >= 0, "cannot open checkpoint meta file");
   std::uint64_t rec[2] = {static_cast<std::uint64_t>(slot), version};
   ADCC_CHECK(::write(mfd, rec, sizeof(rec)) == sizeof(rec), "meta write failed");
   if (cfg_.sync) ::fdatasync(mfd);
   ::close(mfd);
-
-  ++stats_.saves;
-  stats_.bytes_saved += total_bytes(objs);
 }
 
-std::uint64_t FileBackend::load(int slot, std::span<const ObjectView> objs) {
-  std::ifstream in(slot_path(slot), std::ios::binary);
-  ADCC_CHECK(in.good(), "checkpoint slot file missing");
-  for (const ObjectView& o : objs) {
-    in.read(static_cast<char*>(o.data), static_cast<std::streamsize>(o.bytes));
-    ADCC_CHECK(in.gcount() == static_cast<std::streamsize>(o.bytes), "short checkpoint read");
+std::size_t FileBackend::read_span(int slot, std::size_t offset, void* dst,
+                                   std::size_t bytes) const {
+  // One lazily-opened read fd per slot: load()/probe_torn() issue one
+  // read_span per chunk, and an open/close pair each would dominate small
+  // chunks. The fd stays valid across saves (same inode, never truncated
+  // away) and is closed by the destructor.
+  int& fd = read_fds_[slot];
+  if (fd < 0) fd = ::open(slot_path(slot).c_str(), O_RDONLY);
+  if (fd < 0) return 0;
+  char* p = static_cast<char*>(dst);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t r = ::pread(fd, p + done, bytes - done, static_cast<off_t>(offset + done));
+    if (r <= 0) break;
+    done += static_cast<std::size_t>(r);
   }
-  ++stats_.loads;
-  stats_.bytes_loaded += total_bytes(objs);
-  const auto [s, v] = latest();
-  (void)s;
-  return v;
+  return done;
 }
 
 std::pair<int, std::uint64_t> FileBackend::latest() const {
-  std::ifstream in(meta_path(), std::ios::binary);
-  if (!in.good()) return {0, 0};
   std::uint64_t rec[2] = {0, 0};
-  in.read(reinterpret_cast<char*>(rec), sizeof(rec));
-  if (in.gcount() != sizeof(rec)) return {0, 0};
+  const int fd = ::open(meta_path().c_str(), O_RDONLY);
+  if (fd < 0) return {0, 0};
+  const ssize_t r = ::read(fd, rec, sizeof(rec));
+  ::close(fd);
+  if (r != sizeof(rec)) return {0, 0};
   return {static_cast<int>(rec[0]), rec[1]};
 }
 

@@ -17,33 +17,39 @@ HeteroBackend::HeteroBackend(nvm::NvmRegion& region, nvm::DramCache& dram_cache,
   region_.persist(meta_.data(), meta_.size_bytes());
 }
 
-void HeteroBackend::save(int slot, std::uint64_t version, std::span<const ObjectView> objs) {
-  ADCC_CHECK(slot == 0 || slot == 1, "two slots");
-  ADCC_CHECK(total_bytes(objs) <= slots_[slot].size(), "checkpoint exceeds slot capacity");
-  std::size_t off = 0;
-  for (const ObjectView& o : objs) {
-    // Copy 1: into the DRAM cache at DRAM speed.
-    dram_.write(slots_[slot].data() + off, o.data, o.bytes);
-    off += o.bytes;
-  }
+void HeteroBackend::begin_slot(int slot, std::size_t image_bytes) {
+  ADCC_CHECK(image_bytes <= slots_[slot].size(), "checkpoint exceeds slot capacity");
+  // Every completed save drains at finish_slot, so anything still staged here
+  // is debris of an interrupted save — draining it later would tear the other
+  // slot's committed image. It was volatile at the failure; drop it.
+  dram_.discard();
+}
+
+void HeteroBackend::write_span(int slot, std::size_t offset, const void* src,
+                               std::size_t bytes) {
+  // Copy 1: into the DRAM cache at DRAM speed (staging bookkeeping is one
+  // device; overflowing writes force a partial drain inside).
+  std::lock_guard<std::mutex> lock(media_mu_);
+  dram_.write(slots_[slot].data() + offset, src, bytes);
+}
+
+void HeteroBackend::finish_slot(int) {
   // Copy 2: drain the DRAM cache to NVM (throttled) — durability point.
   dram_.drain();
+}
+
+void HeteroBackend::commit_marker(int slot, std::uint64_t version) {
   meta_[0] = static_cast<std::uint64_t>(slot);
   meta_[1] = version;
   region_.persist(meta_.data(), meta_.size_bytes());
-  ++stats_.saves;
-  stats_.bytes_saved += off;
 }
 
-std::uint64_t HeteroBackend::load(int slot, std::span<const ObjectView> objs) {
-  std::size_t off = 0;
-  for (const ObjectView& o : objs) {
-    std::memcpy(o.data, slots_[slot].data() + off, o.bytes);
-    off += o.bytes;
-  }
-  ++stats_.loads;
-  stats_.bytes_loaded += off;
-  return meta_[1];
+std::size_t HeteroBackend::read_span(int slot, std::size_t offset, void* dst,
+                                     std::size_t bytes) const {
+  if (offset >= slots_[slot].size()) return 0;
+  const std::size_t n = std::min(bytes, slots_[slot].size() - offset);
+  std::memcpy(dst, slots_[slot].data() + offset, n);
+  return n;
 }
 
 std::pair<int, std::uint64_t> HeteroBackend::latest() const {

@@ -1,83 +1,54 @@
 #include "checkpoint/incremental.hpp"
 
-#include <cstring>
-
 #include "common/check.hpp"
 
 namespace adcc::checkpoint {
 
 void IncrementalCheckpointSet::add(std::string name, void* data, std::size_t bytes) {
-  ADCC_CHECK(!frozen_, "objects must be registered before the first save");
+  ADCC_CHECK(!set_, "objects must be registered before the first save");
   ADCC_CHECK(data != nullptr && bytes > 0, "object must be non-empty");
-  Object o;
-  o.name = std::move(name);
-  o.live = static_cast<std::byte*>(data);
-  o.bytes = bytes;
-  o.mirror = region_.allocate<std::byte>(bytes);
-  objects_.push_back(o);
+  pending_.push_back({std::move(name), data, bytes});
 }
 
-std::size_t IncrementalCheckpointSet::save_block(Object& o, std::size_t block_off) {
-  const std::size_t len = std::min(kBlock, o.bytes - block_off);
-  ++stats_.blocks_total;
-  if (std::memcmp(o.mirror.data() + block_off, o.live + block_off, len) == 0) return 0;
-  region_.write_durable(o.mirror.data() + block_off, o.live + block_off, len);
-  ++stats_.blocks_written;
-  stats_.bytes_written += len;
-  return len;
+void IncrementalCheckpointSet::freeze() {
+  if (set_) return;
+  ADCC_CHECK(!pending_.empty(), "no objects registered");
+  std::vector<ObjectView> objs;
+  objs.reserve(pending_.size());
+  for (const Pending& p : pending_) objs.push_back({p.name, p.data, p.bytes});
+  backend_ = std::make_unique<NvmBackend>(region_, checkpoint_image_bytes(objs, kBlock),
+                                          /*slots=*/1);
+  backend_->configure_chunks({kBlock, /*threads=*/1});
+  set_ = std::make_unique<CheckpointSet>(*backend_);
+  for (Pending& p : pending_) set_->add(std::move(p.name), p.data, p.bytes);
+  pending_.clear();
 }
 
-void IncrementalCheckpointSet::commit() {
-  if (version_cell_.empty()) {
-    version_cell_ = region_.allocate<std::uint64_t>(kCacheLine / sizeof(std::uint64_t));
-  }
-  ++committed_version_;
-  version_cell_[0] = committed_version_;
-  region_.persist(version_cell_.data(), sizeof(std::uint64_t));
+std::size_t IncrementalCheckpointSet::account(std::uint64_t) {
+  const CheckpointSet::SaveStats& s = set_->last_save();
   ++stats_.saves;
+  stats_.blocks_total += s.chunks_examined();
+  stats_.blocks_written += s.chunks_written;
+  stats_.bytes_written += s.payload_bytes_written;
+  return s.payload_bytes_written;
 }
 
 std::size_t IncrementalCheckpointSet::save() {
-  ADCC_CHECK(!objects_.empty(), "no objects registered");
-  frozen_ = true;
-  std::size_t written = 0;
-  for (Object& o : objects_) {
-    for (std::size_t off = 0; off < o.bytes; off += kBlock) written += save_block(o, off);
-  }
-  commit();
-  return written;
+  freeze();
+  return account(set_->save());
 }
 
 std::size_t IncrementalCheckpointSet::save(std::span<const DirtyRange> dirty) {
-  ADCC_CHECK(!objects_.empty(), "no objects registered");
-  frozen_ = true;
-  std::size_t written = 0;
-  // Per-object bitmap of hinted blocks so overlapping hints are written once.
-  std::vector<std::vector<bool>> hinted(objects_.size());
-  for (const DirtyRange& d : dirty) {
-    ADCC_CHECK(d.object < objects_.size(), "dirty hint for unknown object");
-    Object& o = objects_[d.object];
-    ADCC_CHECK(d.offset + d.bytes <= o.bytes, "dirty hint out of bounds");
-    auto& bits = hinted[d.object];
-    if (bits.empty()) bits.resize((o.bytes + kBlock - 1) / kBlock, false);
-    if (d.bytes == 0) continue;
-    for (std::size_t blk = d.offset / kBlock; blk <= (d.offset + d.bytes - 1) / kBlock; ++blk) {
-      bits[blk] = true;
-    }
-  }
-  for (std::size_t oi = 0; oi < objects_.size(); ++oi) {
-    for (std::size_t blk = 0; blk < hinted[oi].size(); ++blk) {
-      if (hinted[oi][blk]) written += save_block(objects_[oi], blk * kBlock);
-    }
-  }
-  commit();
-  return written;
+  freeze();
+  std::vector<CheckpointSet::DirtyRange> hints;
+  hints.reserve(dirty.size());
+  for (const DirtyRange& d : dirty) hints.push_back({d.object, d.offset, d.bytes});
+  return account(set_->save(hints));
 }
 
 std::uint64_t IncrementalCheckpointSet::restore() {
-  if (committed_version_ == 0) return 0;
-  for (Object& o : objects_) std::memcpy(o.live, o.mirror.data(), o.bytes);
-  return committed_version_;
+  if (!set_ || set_->version() == 0) return 0;
+  return set_->restore();
 }
 
 }  // namespace adcc::checkpoint

@@ -2,39 +2,43 @@
 // checkpoint-overhead reducers: "incremental checkpoint that only checkpoints
 // modified data to reduce checkpoint size").
 //
-// An IncrementalCheckpointSet keeps a durable mirror of every registered
-// object in an NVM arena. save() writes only the 4 KB blocks that changed
-// since the previous checkpoint (detected by comparison against the mirror,
-// or supplied as explicit dirty hints by the application), making the cost
+// Since the chunk engine landed, this is a thin configuration of the shared
+// durability path, not a parallel implementation: a single-slot (mirror
+// style) NvmBackend with 4 KB chunks, driven through CheckpointSet's
+// dirty-chunk CRC filter. save() writes only the chunks whose payload CRC
+// changed since the previous checkpoint (or, with explicit dirty hints from
+// the application, examines only the hinted chunks), making the cost
 // proportional to the modified footprint rather than the object size.
-// restore() copies the mirror back — the mirror is always a consistent,
-// committed checkpoint because block writes go through write_durable and the
-// version marker is persisted last.
+// restore() loads the mirror back through the same verified chunk path.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint_set.hpp"
+#include "checkpoint/nvm_backend.hpp"
 #include "nvm/nvm_region.hpp"
 
 namespace adcc::checkpoint {
 
 struct IncrementalStats {
   std::uint64_t saves = 0;
-  std::uint64_t blocks_total = 0;    ///< Blocks examined across all saves.
-  std::uint64_t blocks_written = 0;  ///< Blocks actually copied.
+  std::uint64_t blocks_total = 0;    ///< Chunks examined across all saves.
+  std::uint64_t blocks_written = 0;  ///< Chunks actually copied.
   std::uint64_t bytes_written = 0;
 };
 
 class IncrementalCheckpointSet {
  public:
-  static constexpr std::size_t kBlock = 4096;
+  static constexpr std::size_t kBlock = 4096;  ///< Chunk size of the mirror.
 
   explicit IncrementalCheckpointSet(nvm::NvmRegion& region) : region_(region) {}
 
-  /// Registers an object; allocates its mirror. Must precede the first save.
+  /// Registers an object; must precede the first save (the mirror slot is
+  /// sized and allocated at the first save).
   void add(std::string name, void* data, std::size_t bytes);
 
   /// A half-open dirty byte range within one object, used as a save() hint.
@@ -44,46 +48,47 @@ class IncrementalCheckpointSet {
     std::size_t bytes;
   };
 
-  /// Full scan: compares every block against the mirror, writes the changed
-  /// ones durably, bumps the version. Returns bytes written.
+  /// Full scan: checksums every chunk, writes the changed ones durably, bumps
+  /// the version. Returns payload bytes written.
   std::size_t save();
 
-  /// Hinted save: only blocks overlapping the given ranges are compared and
-  /// written (the application knows what it touched — cheaper than scanning).
-  /// Hints must cover every modification since the previous save; un-hinted
-  /// dirty blocks silently age the mirror.
+  /// Hinted save: only chunks overlapping the given ranges are examined (the
+  /// application knows what it touched — cheaper than scanning). Hints must
+  /// cover every modification since the previous save; un-hinted dirty chunks
+  /// silently age the mirror.
   std::size_t save(std::span<const DirtyRange> dirty);
 
-  // NOTE on atomicity: a crash *during* save() can leave the mirror mixing
-  // blocks of two checkpoints (the version marker, persisted last, still
-  // names the old one). Applications needing mid-save crash atomicity should
-  // compose this with an undo log over the mirror (pmemtx), or fall back to
-  // the double-buffered CheckpointSet; the trade-off is the paper's §I
-  // incremental-vs-full checkpoint discussion in miniature.
+  // NOTE on atomicity: with a single mirror slot there is no double buffer —
+  // a crash *during* save() leaves the mirror mixing chunks of two
+  // checkpoints. Unlike the seed, that state is now *detected*: the torn
+  // chunks carry a version newer than the slot header, so restore() raises
+  // TornCheckpoint instead of resurrecting a silently inconsistent image.
+  // Applications needing mid-save crash atomicity should compose this with an
+  // undo log over the mirror (pmemtx), or fall back to the double-buffered
+  // CheckpointSet; the trade-off is the paper's §I incremental-vs-full
+  // checkpoint discussion in miniature.
 
-  /// Copies the mirror back into the live objects; returns the version
+  /// Loads the mirror back into the live objects; returns the version
   /// (0 = no checkpoint committed yet, objects untouched).
   std::uint64_t restore();
 
-  std::uint64_t version() const { return committed_version_; }
+  std::uint64_t version() const { return set_ ? set_->version() : 0; }
   const IncrementalStats& stats() const { return stats_; }
 
  private:
-  struct Object {
+  struct Pending {
     std::string name;
-    std::byte* live;
+    void* data;
     std::size_t bytes;
-    std::span<std::byte> mirror;
   };
 
-  std::size_t save_block(Object& o, std::size_t block_off);
-  void commit();
+  void freeze();
+  std::size_t account(std::uint64_t saved_version);
 
   nvm::NvmRegion& region_;
-  std::vector<Object> objects_;
-  std::span<std::uint64_t> version_cell_;
-  std::uint64_t committed_version_ = 0;
-  bool frozen_ = false;
+  std::vector<Pending> pending_;
+  std::unique_ptr<NvmBackend> backend_;  ///< One slot: the mirror.
+  std::unique_ptr<CheckpointSet> set_;
   IncrementalStats stats_;
 };
 

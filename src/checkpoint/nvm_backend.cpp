@@ -6,40 +6,43 @@
 
 namespace adcc::checkpoint {
 
-NvmBackend::NvmBackend(nvm::NvmRegion& region, std::size_t capacity_per_slot) : region_(region) {
-  slots_[0] = region_.allocate<std::byte>(capacity_per_slot);
-  slots_[1] = region_.allocate<std::byte>(capacity_per_slot);
+NvmBackend::NvmBackend(nvm::NvmRegion& region, std::size_t capacity_per_slot, int slots)
+    : region_(region), slot_count_(slots) {
+  ADCC_CHECK(slots == 1 || slots == 2, "NvmBackend supports 1 or 2 slots");
+  for (int s = 0; s < slot_count_; ++s) {
+    slots_[s] = region_.allocate<std::byte>(capacity_per_slot);
+  }
   meta_ = region_.allocate<std::uint64_t>(2);
   meta_[0] = 0;
   meta_[1] = 0;
   region_.persist(meta_.data(), meta_.size_bytes());
 }
 
-void NvmBackend::save(int slot, std::uint64_t version, std::span<const ObjectView> objs) {
-  ADCC_CHECK(slot == 0 || slot == 1, "two slots");
-  ADCC_CHECK(total_bytes(objs) <= slots_[slot].size(), "checkpoint exceeds slot capacity");
-  std::size_t off = 0;
-  for (const ObjectView& o : objs) {
-    // memcpy + flush + fence + NVM bandwidth charge.
-    region_.write_durable(slots_[slot].data() + off, o.data, o.bytes);
-    off += o.bytes;
-  }
+void NvmBackend::begin_slot(int slot, std::size_t image_bytes) {
+  ADCC_CHECK(image_bytes <= slots_[slot].size(), "checkpoint exceeds slot capacity");
+}
+
+void NvmBackend::write_span(int slot, std::size_t offset, const void* src,
+                            std::size_t bytes) {
+  // memcpy + flush + fence + NVM bandwidth charge, one channel at a time.
+  std::lock_guard<std::mutex> lock(media_mu_);
+  region_.write_durable(slots_[slot].data() + offset, src, bytes);
+}
+
+void NvmBackend::finish_slot(int) {}
+
+void NvmBackend::commit_marker(int slot, std::uint64_t version) {
   meta_[0] = static_cast<std::uint64_t>(slot);
   meta_[1] = version;
   region_.persist(meta_.data(), meta_.size_bytes());
-  ++stats_.saves;
-  stats_.bytes_saved += off;
 }
 
-std::uint64_t NvmBackend::load(int slot, std::span<const ObjectView> objs) {
-  std::size_t off = 0;
-  for (const ObjectView& o : objs) {
-    std::memcpy(o.data, slots_[slot].data() + off, o.bytes);
-    off += o.bytes;
-  }
-  ++stats_.loads;
-  stats_.bytes_loaded += off;
-  return meta_[1];
+std::size_t NvmBackend::read_span(int slot, std::size_t offset, void* dst,
+                                  std::size_t bytes) const {
+  if (offset >= slots_[slot].size()) return 0;
+  const std::size_t n = std::min(bytes, slots_[slot].size() - offset);
+  std::memcpy(dst, slots_[slot].data() + offset, n);
+  return n;
 }
 
 std::pair<int, std::uint64_t> NvmBackend::latest() const {

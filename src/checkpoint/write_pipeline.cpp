@@ -1,0 +1,56 @@
+#include "checkpoint/write_pipeline.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace adcc::checkpoint {
+
+WritePipeline::WritePipeline(int threads) : threads_(threads) {
+  ADCC_CHECK(threads >= 1, "pipeline needs at least one worker");
+}
+
+void WritePipeline::run(std::size_t count, const ChunkFn& fn) {
+  if (count == 0) return;
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_), count));
+  if (workers == 1) {
+    std::vector<std::byte> scratch;
+    for (std::size_t i = 0; i < count; ++i) fn(i, scratch);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker = [&] {
+    std::vector<std::byte> scratch;
+    for (std::size_t i; (i = next.fetch_add(1)) < count;) {
+      if (abort.load(std::memory_order_relaxed)) break;
+      try {
+        fn(i, scratch);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers - 1));
+  for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // The calling thread is worker 0.
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace adcc::checkpoint

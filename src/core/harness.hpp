@@ -36,6 +36,9 @@ struct RecomputationBreakdown {
   std::size_t units_lost = 0;      ///< Completed units destroyed by crashes.
   std::size_t partial_units = 0;   ///< Interrupted mid-unit and re-executed.
   std::size_t units_corrected = 0; ///< Repaired from checksums, not recomputed.
+  std::size_t torn_chunks = 0;     ///< Detected torn-checkpoint chunks (a save
+                                   ///< the crash interrupted, caught by the
+                                   ///< chunk CRC/version headers in recovery).
 
   /// The paper's "iterations lost" count: destroyed + interrupted units.
   std::size_t units_redone() const { return units_lost + partial_units; }

@@ -104,6 +104,9 @@ ModeEnv make_env(Mode mode, const ModeEnvConfig& cfg) {
     default:
       break;  // Tx and algorithm modes build workload-specific state on the arena.
   }
+  if (env.backend) {
+    env.backend->configure_chunks({cfg.ckpt_chunk_bytes, cfg.ckpt_threads});
+  }
   return env;
 }
 

@@ -23,7 +23,43 @@ std::optional<std::uint64_t> parse_u64(std::string_view s) {
 
 }  // namespace
 
+namespace {
+
+/// One '^'-free crash plan (the links of a double-fault chain are parsed
+/// individually and stitched by parse_crash).
+std::optional<CrashScenario> parse_crash_link(std::string_view spec);
+
+}  // namespace
+
 std::optional<CrashScenario> parse_crash(std::string_view spec) {
+  // Double-fault chains: HEAD^TAIL^TAIL... — the head fires as usual, each
+  // tail is armed before the recovery that follows its predecessor's crash.
+  const auto caret = spec.find('^');
+  if (caret != std::string_view::npos) {
+    auto head = parse_crash_link(spec.substr(0, caret));
+    if (!head || head->kind == CrashScenario::Kind::kNone) return std::nullopt;
+    std::string_view rest = spec.substr(caret + 1);
+    while (true) {
+      const auto next = rest.find('^');
+      const auto link = parse_crash_link(rest.substr(0, next));
+      // Recovery triggers must be mid-unit by construction: a unit-boundary
+      // plan has no meaning inside recover().
+      if (!link || (link->kind != CrashScenario::Kind::kAtAccess &&
+                    link->kind != CrashScenario::Kind::kAtPoint)) {
+        return std::nullopt;
+      }
+      head->then.push_back(*link);
+      if (next == std::string_view::npos) break;
+      rest = rest.substr(next + 1);
+    }
+    return head;
+  }
+  return parse_crash_link(spec);
+}
+
+namespace {
+
+std::optional<CrashScenario> parse_crash_link(std::string_view spec) {
   CrashScenario c;
   if (spec.empty() || spec == "none") return c;
   const auto colon = spec.find(':');
@@ -94,7 +130,7 @@ std::optional<CrashScenario> parse_crash(std::string_view spec) {
   return std::nullopt;
 }
 
-std::string crash_name(const CrashScenario& crash) {
+std::string crash_link_name(const CrashScenario& crash) {
   switch (crash.kind) {
     case CrashScenario::Kind::kNone: return "none";
     case CrashScenario::Kind::kAtStep: return "step:" + std::to_string(crash.step);
@@ -115,6 +151,17 @@ std::string crash_name(const CrashScenario& crash) {
     case CrashScenario::Kind::kFuzz: return "fuzz:" + std::to_string(crash.seed);
   }
   ADCC_CHECK(false, "unknown crash kind");
+}
+
+}  // namespace
+
+std::string crash_name(const CrashScenario& crash) {
+  std::string out = crash_link_name(crash);
+  for (const CrashScenario& link : crash.then) {
+    out += '^';
+    out += crash_link_name(link);
+  }
+  return out;
 }
 
 bool crash_is_mid_unit(const CrashScenario& crash) {
@@ -152,8 +199,14 @@ std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t wor
 }
 
 ScenarioRunner::ScenarioRunner(Workload& workload, ScenarioConfig cfg)
-    : workload_(workload), cfg_(cfg) {
+    : workload_(workload), cfg_(std::move(cfg)) {
   ADCC_CHECK(cfg_.reps >= 1, "need at least one repetition");
+  for (const CrashScenario& link : cfg_.crash.then) {
+    ADCC_CHECK(link.kind == CrashScenario::Kind::kAtAccess ||
+                   link.kind == CrashScenario::Kind::kAtPoint,
+               "double-fault chain links must be access/point plans");
+    ADCC_CHECK(link.then.empty(), "double-fault chains do not nest");
+  }
 }
 
 ScenarioRunner::~ScenarioRunner() = default;
@@ -175,29 +228,50 @@ void ScenarioRunner::ensure_env() {
   env_ = std::make_unique<ModeEnv>(make_env(cfg_.mode, cfg_.env));
 }
 
+std::uint64_t pick_fuzz_access(std::span<const std::uint64_t> boundaries,
+                               std::uint64_t seed) {
+  ADCC_CHECK(boundaries.size() >= 2, "fuzz crash plan needs at least one work unit");
+  ADCC_CHECK(boundaries.back() > boundaries.front(),
+             "fuzz crash plan needs a fault surface that announces accesses");
+  const std::size_t units = boundaries.size() - 1;
+  const std::size_t u = static_cast<std::size_t>(splitmix64(seed) % units);  // 0-based.
+  const std::uint64_t lo = boundaries[u];
+  const std::uint64_t hi = boundaries[u + 1];
+  // Land in (lo, hi]; a unit announcing nothing degenerates to the first
+  // access of the next announcing unit.
+  const std::uint64_t span = hi > lo ? hi - lo : 1;
+  return lo + 1 + splitmix64(seed ^ 0x9E3779B97F4A7C15ULL) % span;
+}
+
+std::vector<std::uint64_t> probe_fuzz_boundaries(Workload& workload, Mode mode,
+                                                 const ModeEnvConfig& env_cfg) {
+  ModeEnv env = make_env(mode, env_cfg);
+  workload.prepare(env);
+  FaultSurface* fault = workload.fault();
+  ADCC_CHECK(fault != nullptr, "fuzz probes need a workload with a fault surface");
+  std::vector<std::uint64_t> at_boundary;
+  at_boundary.push_back(fault->access_count());
+  while (workload.run_step()) {
+    workload.make_durable();
+    at_boundary.push_back(fault->access_count());
+  }
+  return at_boundary;
+}
+
 void ScenarioRunner::plan_fuzz(FaultSurface& fault) {
   // Untimed probe repetition: run crash-free, recording the cumulative access
   // count at every unit boundary, then pick a seeded random unit and a seeded
   // random access inside it. Access announcements are deterministic, so the
-  // resulting plan is a pure function of (seed, workload, mode).
+  // resulting plan is a pure function of (seed, workload, mode) — which is why
+  // sweep decks can hand a shared pre-measured probe in via
+  // cfg.fuzz_boundaries instead of paying this run per fuzz seed.
   std::vector<std::uint64_t> at_boundary;
   at_boundary.push_back(fault.access_count());
   while (workload_.run_step()) {
     workload_.make_durable();
     at_boundary.push_back(fault.access_count());
   }
-  const std::size_t units = at_boundary.size() - 1;
-  ADCC_CHECK(units >= 1, "fuzz crash plan needs at least one work unit");
-  ADCC_CHECK(at_boundary.back() > at_boundary.front(),
-             "fuzz crash plan needs a fault surface that announces accesses");
-  const std::size_t u =
-      static_cast<std::size_t>(splitmix64(cfg_.crash.seed) % units);  // 0-based.
-  const std::uint64_t lo = at_boundary[u];
-  const std::uint64_t hi = at_boundary[u + 1];
-  // Land in (lo, hi]; a unit announcing nothing degenerates to the first
-  // access of the next announcing unit.
-  const std::uint64_t span = hi > lo ? hi - lo : 1;
-  fuzz_access_ = lo + 1 + splitmix64(cfg_.crash.seed ^ 0x9E3779B97F4A7C15ULL) % span;
+  fuzz_access_ = pick_fuzz_access(at_boundary, cfg_.crash.seed);
 }
 
 void ScenarioRunner::arm_fault(FaultSurface& fault) {
@@ -217,23 +291,65 @@ void ScenarioRunner::arm_fault(FaultSurface& fault) {
   }
 }
 
+WorkloadRecovery ScenarioRunner::recover_with_chain(ScenarioResult& result,
+                                                    std::size_t& chain_pos) {
+  // Crash-during-recovery double faults: arm the next chain link before each
+  // recovery attempt; when it fires inside recover(), account the crash,
+  // re-inject, and retry (with the following link, if any).
+  FaultSurface* fault = workload_.fault();
+  for (;;) {
+    const bool armed_tail = fault != nullptr && chain_pos < cfg_.crash.then.size();
+    if (armed_tail) {
+      const CrashScenario& link = cfg_.crash.then[chain_pos];
+      if (link.kind == CrashScenario::Kind::kAtAccess) {
+        // Relative: N more announced accesses into this recovery.
+        fault->arm_at_access(fault->access_count() + link.access);
+      } else {
+        fault->arm_at_point(link.point, link.occurrence);
+      }
+    }
+    try {
+      WorkloadRecovery rec = workload_.recover();
+      // A link whose trigger is not on this mode's recovery path never fires;
+      // disarm it so it cannot leak into the resumed execution.
+      if (armed_tail && fault->armed()) fault->disarm();
+      return rec;
+    } catch (const memsim::CrashException& e) {
+      ++chain_pos;
+      ++result.crashes;
+      result.crash_access = e.access_count();
+      result.crash_site = e.point();
+      workload_.inject_crash();
+    }
+  }
+}
+
 double ScenarioRunner::run_once(ScenarioResult& result) {
   ensure_env();
   workload_.prepare(*env_);
 
   const bool mid_unit = crash_is_mid_unit(cfg_.crash);
   FaultSurface* fault = workload_.fault();
-  if (mid_unit) {
+  if (mid_unit || !cfg_.crash.then.empty()) {
     ADCC_CHECK(fault != nullptr,
-               "mid-unit crash plans (access/point/fuzz) need a workload with a fault surface");
+               "mid-unit crash plans (access/point/fuzz) and double-fault chains need a "
+               "workload with a fault surface");
+  }
+  if (mid_unit) {
     if (cfg_.crash.kind == CrashScenario::Kind::kFuzz && fuzz_access_ == 0) {
-      plan_fuzz(*fault);
-      // The probe consumed this prepared run; rebuild substrate + run state so
-      // the measured repetition starts clean.
-      env_.reset();
-      ensure_env();
-      workload_.prepare(*env_);
-      fault = workload_.fault();
+      if (cfg_.fuzz_boundaries && cfg_.fuzz_boundaries->size() >= 2) {
+        // Shared probe: a sweep deck measured the unit boundaries once for
+        // this cell shape; every fuzz seed reuses them.
+        fuzz_access_ = pick_fuzz_access(*cfg_.fuzz_boundaries, cfg_.crash.seed);
+      } else {
+        plan_fuzz(*fault);
+        // The probe consumed this prepared run; rebuild substrate + run state
+        // so the measured repetition starts clean.
+        env_.reset();
+        ensure_env();
+        workload_.prepare(*env_);
+        fault = workload_.fault();
+      }
     }
     arm_fault(*fault);
   }
@@ -252,6 +368,7 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
 
   double first_crash_elapsed = 0.0;
   std::size_t first_crash_unit = 0;
+  std::size_t chain_pos = 0;  // Double-fault chain links fired so far.
 
   Timer total;
   for (;;) {
@@ -260,6 +377,11 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     bool stepped = false;
     try {
       stepped = workload_.run_step();
+      // The durability action shares the fault surface since the chunk engine
+      // (point:ckpt_chunk fires between chunk persists inside save), so it
+      // can raise the same CrashException — a crash mid-checkpoint, leaving
+      // the slot torn and the marker uncommitted.
+      if (stepped) workload_.make_durable();
     } catch (const memsim::CrashException& e) {
       // A FaultSurface / MemorySimulator trigger fired inside the unit. The
       // surface is one-shot, so recovery's re-execution cannot re-fire it.
@@ -273,11 +395,11 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     if (crashed_mid) {
       crash_unit = workload_.units_done();
       // End-of-unit crash points may fire after the workload advanced its
-      // cursor; only a crash before the advance interrupted a unit mid-flight.
+      // cursor; only a crash before the advance interrupted a unit mid-flight
+      // (a crash inside make_durable interrupted the *save*, not the unit).
       partial = workload_.units_done() == before;
     } else {
       if (!stepped) break;
-      workload_.make_durable();
       if (next_target >= targets.size() ||
           workload_.units_done() < targets[next_target]) {
         continue;
@@ -293,7 +415,7 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     workload_.inject_crash();
 
     Timer detect;
-    const WorkloadRecovery rec = workload_.recover();
+    const WorkloadRecovery rec = recover_with_chain(result, chain_pos);
     const double recover_seconds = detect.elapsed();
     // Checksum-classifying recoveries recompute/repair units inside recover();
     // that work is resume time, not detection time (the fig3/fig7 split).
@@ -318,6 +440,7 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     result.recomputation.resume_seconds += resume.elapsed();
     result.recomputation.units_lost += rec.units_lost;
     result.recomputation.units_corrected += rec.units_corrected;
+    result.recomputation.torn_chunks += rec.torn_chunks;
     if (partial) ++result.recomputation.partial_units;
     ++result.crashes;
     result.crash_unit = crash_unit;

@@ -21,15 +21,28 @@
 //                     unit (an untimed probe repetition measures the per-unit
 //                     access boundaries first; the plan is deterministic in
 //                     SEED, problem and mode)
+//   PLAN^TAIL^...   — double faults: after each crash of PLAN, the next TAIL
+//                     (access:N — N accesses into recovery — or point:NAME[:K])
+//                     is armed *before* recover() runs, so it lands inside the
+//                     recovery itself (crash-during-recovery). A tail that
+//                     never fires (its point is not on this mode's recovery
+//                     path) is disarmed when recovery completes.
 //
 // Mid-unit plans require Workload::fault() != nullptr; the runner catches the
 // memsim::CrashException raised out of run_step, accounts the interrupted unit
 // as a partial unit in RecomputationBreakdown, and drives inject_crash /
-// recover / re-execution exactly as for boundary crashes.
+// recover / re-execution exactly as for boundary crashes. Since the chunked
+// durability engine, the same exception can surface out of make_durable()
+// (crash points inside checkpoint save, point:ckpt_chunk[:K]) and out of
+// recover() (points inside checkpoint load, point:ckpt_restore[:K]) — the
+// runner accounts the former as a crash after the completed unit with a torn
+// in-flight checkpoint, and retries recovery for the latter.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -49,6 +62,10 @@ struct CrashScenario {
   std::uint64_t access = 0;    ///< kAtAccess: the triggering access count.
   std::string point;           ///< kAtPoint: crash-point name.
   std::uint64_t occurrence = 1;///< kAtPoint: 1-based hit of `point`.
+  /// Double-fault chain ('^' links): after the i-th crash of this plan, then[i]
+  /// is armed before recover() so it fires *inside* the recovery. Links must be
+  /// kAtAccess (relative to the recovery's start) or kAtPoint, with empty then.
+  std::vector<CrashScenario> then;
 };
 
 /// Parses the CLI spelling; nullopt on malformed input.
@@ -74,6 +91,11 @@ struct ScenarioConfig {
   bool warmup = false;         ///< One discarded repetition first.
   double native_seconds = 0.0; ///< Baseline for NormalizedTime (0 = none).
   bool verify = false;         ///< Run Workload::verify after the last rep.
+  /// Pre-measured fuzz probe (cumulative access counts at every unit boundary,
+  /// leading 0 included). When set, fuzz plans skip their own untimed probe
+  /// repetition — sweep decks share one probe across every fuzz seed of the
+  /// same cell shape (see probe_fuzz_boundaries).
+  std::shared_ptr<const std::vector<std::uint64_t>> fuzz_boundaries;
 };
 
 struct ScenarioResult {
@@ -115,6 +137,7 @@ class ScenarioRunner {
   void ensure_env();
   void arm_fault(FaultSurface& fault);
   void plan_fuzz(FaultSurface& fault);
+  WorkloadRecovery recover_with_chain(ScenarioResult& result, std::size_t& chain_pos);
 
   Workload& workload_;
   ScenarioConfig cfg_;
@@ -124,5 +147,18 @@ class ScenarioRunner {
 
 /// Convenience: run a scenario over `workload` with `cfg` once-off.
 ScenarioResult run_scenario(Workload& workload, const ScenarioConfig& cfg);
+
+/// One untimed crash-free run of `workload` under `mode`, recording the
+/// cumulative announced-access count at every unit boundary (index 0 = before
+/// unit 1) — the fuzz plan's probe, shareable across every fuzz seed of the
+/// same (workload shape, mode): access announcements are deterministic, so
+/// the boundaries are too. Requires workload.fault() != nullptr.
+std::vector<std::uint64_t> probe_fuzz_boundaries(Workload& workload, Mode mode,
+                                                 const ModeEnvConfig& env_cfg);
+
+/// The access fuzz:SEED fires on, given probe boundaries: a seeded random
+/// access inside a seeded random unit.
+std::uint64_t pick_fuzz_access(std::span<const std::uint64_t> boundaries,
+                               std::uint64_t seed);
 
 }  // namespace adcc::core

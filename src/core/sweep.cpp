@@ -293,14 +293,16 @@ std::string SweepSpec::canonical() const {
 
 namespace {
 
-/// Native baselines memoized across deck cells sharing a problem shape, safe
-/// under concurrent workers: the first cell to ask computes, the rest block on
-/// a shared future (a failed baseline rethrows into every waiting cell).
-class BaselineCache {
+/// Values memoized across deck cells sharing a problem shape (native
+/// baselines, fuzz probes), safe under concurrent workers: the first cell to
+/// ask computes, the rest block on a shared future (a failed computation
+/// rethrows into every waiting cell).
+template <typename V>
+class SharedCache {
  public:
-  double get_or_compute(const std::string& key, const std::function<double()>& fn) {
-    std::promise<double> promise;
-    std::shared_future<double> future;
+  V get_or_compute(const std::string& key, const std::function<V()>& fn) {
+    std::promise<V> promise;
+    std::shared_future<V> future;
     bool owner = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -326,13 +328,13 @@ class BaselineCache {
   /// Seeds `key` with an already-measured value (a native/none cell offering
   /// its own run as the shape's baseline). Returns the stored value — the
   /// offered one, or an earlier cell's if it won the race.
-  double put_or_get(const std::string& key, double value) {
-    std::shared_future<double> future;
+  V put_or_get(const std::string& key, V value) {
+    std::shared_future<V> future;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = cache_.find(key);
       if (it == cache_.end()) {
-        std::promise<double> promise;
+        std::promise<V> promise;
         promise.set_value(value);
         cache_.emplace(key, promise.get_future().share());
         return value;
@@ -344,8 +346,12 @@ class BaselineCache {
 
  private:
   std::mutex mu_;
-  std::map<std::string, std::shared_future<double>> cache_;
+  std::map<std::string, std::shared_future<V>> cache_;
 };
+
+using BaselineCache = SharedCache<double>;
+using FuzzBoundaries = std::shared_ptr<const std::vector<std::uint64_t>>;
+using FuzzProbeCache = SharedCache<FuzzBoundaries>;
 
 ScenarioConfig cell_config(const Workload& workload, Mode mode, const CrashScenario& crash,
                            const Options& opts, const std::filesystem::path& scratch) {
@@ -354,6 +360,10 @@ ScenarioConfig cell_config(const Workload& workload, Mode mode, const CrashScena
   sc.crash = crash;
   sc.env.scratch_dir = scratch;
   sc.env.disk_throttle_bytes_per_s = opts.get_double("disk_mbps", 150.0) * 1e6;
+  // Durability-engine knobs, sweepable like any other axis.
+  sc.env.ckpt_threads = std::max(1, static_cast<int>(opts.get_int("ckpt_threads", 1)));
+  sc.env.ckpt_chunk_bytes =
+      std::max<std::size_t>(1u << 10, opts.get_size("ckpt_chunk_kb", 256) << 10);
   workload.tune_env(mode, sc.env);
   if (opts.has("arena")) sc.env.arena_bytes = opts.get_size("arena", sc.env.arena_bytes);
   if (opts.has("slot")) sc.env.slot_bytes = opts.get_size("slot", sc.env.slot_bytes);
@@ -378,7 +388,8 @@ std::string baseline_key(const std::string& workload,
 }
 
 SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::size_t index,
-                         const std::filesystem::path& scratch_root, BaselineCache& baselines) {
+                         const std::filesystem::path& scratch_root, BaselineCache& baselines,
+                         FuzzProbeCache& fuzz_probes) {
   SweepCellResult cell;
   cell.index = index;
   cell.assignment = spec.assignment(index);
@@ -426,6 +437,27 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
     }
     sc.native_seconds = cell.native_seconds;
 
+    // Fuzz plans need one untimed probe of the per-unit access boundaries.
+    // The boundaries depend on everything BUT the crash plan (unlike the
+    // native baseline they run under the cell's real mode and policy), so the
+    // probe key keeps every other axis — and a crash=fuzz:A+fuzz:B+... axis
+    // shares a single probe per cell shape instead of paying one probe
+    // repetition per seed.
+    if (crash->kind == CrashScenario::Kind::kFuzz) {
+      std::string probe_key = cell.workload + '\x1f' + cell.mode_label;
+      for (const auto& [k, v] : cell.assignment) {
+        if (k == "workload" || k == "mode" || k == "crash") continue;
+        probe_key += '\x1f' + k + '=' + v;
+      }
+      sc.fuzz_boundaries =
+          fuzz_probes.get_or_compute(probe_key, [&] {
+            const auto probe = registry.create(cell.workload, opts);
+            ScenarioConfig pc = cell_config(*probe, *mode, {}, opts, scratch);
+            return std::make_shared<const std::vector<std::uint64_t>>(
+                probe_fuzz_boundaries(*probe, *mode, pc.env));
+          });
+    }
+
     cell.result = ScenarioRunner(*workload, sc).run();
     if (self_baseline) {
       cell.native_seconds = baselines.put_or_get(shape, cell.result.seconds);
@@ -458,10 +490,11 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepConfig& cfg) {
           : cfg.scratch_root;
 
   BaselineCache baselines;
+  FuzzProbeCache fuzz_probes;
   const int jobs = std::max(1, std::min<int>(cfg.jobs, static_cast<int>(n)));
   if (jobs == 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      out.cells[i] = run_cell(spec, cfg, i, scratch_root, baselines);
+      out.cells[i] = run_cell(spec, cfg, i, scratch_root, baselines, fuzz_probes);
     }
   } else {
     // Results land in deck order regardless of which worker ran which cell, so
@@ -472,7 +505,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepConfig& cfg) {
     for (int t = 0; t < jobs; ++t) {
       pool.emplace_back([&] {
         for (std::size_t i; (i = next.fetch_add(1)) < n;) {
-          out.cells[i] = run_cell(spec, cfg, i, scratch_root, baselines);
+          out.cells[i] = run_cell(spec, cfg, i, scratch_root, baselines, fuzz_probes);
         }
       });
     }
@@ -506,7 +539,7 @@ Table SweepResult::table(bool timing) const {
     }
   }
   for (const char* h : {"units", "seconds", "normalized", "overhead", "lost", "partial",
-                        "corrected", "detect/unit", "resume/unit", "status"}) {
+                        "corrected", "torn", "detect/unit", "resume/unit", "status"}) {
     headers.emplace_back(h);
   }
 
@@ -522,7 +555,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::move(value));
     }
     if (cell.status == SweepCellResult::Status::kError) {
-      for (int i = 0; i < 9; ++i) row.emplace_back("-");
+      for (int i = 0; i < 10; ++i) row.emplace_back("-");
       row.push_back("ERROR: " + cell.error);
     } else {
       const ScenarioResult& res = cell.result;
@@ -535,6 +568,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::to_string(rb.units_lost));
       row.push_back(std::to_string(rb.partial_units));
       row.push_back(std::to_string(rb.units_corrected));
+      row.push_back(std::to_string(rb.torn_chunks));
       row.push_back(timing && res.crashes > 0 ? Table::fmt(rb.detect_normalized(), 2) : "-");
       row.push_back(timing && res.crashes > 0 ? Table::fmt(rb.resume_normalized(), 2) : "-");
       row.push_back(cell.status == SweepCellResult::Status::kOk ? "ok" : "FAIL:verify");

@@ -40,6 +40,9 @@ struct WorkloadRecovery {
   std::size_t units_lost = 0;          ///< Completed units the crash destroyed.
   std::size_t units_corrected = 0;     ///< Units repaired purely from checksums.
   std::size_t candidates_checked = 0;  ///< Detection probes (invariant scans).
+  std::size_t torn_chunks = 0;         ///< Chunks of an interrupted checkpoint
+                                       ///< save classified as torn during
+                                       ///< recovery (CRC/version evidence).
   double repair_seconds = 0.0;         ///< recover()-internal re-execution time.
 };
 

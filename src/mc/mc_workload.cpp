@@ -58,7 +58,8 @@ void McWorkload::prepare(core::ModeEnv& env) {
       break;
     case core::DurabilityKind::kCheckpoint:
       ADCC_CHECK(env.backend != nullptr, "checkpoint modes need a backend");
-      ckpt_ = std::make_unique<checkpoint::CheckpointSet>(*env.backend);
+      ckpt_ = std::make_unique<checkpoint::CheckpointSet>(
+          *env.backend, [this](const char* p) { fault_.point(p); });
       ckpt_->add("macro_xs", macro_.data(), sizeof(macro_));
       ckpt_->add("counters", counters_.data(), sizeof(counters_));
       ckpt_->add("units", &durable_units_, sizeof(durable_units_));
@@ -150,6 +151,7 @@ void McWorkload::inject_crash() {
   crashed_done_ = done_;
   // The DRAM working copy dies with the power in every mode; the durable
   // snapshot (checkpoint / heap / arena) is all recovery may read.
+  if (env_ != nullptr && env_->dram) env_->dram->discard();
   macro_.fill(0.0);
   counters_.fill(0);
   durable_units_ = 0;
@@ -161,13 +163,18 @@ core::WorkloadRecovery McWorkload::recover() {
     case core::DurabilityKind::kNone:
       done_ = 0;  // Nothing durable: replay from the first lookup.
       break;
-    case core::DurabilityKind::kCheckpoint:
-      if (ckpt_->restore() != 0) {
+    case core::DurabilityKind::kCheckpoint: {
+      const std::uint64_t ver = ckpt_->restore();
+      const auto& rs = ckpt_->last_restore();
+      rec.candidates_checked += rs.chunks_probed;
+      rec.torn_chunks = rs.torn_chunks;
+      if (ver != 0) {
         done_ = static_cast<std::size_t>(durable_units_);
       } else {
         done_ = 0;
       }
       break;
+    }
     case core::DurabilityKind::kTransaction:
       log_->recover();  // Rolls back an uncommitted transaction, if any.
       std::copy(pmacro_.begin(), pmacro_.end(), macro_.begin());

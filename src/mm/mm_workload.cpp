@@ -74,7 +74,8 @@ void MmWorkload::prepare(core::ModeEnv& env) {
       cf_ = Matrix(nc_, nc_);
       cf_.set_zero();
       ckpt_step_ = 0;
-      ckpt_ = std::make_unique<checkpoint::CheckpointSet>(*env.backend);
+      ckpt_ = std::make_unique<checkpoint::CheckpointSet>(
+          *env.backend, [this](const char* p) { fault_.point(p); });
       ckpt_->add("Cf", cf_.data(), cf_.size_bytes());
       ckpt_->add("step", &ckpt_step_, sizeof(ckpt_step_));
       break;
@@ -221,6 +222,7 @@ void MmWorkload::make_durable() {
 
 void MmWorkload::inject_crash() {
   crashed_done_ = done_;
+  if (env_ != nullptr && env_->dram) env_->dram->discard();
   switch (engine_) {
     case core::DurabilityKind::kNone:
     case core::DurabilityKind::kCheckpoint:
@@ -266,14 +268,19 @@ core::WorkloadRecovery MmWorkload::recover() {
       cf_.set_zero();
       done_ = 0;
       break;
-    case core::DurabilityKind::kCheckpoint:
-      if (ckpt_->restore() != 0) {
+    case core::DurabilityKind::kCheckpoint: {
+      const std::uint64_t ver = ckpt_->restore();
+      const auto& rs = ckpt_->last_restore();
+      rec.candidates_checked += rs.chunks_probed;
+      rec.torn_chunks = rs.torn_chunks;
+      if (ver != 0) {
         done_ = static_cast<std::size_t>(ckpt_step_);
       } else {
         cf_.set_zero();
         done_ = 0;
       }
       break;
+    }
     case core::DurabilityKind::kTransaction:
       log_->recover();  // Rolls back an uncommitted transaction, if any.
       done_ = static_cast<std::size_t>(tx_step_[0]);

@@ -31,6 +31,12 @@ void DramCache::write(void* dst, const void* src, std::size_t bytes) {
 
 void DramCache::drain() { drain_locked(); }
 
+void DramCache::discard() {
+  queue_.clear();
+  staging_used_ = 0;
+  pending_bytes_ = 0;
+}
+
 void DramCache::drain_locked() {
   for (const Pending& p : queue_) {
     // The second copy: staging → NVM, at NVM speed (write_durable charges the

@@ -38,6 +38,10 @@ class DramCache {
   /// plus persist of the destination ranges.
   void drain();
 
+  /// Power failure: staged-but-undrained data is DRAM and dies. Crash
+  /// injection calls this so recovery can only see what reached NVM.
+  void discard();
+
   std::size_t capacity() const { return staging_.size(); }
   std::size_t pending() const { return pending_bytes_; }
   const DramCacheStats& stats() const { return stats_; }

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "checkpoint/checkpoint_set.hpp"
@@ -179,9 +181,262 @@ TEST(HeteroBackend, DramCacheSeesBothCopies) {
   std::vector<double> x(1024, 1.0);
   std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
   b.backend->save(0, 1, objs);
-  EXPECT_EQ(b.dram->stats().staged_bytes, 8192u);
-  EXPECT_EQ(b.dram->stats().drained_bytes, 8192u);
+  // Every image byte (payload + chunk/slot headers) is staged once and
+  // drained once; nothing may linger in volatile staging after the save.
+  EXPECT_GE(b.dram->stats().staged_bytes, 8192u);
+  EXPECT_EQ(b.dram->stats().staged_bytes, b.dram->stats().drained_bytes);
   EXPECT_EQ(b.dram->pending(), 0u);
+}
+
+// --------------------------------------------------- chunk engine behavior --
+
+/// A non-crash exception for interrupting saves mid-pipeline in tests.
+struct TestPowerFailure {};
+
+/// A CheckpointSet whose point hook cuts the power after `chunks` persists.
+struct InterruptibleSet {
+  explicit InterruptibleSet(Backend& backend)
+      : set(backend, [this](const char* point) {
+          if (arm_after_chunks > 0 && std::string_view(point) == kPointChunkSaved &&
+              ++fired == arm_after_chunks) {
+            throw TestPowerFailure{};
+          }
+        }) {}
+
+  CheckpointSet set;
+  std::size_t arm_after_chunks = 0;
+  std::size_t fired = 0;
+};
+
+TEST_P(BackendTest, ZeroByteObjectsRoundtrip) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(16, 3.0);
+  double unused = 0.0;
+  CheckpointSet set(*b.backend);
+  set.add("empty_head", &unused, 0);
+  set.add("x", x.data(), x.size() * 8);
+  set.add("empty_tail", nullptr, 0);
+  EXPECT_EQ(set.save(), 1u);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(set.restore(), 1u);
+  EXPECT_DOUBLE_EQ(x[15], 3.0);
+}
+
+TEST_P(BackendTest, PayloadSmallerThanOneChunkRoundtrips) {
+  auto b = make_backend(GetParam());
+  b.backend->configure_chunks({1u << 20, 1});  // 1 MB chunks, 11-byte payload.
+  char small[11] = "0123456789";
+  std::vector<ObjectView> objs = {{"small", small, sizeof(small)}};
+  b.backend->save(0, 1, objs);
+  std::fill(std::begin(small), std::end(small), '\0');
+  EXPECT_EQ(b.backend->load(0, objs), 1u);
+  EXPECT_STREQ(small, "0123456789");
+}
+
+TEST_P(BackendTest, MoreThreadsThanChunksRoundtrips) {
+  auto b = make_backend(GetParam());
+  b.backend->configure_chunks({64u << 10, 8});  // 8 workers, 1-chunk payload.
+  std::vector<double> x(64, 4.5);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  b.backend->save(0, 7, objs);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(b.backend->load(0, objs), 7u);
+  EXPECT_DOUBLE_EQ(x[0], 4.5);
+}
+
+TEST_P(BackendTest, SlotImagesAreByteIdenticalAcrossThreadCounts) {
+  // The acceptance criterion: serial and 8-worker saves of the same data
+  // produce bit-for-bit identical slot images on every medium.
+  std::vector<double> x(4096), y(777);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i) * 0.5;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = -static_cast<double>(i);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8},
+                                  {"y", y.data(), y.size() * 8}};
+  const std::size_t image = checkpoint_image_bytes(objs, 4096);
+
+  std::vector<std::byte> serial(image), parallel(image);
+  for (int threads : {1, 8}) {
+    auto b = make_backend(GetParam());
+    b.backend->configure_chunks({4096, threads});  // 10 chunks across 2 objects.
+    b.backend->save(1, 3, objs);
+    auto& out = threads == 1 ? serial : parallel;
+    ASSERT_EQ(b.backend->read_image(1, out), image);
+  }
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_P(BackendTest, UnchangedChunksAreSkippedPerSlot) {
+  auto b = make_backend(GetParam());
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(4 * 4096 / 8, 1.0);  // 4 chunks.
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();  // v1 -> slot 1, full.
+  set.save();  // v2 -> slot 0, full (first image there).
+  set.save();  // v3 -> slot 1, identical to v1: everything skips.
+  EXPECT_EQ(set.last_save().chunks_written, 0u);
+  EXPECT_EQ(set.last_save().chunks_skipped, 4u);
+  x[0] = 2.0;  // Dirty chunk 0 only.
+  set.save();  // v4 -> slot 0.
+  EXPECT_EQ(set.last_save().chunks_written, 1u);
+  EXPECT_EQ(set.last_save().chunks_skipped, 3u);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(set.restore(), 4u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST_P(BackendTest, InterruptedSaveLeavesPreviousCheckpointAndIsDetected) {
+  auto b = make_backend(GetParam());
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  InterruptibleSet is(*b.backend);
+  is.set.add("x", x.data(), x.size() * 8);
+  is.set.save();  // v1 -> slot 1.
+  std::fill(x.begin(), x.end(), 2.0);
+  is.set.save();  // v2 -> slot 0.
+  std::fill(x.begin(), x.end(), 3.0);
+  is.arm_after_chunks = 2;  // Power fails two chunks into save v3 (slot 1).
+  EXPECT_THROW(is.set.save(), TestPowerFailure);
+
+  // The committed checkpoint (v2) survives; the torn in-flight slot is
+  // *classified* by the restore probe instead of being silent garbage.
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(is.set.restore(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_GT(is.set.last_restore().chunks_probed, 0u);
+
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  if (GetParam() == Kind::kHetero) {
+    // Hetero's distinguishing crash behavior: the interrupted chunks were
+    // still staged in volatile DRAM (never drained), so the slot's previous
+    // image is INTACT — clean, not torn.
+    EXPECT_EQ(is.set.last_restore().torn_chunks, 0u);
+    EXPECT_EQ(b.backend->load(1, objs), 1u);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+  } else {
+    // File/NVM persist chunk spans immediately: the in-flight save left torn
+    // evidence, and loading the torn slot reports it explicitly.
+    EXPECT_GE(is.set.last_restore().torn_chunks, 1u);
+    EXPECT_THROW(b.backend->load(1, objs), TornCheckpoint);
+  }
+}
+
+TEST_P(BackendTest, MismatchedLayoutIsACheckedError) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(64, 1.0), y(32, 2.0);
+  std::vector<ObjectView> saved = {{"x", x.data(), x.size() * 8},
+                                   {"y", y.data(), y.size() * 8}};
+  b.backend->save(0, 1, saved);
+
+  // Wrong object size: must throw before any byte lands in a live object.
+  std::vector<double> wrong(48, -1.0);
+  std::vector<ObjectView> resized = {{"x", wrong.data(), wrong.size() * 8},
+                                     {"y", y.data(), y.size() * 8}};
+  EXPECT_THROW(b.backend->load(0, resized), LayoutMismatch);
+  EXPECT_DOUBLE_EQ(wrong[0], -1.0);  // Untouched.
+
+  // Wrong object count.
+  std::vector<ObjectView> fewer = {{"x", x.data(), x.size() * 8}};
+  EXPECT_THROW(b.backend->load(0, fewer), LayoutMismatch);
+
+  // The matching layout still loads.
+  EXPECT_EQ(b.backend->load(0, saved), 1u);
+}
+
+TEST(FileBackend, CorruptedPayloadFailsItsCrc) {
+  auto b = make_backend(Kind::kFile);
+  std::vector<double> x(1024, 1.25);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  b.backend->save(0, 5, objs);
+
+  // Flip one payload byte on disk (the image's last bytes are payload).
+  const std::size_t image = checkpoint_image_bytes(objs, b.backend->chunk_config().chunk_bytes);
+  const std::filesystem::path slot = std::filesystem::temp_directory_path() /
+                                     ("adcc_test_ckpt_" + std::to_string(::getpid())) /
+                                     "slot0.ckpt";
+  ASSERT_TRUE(std::filesystem::exists(slot));
+  {
+    std::fstream f(slot, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(image - 4));
+    char flip = 0x5A;
+    f.write(&flip, 1);
+  }
+  EXPECT_THROW(b.backend->load(0, objs), TornCheckpoint);
+}
+
+TEST(CheckpointSet, HintedSaveIntoFreshSlotWritesTheFullImage) {
+  // The first save landing in a slot is implicitly full: dirty hints may not
+  // punch never-written holes into a committed image.
+  auto b = make_backend(Kind::kNvm);
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();  // v1 -> slot 1.
+  x[0] = 2.0;
+  const CheckpointSet::DirtyRange hints[] = {{0, 0, 8}};
+  set.save(hints);  // v2 -> slot 0's FIRST image: every chunk must land.
+  EXPECT_EQ(set.last_save().chunks_written, 4u);
+  std::fill(x.begin(), x.end(), -1.0);
+  EXPECT_EQ(set.restore(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[512], 1.0);  // Un-hinted chunk restored, not a hole.
+}
+
+TEST(HeteroBackend, InterruptedSaveDebrisDoesNotTearTheNextSave) {
+  // Chunks staged by an interrupted save must not be drained by a later
+  // save's epilogue into the other slot's committed image.
+  auto b = make_backend(Kind::kHetero);
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  InterruptibleSet is(*b.backend);
+  is.set.add("x", x.data(), x.size() * 8);
+  is.set.save();  // v1 -> slot 1.
+  std::fill(x.begin(), x.end(), 2.0);
+  is.arm_after_chunks = 2;
+  EXPECT_THROW(is.set.save(), TestPowerFailure);  // v2 debris stays staged.
+  is.arm_after_chunks = 0;
+  std::fill(x.begin(), x.end(), 3.0);
+  // The failed version is rolled back: the retry is v2 again, aimed at the
+  // same uncommitted slot, and its begin_slot drops the stale staged debris.
+  is.set.save();
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(is.set.restore(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_EQ(is.set.last_restore().torn_chunks, 0u);  // Slot 1 kept v1 intact.
+}
+
+TEST(CheckpointSet, FailedSaveRollsBackTheVersionSoRetriesSpareTheCommittedSlot) {
+  auto b = make_backend(Kind::kNvm);
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(2 * 4096 / 8, 1.0);
+  InterruptibleSet is(*b.backend);
+  is.set.add("x", x.data(), x.size() * 8);
+  is.set.save();  // v1 committed to slot 1.
+  std::fill(x.begin(), x.end(), 2.0);
+  is.arm_after_chunks = 1;
+  EXPECT_THROW(is.set.save(), TestPowerFailure);  // v2 attempt dies.
+  EXPECT_EQ(is.set.version(), 1u);                // Rolled back.
+  is.arm_after_chunks = 0;
+  is.set.save();  // Retry: v2 again -> slot 0, never slot 1 (the committed one).
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(is.set.restore(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  // And the previous checkpoint is still loadable from its slot.
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  EXPECT_EQ(b.backend->load(1, objs), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(CheckpointSet, ZeroChunkSetSavesAndRestores) {
+  auto b = make_backend(Kind::kNvm);
+  double unused = 0.0;
+  CheckpointSet set(*b.backend);
+  set.add("empty", &unused, 0);
+  EXPECT_EQ(set.save(), 1u);
+  EXPECT_EQ(set.payload_bytes(), 0u);
+  EXPECT_EQ(set.restore(), 1u);
 }
 
 }  // namespace

@@ -96,6 +96,32 @@ TEST(ParseCrash, RejectsMalformedSpecs) {
   }
 }
 
+TEST(ParseCrash, DoubleFaultChains) {
+  // HEAD^TAIL: the tail is armed before the recovery following the head's
+  // crash, so it lands inside recover().
+  const auto chained = parse_crash("step:2^point:ckpt_restore:1");
+  ASSERT_TRUE(chained.has_value());
+  EXPECT_EQ(chained->kind, CrashScenario::Kind::kAtStep);
+  ASSERT_EQ(chained->then.size(), 1u);
+  EXPECT_EQ(chained->then[0].kind, CrashScenario::Kind::kAtPoint);
+  EXPECT_EQ(chained->then[0].point, "ckpt_restore");
+  EXPECT_EQ(crash_name(*chained), "step:2^point:ckpt_restore");
+
+  const auto triple = parse_crash("fuzz:7^access:500^point:ckpt_restore:2");
+  ASSERT_TRUE(triple.has_value());
+  EXPECT_EQ(triple->kind, CrashScenario::Kind::kFuzz);
+  ASSERT_EQ(triple->then.size(), 2u);
+  EXPECT_EQ(triple->then[0].kind, CrashScenario::Kind::kAtAccess);
+  EXPECT_EQ(triple->then[1].occurrence, 2u);
+  EXPECT_EQ(crash_name(*parse_crash(crash_name(*triple))), crash_name(*triple));
+
+  // Tails must be mid-unit (access/point) plans; heads must crash at all.
+  for (const char* bad : {"step:2^step:3", "step:2^repeat:2", "none^access:5",
+                          "^access:5", "step:2^", "step:2^boom", "access:5^fuzz:3"}) {
+    EXPECT_FALSE(parse_crash(bad).has_value()) << bad;
+  }
+}
+
 TEST(ParseCrash, RoundTripsThroughCrashName) {
   for (const char* spec : {"none", "step:4", "random:12", "repeat:2", "access:5000",
                            "point:cg:p_updated", "point:cg:p_updated:15",
@@ -368,6 +394,99 @@ TEST(ScenarioRunner, FuzzSweepRecoversForAllWorkloadsAndModes) {
       EXPECT_TRUE(res.verified) << w->name() << "/" << mode_name(m);
     }
   }
+}
+
+// --------------------------------------------- durability-engine crashes --
+
+TEST(ScenarioRunner, CrashMidCheckpointSaveIsDetectedAsTorn) {
+  // point:ckpt_chunk:1 fires after the first chunk of the first save: the
+  // in-flight checkpoint is torn, the marker never committed, and recovery
+  // must classify the torn chunks, fall back to "no checkpoint", and redo the
+  // lost unit.
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : {Mode::kCkptNvm, Mode::kCkptDisk, Mode::kCkptHetero}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("point:ckpt_chunk:1");
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 1u) << mode_name(m);
+    EXPECT_EQ(res.crash_site, "ckpt_chunk") << mode_name(m);
+    // The unit itself completed; the *save* was interrupted.
+    EXPECT_EQ(res.recomputation.partial_units, 0u) << mode_name(m);
+    EXPECT_GE(res.recomputation.units_lost, 1u) << mode_name(m);
+    if (m == Mode::kCkptHetero) {
+      // The interrupted chunks died in the volatile DRAM staging cache: the
+      // slot stays clean-old rather than torn (hetero's crash signature).
+      EXPECT_EQ(res.recomputation.torn_chunks, 0u) << mode_name(m);
+    } else {
+      EXPECT_GE(res.recomputation.torn_chunks, 1u) << mode_name(m);
+    }
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, CrashMidLaterCheckpointKeepsPreviousCheckpoint) {
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kCkptNvm);
+  // The set saves 4 chunks per unit at tiny sizes; occurrence 6 lands inside
+  // the second unit's save, so recovery restores checkpoint 1 (one unit lost).
+  cfg.crash = *parse_crash("point:ckpt_chunk:6");
+  const ScenarioResult res = run_scenario(w, cfg);
+  EXPECT_EQ(res.crashes, 1u);
+  EXPECT_EQ(res.crash_unit, 2u);
+  EXPECT_EQ(res.restart_unit, 2u);
+  EXPECT_EQ(res.recomputation.units_lost, 1u);
+  EXPECT_GE(res.recomputation.torn_chunks, 1u);
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(ScenarioRunner, CrashDuringRecoveryDoubleFaults) {
+  // step:3 crashes at a boundary; point:ckpt_restore:1 is armed before the
+  // recovery and fires inside the checkpoint load — the runner re-injects and
+  // retries recovery, so the run still completes and verifies.
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : {Mode::kCkptNvm, Mode::kCkptDisk, Mode::kCkptHetero}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("step:3^point:ckpt_restore:1");
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 2u) << mode_name(m);
+    EXPECT_EQ(res.crash_site, "ckpt_restore") << mode_name(m);
+    EXPECT_EQ(res.restart_unit, 4u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, UnfiredRecoveryChainLinkIsHarmless) {
+  // In a mode whose recovery never loads checkpoint chunks, the armed
+  // ckpt_restore tail never fires and must be disarmed when recovery
+  // completes — the resumed execution may not inherit a live trigger.
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : {Mode::kNative, Mode::kAlgNvm, Mode::kPmemTx}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("step:3^point:ckpt_restore:1");
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 1u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, SharedFuzzProbeMatchesInlineProbe) {
+  // A pre-measured probe (the sweep engine's per-shape cache) must land the
+  // fuzz crash on exactly the access the inline per-runner probe picks.
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
+  cfg.crash = *parse_crash("fuzz:23");
+  const ScenarioResult inline_probe = run_scenario(w, cfg);
+
+  cg::CgWorkload probe_instance(tiny_cg());
+  cfg.fuzz_boundaries = std::make_shared<const std::vector<std::uint64_t>>(
+      probe_fuzz_boundaries(probe_instance, Mode::kAlgNvm, cfg.env));
+  cg::CgWorkload shared_instance(tiny_cg());
+  const ScenarioResult shared = run_scenario(shared_instance, cfg);
+
+  EXPECT_EQ(shared.crashes, 1u);
+  EXPECT_EQ(shared.crash_access, inline_probe.crash_access);
+  EXPECT_EQ(shared.crash_unit, inline_probe.crash_unit);
+  EXPECT_TRUE(shared.verified);
 }
 
 TEST(ScenarioRunner, MidUnitCrashInMcIntervalNeverLeaksPartialTallies) {

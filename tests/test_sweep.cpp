@@ -6,6 +6,7 @@
 
 #include <filesystem>
 
+#include "core/registry.hpp"
 #include "core/sweep.hpp"
 
 namespace adcc::core {
@@ -246,6 +247,41 @@ TEST(RunSweep, CellFailureIsIsolated) {
   }());
   EXPECT_EQ(deck.table(false).render(TableFormat::kCsv),
             par.table(false).render(TableFormat::kCsv));
+}
+
+TEST(RunSweep, CkptThreadsAndChunkSizeAreFirstClassAxes) {
+  // The durability-engine knobs sweep like any other option key, and every
+  // (threads, chunk) combination verifies under crash-free and crashing runs
+  // — thread count is a perf knob, never a semantics knob.
+  const SweepSpec spec = parse_ok(
+      "workload=cg,mode=ckpt-nvm,ckpt_threads=1+4,ckpt_chunk_kb=4+256,crash=none+step:2");
+  const SweepResult deck = run_sweep(spec, tiny_config(1));
+  ASSERT_EQ(deck.cells.size(), 8u);
+  EXPECT_TRUE(deck.all_ok());
+  for (const SweepCellResult& cell : deck.cells) {
+    EXPECT_TRUE(cell.result.verified) << cell.index;
+  }
+}
+
+TEST(RunSweep, FuzzSeedAxisSharesOneProbe) {
+  // crash=fuzz:A+fuzz:B cells of one shape share a single probe repetition;
+  // the shared plan must reproduce what the inline per-runner probe picks.
+  const SweepSpec spec = parse_ok("workload=cg,mode=alg-nvm,crash=fuzz:5+fuzz:6");
+  const SweepResult deck = run_sweep(spec, tiny_config(1));
+  ASSERT_EQ(deck.cells.size(), 2u);
+  EXPECT_TRUE(deck.all_ok());
+  EXPECT_EQ(deck.cells[0].result.crashes, 1u);
+  EXPECT_EQ(deck.cells[1].result.crashes, 1u);
+  // Different seeds land different plans off the same probe (overwhelmingly).
+  EXPECT_NE(deck.cells[0].result.crash_access, deck.cells[1].result.crash_access);
+
+  const auto solo = WorkloadRegistry::instance().create("cg", tiny_base());
+  ScenarioConfig sc;
+  sc.mode = Mode::kAlgNvm;
+  sc.crash = *parse_crash("fuzz:5");
+  solo->tune_env(sc.mode, sc.env);
+  const ScenarioResult inline_probe = run_scenario(*solo, sc);
+  EXPECT_EQ(deck.cells[0].result.crash_access, inline_probe.crash_access);
 }
 
 }  // namespace
