@@ -90,6 +90,10 @@ int main(int argc, char** argv) try {
       .doc("slot", "checkpoint slot bytes override (e.g. 16M)")
       .doc("ckpt_threads", "checkpoint write-pipeline workers (sweepable axis)", "1")
       .doc("ckpt_chunk_kb", "checkpoint chunk payload size, KB (sweepable axis)", "256")
+      .doc("ckpt_async",
+           "asynchronous checkpointing: save stages + drains in the background, the "
+           "next unit overlaps the device window (sweepable axis)",
+           "off")
       .doc("disk_mbps", "ckpt-disk device model bandwidth, MB/s (0 = real device)", "150")
       .doc("seed", "problem seed");
   if (opts.maybe_print_help("adccbench")) return 0;

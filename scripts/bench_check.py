@@ -8,6 +8,8 @@ them from an uploaded artifact into a gate:
   bench_check.py CURRENT BASELINE                      # structural + overhead gate
   bench_check.py CURRENT BASELINE --speedup-axis ckpt_threads \
       --speedup-from 1 --speedup-to 4 --speedup-min 1.05
+  bench_check.py CURRENT BASELINE --overhead-axis ckpt_async \
+      --overhead-from 0 --overhead-to 1 --overhead-max 0.90
 
 Checks, in order:
   1. Both decks hold the same cell set (same workload/mode/crash/axis keys).
@@ -20,6 +22,13 @@ Checks, in order:
      axis, seconds[axis=--speedup-to] must beat seconds[axis=--speedup-from]
      by at least --speedup-min (the "parallel durability must actually win"
      acceptance gate — self-relative, so it holds on any machine).
+  5. With --overhead-axis: within each cell group that differs only in that
+     axis, the *normalized overhead* (normalized - 1, i.e. the durability
+     scheme's cost over native) at axis=--overhead-to must be at most
+     --overhead-max times the overhead at axis=--overhead-from (the "async
+     checkpointing must actually cut the overhead" acceptance gate —
+     self-relative like the speedup gate, but measured against the native
+     baseline so compute speed cancels out).
 
 Exit status: 0 clean, 1 regression(s), 2 usage/structural error.
 """
@@ -31,7 +40,7 @@ import sys
 # Columns that are measurements, not cell identity.
 MEASUREMENT_COLS = {
     "cell", "units", "seconds", "normalized", "overhead", "lost", "partial",
-    "corrected", "torn", "detect/unit", "resume/unit", "status",
+    "corrected", "torn", "overlap", "detect/unit", "resume/unit", "status",
 }
 
 
@@ -73,6 +82,12 @@ def main():
     ap.add_argument("--speedup-from", default="1")
     ap.add_argument("--speedup-to", default="4")
     ap.add_argument("--speedup-min", type=float, default=1.05)
+    ap.add_argument("--overhead-axis", default=None,
+                    help="axis column for the normalized-overhead ratio gate")
+    ap.add_argument("--overhead-from", default="0")
+    ap.add_argument("--overhead-to", default="1")
+    ap.add_argument("--overhead-max", type=float, default=0.90,
+                    help="max (normalized-1) ratio of --overhead-to vs --overhead-from")
     args = ap.parse_args()
 
     current = load_deck(args.current)
@@ -139,6 +154,43 @@ def main():
                 failures.append(
                     f"{axis}={args.speedup_to} does not beat ={args.speedup_from}: "
                     f"{lo_s:.4f}s -> {hi_s:.4f}s ({speedup:.2f}x) in {dict(gkey)}")
+
+    if args.overhead_axis:
+        axis = args.overhead_axis
+        groups = {}
+        for row in current:
+            if axis not in row:
+                continue
+            groups.setdefault(cell_key(row, axis_excluded=(axis,)), {})[row[axis]] = row
+        if not groups:
+            failures.append(f"overhead gate: no cells carry axis '{axis}'")
+        for gkey, by_axis in sorted(groups.items()):
+            lo = by_axis.get(args.overhead_from)
+            hi = by_axis.get(args.overhead_to)
+            if lo is None or hi is None:
+                failures.append(
+                    f"overhead gate: {axis}={args.overhead_from}/{args.overhead_to} "
+                    f"missing in group {dict(gkey)}")
+                continue
+            lo_n, hi_n = parse_float(lo.get("normalized")), parse_float(hi.get("normalized"))
+            if lo_n is None or hi_n is None or lo_n <= 1.0:
+                failures.append(
+                    f"overhead gate: unusable normalized values "
+                    f"({lo.get('normalized')!r} vs {hi.get('normalized')!r}; the deck "
+                    f"must run with a native baseline and real durability overhead) "
+                    f"in group {dict(gkey)}")
+                continue
+            ratio = (hi_n - 1.0) / (lo_n - 1.0)
+            verdict = "ok" if ratio <= args.overhead_max else "FAIL"
+            print(f"bench_check: {axis} {args.overhead_from}->{args.overhead_to} "
+                  f"overhead {lo_n - 1.0:.3f} -> {hi_n - 1.0:.3f} "
+                  f"({ratio:.2f}x, need <= {args.overhead_max:.2f}x) "
+                  f"[{verdict}] {dict(gkey)}")
+            if ratio > args.overhead_max:
+                failures.append(
+                    f"{axis}={args.overhead_to} does not cut ={args.overhead_from}'s "
+                    f"overhead to {args.overhead_max:.2f}x: {lo_n - 1.0:.3f} -> "
+                    f"{hi_n - 1.0:.3f} ({ratio:.2f}x) in {dict(gkey)}")
 
     if failures:
         print(f"bench_check: {len(failures)} regression(s) vs {args.baseline}:",

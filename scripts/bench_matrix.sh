@@ -8,6 +8,11 @@
 #                           CG checkpoint payload on ckpt-disk, swept over
 #                           ckpt_threads=1:8:x2 — the "parallel checkpointing
 #                           must actually win" trajectory
+#   BENCH_ckpt_async.json   the async-checkpointing deck: the same 67 MB CG
+#                           payload on ckpt-disk, ckpt_async=0 vs =1, with a
+#                           native baseline so bench_check.py can gate the
+#                           normalized overhead (async must cut the sync
+#                           scheme's overhead, not just its raw seconds)
 #
 #   scripts/bench_matrix.sh                 # build + decks -> BENCH_*.json
 #   scripts/bench_matrix.sh --out /tmp/b.json --bin ./build/adccbench --no-build
@@ -21,6 +26,7 @@ cd "$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)/.."
 BIN=""
 OUT="BENCH_sweep.json"
 OUT_CKPT="BENCH_ckpt_threads.json"
+OUT_ASYNC="BENCH_ckpt_async.json"
 BUILD=1
 
 while [[ $# -gt 0 ]]; do
@@ -28,6 +34,7 @@ while [[ $# -gt 0 ]]; do
     --bin) BIN="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
     --out-ckpt) OUT_CKPT="$2"; shift 2 ;;
+    --out-async) OUT_ASYNC="$2"; shift 2 ;;
     --no-build) BUILD=0; shift ;;
     *) echo "bench_matrix.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
@@ -58,3 +65,14 @@ echo "bench_matrix OK -> $OUT ($(grep -c '"workload"' "$OUT") cells)"
   --format=json --out="$OUT_CKPT" >/dev/null
 
 echo "bench_matrix OK -> $OUT_CKPT ($(grep -c '"workload"' "$OUT_CKPT") cells)"
+
+# Async-checkpointing deck: the same 67 MB payload (denser matrix, nz=16, so
+# each unit carries a real compute window for the drain to hide behind),
+# ckpt_async=0 vs =1 at ckpt_threads=1 — isolating the overlap win from the
+# pipeline win. Runs WITH a native baseline: bench_check.py gates that async's
+# normalized overhead is <= 0.90x the synchronous scheme's.
+"$BIN" --workload=cg --mode=ckpt-disk --sweep="ckpt_async=0+1" \
+  --n=2800000 --nz=16 --iters=3 --reps=3 --verify=off \
+  --format=json --out="$OUT_ASYNC" >/dev/null
+
+echo "bench_matrix OK -> $OUT_ASYNC ($(grep -c '"workload"' "$OUT_ASYNC") cells)"

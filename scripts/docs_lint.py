@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Documentation lint: the docs/ tree must exist and the public headers must
+carry doc comments.
+
+Two checks, run from anywhere (the repo root is derived from this file):
+
+  1. docs/ tree: ARCHITECTURE.md, CRASH_GRAMMAR.md and SWEEP.md exist,
+     are non-trivial, and README.md links into docs/.
+  2. Public-header docs: every top-level `struct X {` / `class X {`
+     definition in the PUBLIC_HEADERS list is immediately preceded by a
+     comment line (`///` or `//`), so the API surface cannot silently grow
+     undocumented types. Forward declarations (`class X;`) are exempt.
+
+Exit status: 0 clean, 1 lint failure(s).
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+REQUIRED_DOCS = [
+    "docs/ARCHITECTURE.md",
+    "docs/CRASH_GRAMMAR.md",
+    "docs/SWEEP.md",
+]
+
+# The public API surface held to the struct/class doc-comment rule.
+PUBLIC_HEADERS = [
+    "src/core/workload.hpp",
+    "src/core/sweep.hpp",
+    "src/core/scenario.hpp",
+    "src/core/harness.hpp",
+    "src/core/modes.hpp",
+    "src/checkpoint/backend.hpp",
+    "src/checkpoint/chunk.hpp",
+    "src/checkpoint/checkpoint_set.hpp",
+]
+
+DECL = re.compile(r"^(?:struct|class)\s+(\w+)")
+
+
+def check_docs_tree(failures):
+    for rel in REQUIRED_DOCS:
+        path = ROOT / rel
+        if not path.is_file():
+            failures.append(f"{rel}: missing")
+        elif len(path.read_text().splitlines()) < 10:
+            failures.append(f"{rel}: suspiciously short (< 10 lines)")
+    readme = ROOT / "README.md"
+    if not readme.is_file():
+        failures.append("README.md: missing")
+    elif "docs/" not in readme.read_text():
+        failures.append("README.md: does not link into docs/")
+
+
+def check_header(rel, failures):
+    path = ROOT / rel
+    if not path.is_file():
+        failures.append(f"{rel}: missing")
+        return
+    lines = path.read_text().splitlines()
+    for i, line in enumerate(lines):
+        m = DECL.match(line)
+        if not m:
+            continue
+        # Forward declarations and `};`-style continuations carry no body.
+        stripped = line.strip()
+        if stripped.endswith(";") and "{" not in stripped:
+            continue
+        prev = lines[i - 1].strip() if i > 0 else ""
+        if not (prev.startswith("///") or prev.startswith("//")):
+            failures.append(
+                f"{rel}:{i + 1}: public type '{m.group(1)}' has no doc comment "
+                f"on the preceding line")
+
+
+def main():
+    failures = []
+    check_docs_tree(failures)
+    for rel in PUBLIC_HEADERS:
+        check_header(rel, failures)
+    if failures:
+        print(f"docs_lint: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"docs_lint OK: {len(REQUIRED_DOCS)} docs, "
+          f"{len(PUBLIC_HEADERS)} public headers documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,9 @@
 # Deterministic crash-fuzz sweep: every workload x all seven modes x a range of
 # fuzz seeds. Each seed lands one mid-unit crash at a seeded random access
 # inside a seeded random work unit (see parse_crash's fuzz:SEED plan); the run
-# must recover and verify in every mode or adccbench exits non-zero.
+# must recover and verify in every mode or adccbench exits non-zero. Non-sim
+# workloads run a second deck per seed under --ckpt_async=1 covering the
+# asynchronous-drain crash families (ckpt_drain / ckpt_stage).
 #
 #   scripts/fuzz.sh                         # build + 20 seeds, quick sizes
 #   scripts/fuzz.sh --seeds 5 --start 100   # seeds 100..104
@@ -75,6 +77,30 @@ for workload in $WORKLOADS; do
     fi
     runs=$((runs + 1))
   done
+
+  # Asynchronous-checkpointing families (--ckpt_async=1; the *-sim workloads
+  # fix their own durability scheme and never reach the async engine, so they
+  # skip this deck): a mid-unit fuzz crash landing while a drain may be in
+  # flight (the abort-the-drain-then-classify-the-torn-slot path), a crash
+  # inside the background drain itself (ckpt_drain — surfaces at the join),
+  # and a crash between stage and drain start (ckpt_stage — must leave the
+  # previous checkpoint untouched). All three are crash-free no-ops outside
+  # checkpoint modes, which must also stay green.
+  if [[ "$workload" != *-sim ]]; then
+    for ((seed = START; seed < START + SEEDS; ++seed)); do
+      crash="fuzz:$seed+point:ckpt_drain:$((seed % 7 + 1))+point:ckpt_stage:$((seed % 5 + 1))"
+      echo "fuzz: workload=$workload seed=$seed (ckpt_async)"
+      rc=0
+      "$BIN" --workload="$workload" --mode="$mode" --ckpt_async=1 --sweep="crash=$crash" \
+        --sweep_jobs="$JOBS" --no_baseline $QUICK >/dev/null || rc=$?
+      if [[ "$rc" -ne 0 ]]; then
+        echo "fuzz.sh: FAILED at workload=$workload seed=$seed ckpt_async=1 (exit $rc); reproduce with:" >&2
+        echo "  $BIN --workload=$workload --mode=$mode --ckpt_async=1 --sweep='crash=$crash' --no_baseline $QUICK" >&2
+        exit "$rc"
+      fi
+      runs=$((runs + 1))
+    done
+  fi
 done
 
 echo "fuzz OK ($runs sweeps, mode=all per non-sim workload)"

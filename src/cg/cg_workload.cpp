@@ -54,6 +54,9 @@ void CgWorkload::prepare(core::ModeEnv& env) {
   done_ = 0;
   crashed_done_ = 0;
   fault_.reset_counter();
+  // Drop any previous mode's checkpoint set: its backend reference dies with
+  // the old env, and a stale async_pending flag must not leak into this run.
+  ckpt_.reset();
   engine_ = core::durability_kind(env.mode);
 
   switch (engine_) {
@@ -214,9 +217,20 @@ void CgWorkload::make_durable() {
   }
 }
 
+void CgWorkload::wait_durable() {
+  // Joins an in-flight async checkpoint drain (--ckpt_async); other engines
+  // are durable the moment make_durable returns.
+  if (ckpt_) ckpt_->wait_durable();
+}
+
+bool CgWorkload::durability_pending() const { return ckpt_ && ckpt_->async_pending(); }
+
 void CgWorkload::inject_crash() {
   crashed_done_ = done_;
-  // Staged-but-undrained DRAM cache contents die with the power.
+  // The power failure cuts off an in-flight checkpoint drain first — the
+  // chunks it already pushed are the torn slot recovery will classify — and
+  // staged-but-undrained DRAM cache contents die with it.
+  if (ckpt_) ckpt_->abort_async();
   if (env_ != nullptr && env_->dram) env_->dram->discard();
   switch (engine_) {
     case core::DurabilityKind::kNone:

@@ -49,6 +49,8 @@ class CgWorkload final : public core::Workload {
   void prepare(core::ModeEnv& env) override;
   bool run_step() override;
   void make_durable() override;
+  void wait_durable() override;
+  bool durability_pending() const override;
   void inject_crash() override;
   core::WorkloadRecovery recover() override;
   bool verify() override;

@@ -12,6 +12,12 @@ namespace {
 
 std::string slot_str(int slot) { return "slot " + std::to_string(slot); }
 
+/// Internal unwind used to stop a cancelled drain: abort_drain() flips the
+/// cancel flag, the drain's select wrapper throws this, the WritePipeline
+/// aborts the remaining chunks, and join swallows it (a cancelled drain is the
+/// emulated power failure, not an error).
+struct DrainCancelled {};
+
 /// Serializes the slot prologue: SlotHeader + object-size table.
 std::vector<std::byte> make_header_image(const ChunkLayout& layout, std::uint64_t version,
                                          std::size_t chunk_bytes) {
@@ -44,6 +50,12 @@ void Backend::configure_chunks(const ChunkConfig& cfg) {
 
 SaveReceipt Backend::save(int slot, std::uint64_t version, std::span<const ObjectView> objs,
                           const ChunkHooks& hooks, const ChunkLayout* memo) {
+  return do_save(slot, version, objs, hooks, memo, kPointChunkSaved, nullptr);
+}
+
+SaveReceipt Backend::do_save(int slot, std::uint64_t version, std::span<const ObjectView> objs,
+                             const ChunkHooks& hooks, const ChunkLayout* memo,
+                             const char* point_name, const std::atomic<bool>* cancel) {
   ADCC_CHECK(slot >= 0 && slot < slot_count(), "checkpoint slot out of range");
   ChunkLayout built;
   if (memo == nullptr) {
@@ -61,6 +73,9 @@ SaveReceipt Backend::save(int slot, std::uint64_t version, std::span<const Objec
   WritePipeline pipeline(chunks_.threads);
   pipeline.run(layout.chunks.size(), [&](std::size_t i, std::vector<std::byte>& scratch) {
     const ChunkLayout::Chunk& c = layout.chunks[i];
+    // Cancelled drains stop between chunks: the chunks already persisted stay
+    // persisted (the torn image a power failure leaves), nothing else lands.
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) throw DrainCancelled{};
     if (hooks.select && !hooks.select(i)) return;
     scratch.resize(sizeof(ChunkHeader) + c.payload_bytes);
     const auto* src = static_cast<const std::byte*>(objs[c.object].data) + c.object_offset;
@@ -86,7 +101,7 @@ SaveReceipt Backend::save(int slot, std::uint64_t version, std::span<const Objec
       // Serialized: the fault surface's one-shot occurrence counting (and its
       // CrashException) must not race across pipeline workers.
       std::lock_guard<std::mutex> lock(point_mu);
-      hooks.point(kPointChunkSaved);
+      hooks.point(point_name);
     }
   });
 
@@ -106,7 +121,10 @@ SaveReceipt Backend::save(int slot, std::uint64_t version, std::span<const Objec
 
   // Slot header after every chunk, marker after the slot is whole — a crash
   // anywhere above leaves the previous checkpoint committed and this slot
-  // detectably torn (chunks newer than its header).
+  // detectably torn (chunks newer than its header). A cancellation landing
+  // after the last chunk must stop here too: the emulated power failure may
+  // never reach the commit point.
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) throw DrainCancelled{};
   const std::vector<std::byte> header = make_header_image(layout, version, chunks_.chunk_bytes);
   write_span(slot, 0, header.data(), header.size());
   finish_slot(slot);
@@ -117,6 +135,55 @@ SaveReceipt Backend::save(int slot, std::uint64_t version, std::span<const Objec
   stats_.chunks_written += receipt.written;
   stats_.chunks_skipped += receipt.skipped;
   return receipt;
+}
+
+void Backend::save_async(int slot, std::uint64_t version, std::vector<ObjectView> objs,
+                         ChunkHooks hooks, std::shared_ptr<const ChunkLayout> layout,
+                         std::shared_ptr<const void> keepalive) {
+  ADCC_CHECK(drain_ == nullptr, "an async save is already draining (join it first)");
+  auto drain = std::make_unique<Drain>();
+  drain->objs = std::move(objs);
+  drain->layout = std::move(layout);
+  drain->keepalive = std::move(keepalive);
+  Drain* d = drain.get();
+  d->thread = std::thread([this, d, slot, version, hooks = std::move(hooks)] {
+    try {
+      d->receipt = do_save(slot, version, d->objs, hooks,
+                           d->layout ? d->layout.get() : nullptr, kPointChunkDrained,
+                           &d->cancel);
+    } catch (const DrainCancelled&) {
+      // The emulated power failure: neither a receipt nor an error — the
+      // chunks already persisted are the torn evidence recovery will probe.
+    } catch (...) {
+      d->error = std::current_exception();
+    }
+  });
+  drain_ = std::move(drain);
+}
+
+bool Backend::drain_pending() const { return drain_ != nullptr; }
+
+std::optional<SaveReceipt> Backend::join_drain() {
+  if (!drain_) return std::nullopt;
+  // Take ownership first: the drain slot must be free again even when the
+  // drain's exception propagates out of here (the caller's retry path saves
+  // into the same slot).
+  const std::unique_ptr<Drain> d = std::move(drain_);
+  d->thread.join();
+  if (d->error) std::rethrow_exception(d->error);
+  ADCC_CHECK(d->receipt.has_value(), "drain was cancelled; abort_drain owns that path");
+  return d->receipt;
+}
+
+void Backend::abort_drain() noexcept {
+  if (!drain_) return;
+  const std::unique_ptr<Drain> d = std::move(drain_);
+  d->cancel.store(true, std::memory_order_relaxed);
+  d->thread.join();
+  // A drain that finished (or died) before the cancel landed is equally
+  // swallowed: the caller declared a power failure, so the committed-or-torn
+  // distinction is left to the marker and recovery's probe, as it would be on
+  // real hardware.
 }
 
 std::uint64_t Backend::load(int slot, std::span<const ObjectView> objs,

@@ -22,12 +22,16 @@
 // silent garbage.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -60,6 +64,15 @@ class LayoutMismatch : public CheckpointError {
 /// grammar (point:ckpt_chunk[:K], point:ckpt_restore[:K]).
 inline constexpr const char* kPointChunkSaved = "ckpt_chunk";
 inline constexpr const char* kPointChunkLoaded = "ckpt_restore";
+
+/// Asynchronous-checkpoint crash sites: per chunk snapshotted into the staging
+/// arena (save_async's synchronous prologue, point:ckpt_stage[:K]) and per
+/// chunk persisted by the background drain thread (point:ckpt_drain[:K]). A
+/// drain-thread crash is captured and rethrown at the join (wait_durable / the
+/// next save), leaving the slot torn and the marker uncommitted — exactly the
+/// evidence a synchronous crash-mid-checkpoint leaves.
+inline constexpr const char* kPointChunkStaged = "ckpt_stage";
+inline constexpr const char* kPointChunkDrained = "ckpt_drain";
 
 /// Optional per-chunk callbacks threaded through save()/load().
 struct ChunkHooks {
@@ -95,6 +108,8 @@ struct TornProbe {
   bool torn() const { return torn_chunks > 0; }
 };
 
+/// Cumulative traffic counters every backend maintains across saves/loads
+/// (payload bytes only — chunk/slot headers are engine bookkeeping).
 struct BackendStats {
   std::uint64_t saves = 0;
   std::uint64_t loads = 0;
@@ -105,9 +120,19 @@ struct BackendStats {
   std::uint64_t chunks_loaded = 0;
 };
 
+/// The chunk engine: non-virtual save/load/probe over the per-medium span
+/// primitives below. Owns layout, CRC32 integrity headers, the WritePipeline
+/// fan-out, dirty-chunk filtering, the commit order, and the asynchronous
+/// drain thread; a medium implements only "persist/read this span" and the
+/// (slot, version) marker.
 class Backend {
  public:
-  virtual ~Backend() = default;
+  /// Backstop only: cancels and joins a still-pending drain so a subclass
+  /// that forgot teardown_drain() hits abort_drain()'s bounded race instead
+  /// of std::thread's guaranteed std::terminate. By this point the derived
+  /// span primitives are already destroyed, so every subclass destructor must
+  /// STILL call teardown_drain() first (see below).
+  virtual ~Backend() { abort_drain(); }
 
   /// Chunk size / pipeline width for subsequent saves (--ckpt_chunk_kb,
   /// --ckpt_threads).
@@ -123,6 +148,35 @@ class Backend {
   /// rebuild.
   SaveReceipt save(int slot, std::uint64_t version, std::span<const ObjectView> objs,
                    const ChunkHooks& hooks = {}, const ChunkLayout* layout = nullptr);
+
+  /// Begins an asynchronous save with the same contract as save(), returning
+  /// as soon as the background drain thread is launched. The drain pushes
+  /// chunk spans through the same per-medium primitives (and device-bandwidth
+  /// queue); the (slot, version) marker still commits only after every chunk
+  /// landed, so crash semantics are unchanged. `objs` must point at memory
+  /// that is stable for the drain's lifetime (CheckpointSet's staging arena —
+  /// `keepalive` owns it so the caller may be destroyed mid-drain); hook
+  /// callbacks fire on the drain thread with kPointChunkSaved rewritten to
+  /// kPointChunkDrained. At most one drain may be in flight: callers join
+  /// (or abort) the previous one first.
+  void save_async(int slot, std::uint64_t version, std::vector<ObjectView> objs,
+                  ChunkHooks hooks = {}, std::shared_ptr<const ChunkLayout> layout = nullptr,
+                  std::shared_ptr<const void> keepalive = nullptr);
+
+  /// True while an asynchronous save is still draining.
+  bool drain_pending() const;
+
+  /// Joins the in-flight drain and returns its receipt (nullopt when none was
+  /// pending). Whatever the drain thread threw — a crash point's
+  /// CrashException, a medium failure — is rethrown here on the calling
+  /// thread, with the slot torn and the marker uncommitted.
+  std::optional<SaveReceipt> join_drain();
+
+  /// Power-failure emulation: cooperatively cancels an in-flight drain (the
+  /// remaining chunks are never written; the slot stays torn with the marker
+  /// uncommitted) and joins it, swallowing the drain's outcome. No-op when
+  /// nothing is draining. Never throws.
+  void abort_drain() noexcept;
 
   /// Verifies and loads the slot image back into the object pointers.
   /// Throws LayoutMismatch when the saved object table does not match `objs`
@@ -149,6 +203,13 @@ class Backend {
   void reset_stats() { stats_ = {}; }
 
  protected:
+  /// Every derived destructor MUST call this before tearing anything down
+  /// (closing fds, removing scratch files, releasing arenas): it aborts and
+  /// joins an in-flight drain so the drain thread cannot call the derived
+  /// class's span primitives — or touch its files — mid-destruction. The base
+  /// destructor cannot do this itself (the derived vtable is already gone).
+  void teardown_drain() noexcept { abort_drain(); }
+
   // ---- The per-medium surface -------------------------------------------
   /// Prepares `slot` to receive an image of `image_bytes` (open/size the
   /// file, check arena capacity). Existing slot content must be preserved
@@ -170,6 +231,24 @@ class Backend {
 
   BackendStats stats_;
   ChunkConfig chunks_;
+
+ private:
+  SaveReceipt do_save(int slot, std::uint64_t version, std::span<const ObjectView> objs,
+                      const ChunkHooks& hooks, const ChunkLayout* memo,
+                      const char* point_name, const std::atomic<bool>* cancel);
+
+  // ---- Async drain state (one drain in flight at most) -------------------
+  struct Drain {
+    std::thread thread;
+    std::atomic<bool> cancel{false};
+    // Written by the drain thread before it exits; read after join only.
+    std::optional<SaveReceipt> receipt;
+    std::exception_ptr error;
+    std::vector<ObjectView> objs;                 ///< Staged views (stable).
+    std::shared_ptr<const ChunkLayout> layout;
+    std::shared_ptr<const void> keepalive;        ///< Owns the staging arena.
+  };
+  std::unique_ptr<Drain> drain_;
 };
 
 }  // namespace adcc::checkpoint

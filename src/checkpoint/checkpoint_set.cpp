@@ -1,5 +1,7 @@
 #include "checkpoint/checkpoint_set.hpp"
 
+#include <cstring>
+
 #include "common/check.hpp"
 
 namespace adcc::checkpoint {
@@ -16,6 +18,7 @@ int CheckpointSet::save_slot() const {
 
 std::uint64_t CheckpointSet::save_with(const std::function<bool(std::size_t)>& select) {
   ADCC_CHECK(!objs_.empty(), "no objects registered");
+  wait_durable();  // An in-flight drain commits (or surfaces its crash) first.
   frozen_ = true;
   ++version_;
   const int slot = save_slot();
@@ -61,17 +64,105 @@ std::uint64_t CheckpointSet::save_with(const std::function<bool(std::size_t)>& s
   return version_;
 }
 
-std::uint64_t CheckpointSet::save() { return save_with({}); }
+std::uint64_t CheckpointSet::save() {
+  if (backend_.chunk_config().async) return save_async();
+  return save_with({});
+}
 
 const ChunkLayout& CheckpointSet::layout() {
   // A pure function of (objects, chunk size); objects freeze at the first
   // save, so the memo only invalidates on a chunk-size reconfiguration.
   const std::size_t chunk_bytes = backend_.chunk_config().chunk_bytes;
   if (!layout_ || layout_chunk_bytes_ != chunk_bytes) {
-    layout_ = ChunkLayout::make(objs_, chunk_bytes);
+    layout_ = std::make_shared<const ChunkLayout>(ChunkLayout::make(objs_, chunk_bytes));
     layout_chunk_bytes_ = chunk_bytes;
   }
   return *layout_;
+}
+
+std::uint64_t CheckpointSet::save_async() {
+  ADCC_CHECK(!objs_.empty(), "no objects registered");
+  wait_durable();  // Back-to-back async saves: the second joins the first.
+  frozen_ = true;
+  ++version_;
+  const int slot = save_slot();
+
+  slot_crcs_.resize(static_cast<std::size_t>(backend_.slot_count()));
+  auto& crcs = slot_crcs_[static_cast<std::size_t>(slot)];
+  const ChunkLayout& layout = this->layout();
+  if (crcs.size() != layout.chunks.size()) crcs.assign(layout.chunks.size(), std::nullopt);
+
+  // Stage: snapshot every chunk's payload into the arena. The previous drain
+  // released its keepalive at the join above, so the buffer is reusable; a
+  // fresh one is only allocated if an external holder still pins it.
+  if (!staging_ || staging_.use_count() != 1) staging_ = std::make_shared<Staged>();
+  staging_->bytes.resize(layout.payload_bytes);
+  std::vector<std::size_t> object_base(objs_.size(), 0);  // Payload offset of object i.
+  for (std::size_t i = 1; i < objs_.size(); ++i) {
+    object_base[i] = object_base[i - 1] + objs_[i - 1].bytes;
+  }
+  staging_->views.clear();
+  for (std::size_t i = 0; i < objs_.size(); ++i) {
+    staging_->views.push_back(
+        {objs_[i].name, staging_->bytes.data() + object_base[i], objs_[i].bytes});
+  }
+  try {
+    for (const ChunkLayout::Chunk& c : layout.chunks) {
+      std::memcpy(staging_->bytes.data() + object_base[c.object] + c.object_offset,
+                  static_cast<const std::byte*>(objs_[c.object].data) + c.object_offset,
+                  c.payload_bytes);
+      if (point_hook_) point_hook_(kPointChunkStaged);
+    }
+  } catch (...) {
+    // A crash between stage and drain start touches nothing durable: the slot
+    // (and the CRC cache describing it) is exactly as the last save left it,
+    // so only the version bump rolls back.
+    --version_;
+    throw;
+  }
+
+  ChunkHooks hooks;
+  hooks.point = point_hook_;
+  // The drain captures a value snapshot of the CRC cache: the member is
+  // updated from the receipt at the join, and the drain must not reference
+  // state whose lifetime it does not own.
+  hooks.should_write = [snapshot = crcs](std::size_t chunk, std::uint32_t crc) {
+    return snapshot[chunk] != crc;
+  };
+  backend_.save_async(slot, version_, staging_->views, std::move(hooks), layout_, staging_);
+  async_pending_ = true;
+  return version_;
+}
+
+std::uint64_t CheckpointSet::wait_durable() {
+  if (!async_pending_) return version_;
+  async_pending_ = false;
+  auto& crcs = slot_crcs_[static_cast<std::size_t>(save_slot())];
+  try {
+    const std::optional<SaveReceipt> receipt = backend_.join_drain();
+    ADCC_CHECK(receipt.has_value(), "async save pending but the backend had no drain");
+    for (std::size_t i = 0; i < receipt->chunks.size(); ++i) {
+      if (receipt->chunks[i] == SaveReceipt::Chunk::kWritten) crcs[i] = receipt->crcs[i];
+    }
+    save_stats_ = {receipt->written, receipt->skipped, receipt->payload_bytes};
+    return version_;
+  } catch (...) {
+    // Same contract as a synchronous mid-save failure: the slot is suspect
+    // (some new-version chunks landed), so forget what it holds and roll the
+    // version back so a retried save re-targets this uncommitted slot.
+    crcs.assign(crcs.size(), std::nullopt);
+    --version_;
+    throw;
+  }
+}
+
+void CheckpointSet::abort_async() noexcept {
+  if (!async_pending_) return;
+  async_pending_ = false;
+  backend_.abort_drain();
+  auto& crcs = slot_crcs_[static_cast<std::size_t>(save_slot())];
+  crcs.assign(crcs.size(), std::nullopt);
+  --version_;
 }
 
 std::uint64_t CheckpointSet::save(std::span<const DirtyRange> dirty) {
@@ -100,6 +191,9 @@ std::uint64_t CheckpointSet::save(std::span<const DirtyRange> dirty) {
 
 std::uint64_t CheckpointSet::restore() {
   ADCC_CHECK(!objs_.empty(), "no objects registered");
+  // Restoring implies a crash: a drain still in flight dies with the power
+  // (inject_crash normally aborted it already; this covers direct callers).
+  abort_async();
   frozen_ = true;
   restore_stats_ = {};
   const auto [slot, ver] = backend_.latest();

@@ -21,9 +21,22 @@
 // and per chunk loaded ("ckpt_restore") — workload adapters route it into
 // their FaultSurface so crash plans can land inside the durability path
 // (crash-mid-checkpoint, crash-during-recovery).
+//
+// `save_async()` is the asynchronous variant: it snapshots every chunk into a
+// staging arena (double-buffered against the live objects, so the workload may
+// mutate them immediately) and returns as soon as the backend's background
+// drain thread is launched; `wait_durable()` — or the next save, which joins
+// first — completes the handshake. The (slot, version) marker still commits
+// only after the drain lands every chunk, so crash semantics are unchanged:
+// a crash mid-drain (point "ckpt_drain", or abort_async's power failure)
+// leaves the same torn, uncommitted slot a synchronous crash-mid-save leaves,
+// and a crash mid-staging (point "ckpt_stage") leaves the backend untouched.
+// When the backend is configured with ChunkConfig::async (--ckpt_async),
+// plain save() dispatches to save_async() — adapters inherit overlap for free.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -31,6 +44,10 @@
 
 namespace adcc::checkpoint {
 
+/// Application-facing manager of the chunked durability engine: object
+/// registration, double-buffered versioned saves (sync or async), and
+/// restore with torn-save classification. See the file comment for the
+/// staging/drain handshake.
 class CheckpointSet {
  public:
   using PointHook = std::function<void(const char*)>;
@@ -56,12 +73,40 @@ class CheckpointSet {
 
   /// Checkpoints all registered objects; returns the new version. Chunks
   /// unchanged since this slot's previous image are skipped (CRC filter).
+  /// Dispatches to save_async() when the backend's ChunkConfig::async is set.
   std::uint64_t save();
+
+  /// Asynchronous save: snapshots the objects into the staging arena
+  /// (synchronously — the caller may mutate them the moment this returns) and
+  /// drains the image to the backend on a background thread. Returns the new
+  /// version, which is durable only once wait_durable() (or the next save,
+  /// which joins the drain first) returns without throwing. A drain-thread
+  /// crash/failure is rethrown at that join, with the slot torn and the
+  /// previous checkpoint still committed.
+  std::uint64_t save_async();
+
+  /// Joins the in-flight drain, if any; idempotent. Returns the newest
+  /// durable version. Rethrows whatever the drain threw (after rolling the
+  /// version back so a retried save targets the same uncommitted slot).
+  std::uint64_t wait_durable();
+
+  /// Power-failure emulation: cancels and joins an in-flight drain without
+  /// committing it (the slot keeps the chunks already drained — detectably
+  /// torn), rolling the version back. Workload inject_crash() calls this
+  /// before discarding volatile state; harmless when nothing is draining.
+  void abort_async() noexcept;
+
+  /// True between save_async() and its join — the window in which the caller
+  /// overlaps useful work with the drain.
+  bool async_pending() const { return async_pending_; }
 
   /// Hinted save: only chunks overlapping the given ranges are checksummed
   /// and (when changed) written. Hints must cover every modification since
   /// this SLOT's previous image — with a two-slot backend that is the save
-  /// before last; un-hinted dirty chunks silently age the slot.
+  /// before last; un-hinted dirty chunks silently age the slot. Always
+  /// synchronous, even under ChunkConfig::async: the hints describe the live
+  /// objects at call time, and the async path deliberately stages the full
+  /// image instead of threading a hint set through the drain.
   std::uint64_t save(std::span<const DirtyRange> dirty);
 
   /// Restores the newest committed checkpoint; returns its version
@@ -93,13 +138,24 @@ class CheckpointSet {
   int save_slot() const;
   const ChunkLayout& layout();
 
+  /// The staging arena: one snapshot image's payload bytes plus ObjectViews
+  /// into them. Shared with the backend drain as its keepalive, so the drain
+  /// stays memory-safe even if this CheckpointSet dies mid-flight (the
+  /// backend's destructor joins the thread; see Backend::teardown_drain).
+  struct Staged {
+    std::vector<std::byte> bytes;
+    std::vector<ObjectView> views;
+  };
+
   Backend& backend_;
   PointHook point_hook_;
   std::vector<ObjectView> objs_;
   std::uint64_t version_ = 0;
   bool frozen_ = false;
-  std::optional<ChunkLayout> layout_;  ///< Memo (objects freeze at first save).
+  bool async_pending_ = false;
+  std::shared_ptr<const ChunkLayout> layout_;  ///< Memo (objects freeze at first save).
   std::size_t layout_chunk_bytes_ = 0;
+  std::shared_ptr<Staged> staging_;  ///< Reused across saves once the drain lets go.
   SaveStats save_stats_;
   RestoreStats restore_stats_;
 

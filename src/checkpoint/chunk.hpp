@@ -47,6 +47,9 @@ std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed = 0)
 struct ChunkConfig {
   std::size_t chunk_bytes = 256u << 10;  ///< --ckpt_chunk_kb (payload per chunk).
   int threads = 1;                       ///< --ckpt_threads (pipeline workers).
+  /// --ckpt_async: CheckpointSet::save dispatches to save_async (stage +
+  /// background drain) instead of blocking through the device window.
+  bool async = false;
 };
 
 inline constexpr std::uint32_t kSlotMagic = 0x41444343u;   // "ADCC"

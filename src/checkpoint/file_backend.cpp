@@ -17,6 +17,12 @@ FileBackend::FileBackend(const FileBackendConfig& cfg) : cfg_(cfg) {
 }
 
 FileBackend::~FileBackend() {
+  // A cell that errored mid-drain destroys its env (and this backend) while
+  // the drain thread may still be pwriting into the slot files: join it
+  // before any fd is closed or the scratch directory is removed, or the
+  // cleanup races the drain (unlinked-but-open slot files, resurrected
+  // directories).
+  teardown_drain();
   for (int& fd : fds_) {
     if (fd >= 0) ::close(fd);
   }

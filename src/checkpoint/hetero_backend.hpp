@@ -21,6 +21,8 @@ class HeteroBackend final : public Backend {
  public:
   HeteroBackend(nvm::NvmRegion& region, nvm::DramCache& dram_cache,
                 std::size_t capacity_per_slot);
+  /// Joins an in-flight drain before the DRAM cache / slot arenas can dangle.
+  ~HeteroBackend() override { teardown_drain(); }
 
   std::pair<int, std::uint64_t> latest() const override;
 

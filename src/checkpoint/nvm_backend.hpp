@@ -22,6 +22,8 @@ class NvmBackend final : public Backend {
   /// One-slot backends are the mirror-style incremental configuration (no
   /// double buffering — a crash mid-save leaves a detectably torn mirror).
   NvmBackend(nvm::NvmRegion& region, std::size_t capacity_per_slot, int slots = 2);
+  /// Joins an in-flight drain before the slot arenas can dangle.
+  ~NvmBackend() override { teardown_drain(); }
 
   std::pair<int, std::uint64_t> latest() const override;
   int slot_count() const override { return slot_count_; }

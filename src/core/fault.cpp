@@ -5,6 +5,7 @@
 namespace adcc::core {
 
 void FaultSurface::bind(memsim::MemorySimulator* sim) {
+  std::lock_guard<std::mutex> lock(mu_);
   sim_ = sim;
   scheduler_.disarm();
   accesses_ = 0;
@@ -14,6 +15,7 @@ void FaultSurface::arm_at_access(std::uint64_t n) {
   if (sim_ != nullptr) {
     sim_->scheduler().arm_at_access(n);
   } else {
+    std::lock_guard<std::mutex> lock(mu_);
     scheduler_.arm_at_access(n);
   }
 }
@@ -22,6 +24,7 @@ void FaultSurface::arm_at_point(std::string name, std::uint64_t occurrence) {
   if (sim_ != nullptr) {
     sim_->scheduler().arm_at_point(std::move(name), occurrence);
   } else {
+    std::lock_guard<std::mutex> lock(mu_);
     scheduler_.arm_at_point(std::move(name), occurrence);
   }
 }
@@ -30,33 +33,41 @@ void FaultSurface::disarm() {
   if (sim_ != nullptr) {
     sim_->scheduler().disarm();
   } else {
+    std::lock_guard<std::mutex> lock(mu_);
     scheduler_.disarm();
   }
 }
 
 bool FaultSurface::armed() const {
-  return sim_ != nullptr ? sim_->scheduler().armed() : scheduler_.armed();
+  if (sim_ != nullptr) return sim_->scheduler().armed();
+  std::lock_guard<std::mutex> lock(mu_);
+  return scheduler_.armed();
 }
 
 std::uint64_t FaultSurface::access_count() const {
-  return sim_ != nullptr ? sim_->access_count() : accesses_;
+  if (sim_ != nullptr) return sim_->access_count();
+  std::lock_guard<std::mutex> lock(mu_);
+  return accesses_;
 }
 
 void FaultSurface::tick(std::uint64_t accesses) {
   if (sim_ != nullptr) return;  // The simulator counts its own accesses.
+  std::lock_guard<std::mutex> lock(mu_);
   accesses_ += accesses;
-  if (scheduler_.on_access(accesses_)) fire("access");
+  if (scheduler_.on_access(accesses_)) fire("access", accesses_);
 }
 
 void FaultSurface::point(const char* name) {
   if (sim_ != nullptr) return;  // The workload calls sim->crash_point itself.
-  if (scheduler_.on_point(name)) fire(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (scheduler_.on_point(name)) fire(name, accesses_);
 }
 
-void FaultSurface::fire(const std::string& at) {
+void FaultSurface::fire(const std::string& at, std::uint64_t accesses) {
   // One-shot: recovery re-executes the crashed unit, which must not re-fire.
+  // Throws with mu_ held by the caller; the unwind releases it.
   scheduler_.disarm();
-  throw memsim::CrashException(at, accesses_);
+  throw memsim::CrashException(at, accesses);
 }
 
 }  // namespace adcc::core

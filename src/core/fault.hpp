@@ -19,9 +19,16 @@
 // Triggers are one-shot: the surface disarms itself as the exception is thrown
 // (mirroring MemorySimulator::crash + reset_after_crash), so recovery's
 // re-execution of the crashed unit cannot re-fire the same trigger.
+//
+// The software-counted backing is internally synchronized: with asynchronous
+// checkpointing the durability engine's drain thread fires "ckpt_drain" points
+// through this surface while the workload's own thread keeps ticking the next
+// unit, so counter/scheduler state is guarded by a mutex (uncontended in the
+// synchronous paths — ticks are per-sub-statement, not per-element).
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "memsim/crash.hpp"
@@ -57,7 +64,10 @@ class FaultSurface {
 
   /// Rewinds the software access counter (workload prepare(); bound surfaces
   /// get a fresh simulator instead).
-  void reset_counter() { accesses_ = 0; }
+  void reset_counter() {
+    std::lock_guard<std::mutex> lock(mu_);
+    accesses_ = 0;
+  }
 
   // ---- Instrumentation (workload run_step side) ---------------------------
 
@@ -71,9 +81,12 @@ class FaultSurface {
   void point(const char* name);
 
  private:
-  [[noreturn]] void fire(const std::string& at);
+  [[noreturn]] void fire(const std::string& at, std::uint64_t accesses);
 
   memsim::MemorySimulator* sim_ = nullptr;
+  /// Guards scheduler_ + accesses_ against the drain thread's point() calls
+  /// racing the workload thread's tick()/point() calls (async checkpointing).
+  mutable std::mutex mu_;
   memsim::CrashScheduler scheduler_;
   std::uint64_t accesses_ = 0;
 };

@@ -39,6 +39,9 @@ struct RecomputationBreakdown {
   std::size_t torn_chunks = 0;     ///< Detected torn-checkpoint chunks (a save
                                    ///< the crash interrupted, caught by the
                                    ///< chunk CRC/version headers in recovery).
+  double overlap_seconds = 0.0;    ///< Work-unit execution time spent while an
+                                   ///< async checkpoint drain was in flight —
+                                   ///< the device window hidden behind compute.
 
   /// The paper's "iterations lost" count: destroyed + interrupted units.
   std::size_t units_redone() const { return units_lost + partial_units; }

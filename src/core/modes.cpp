@@ -105,7 +105,7 @@ ModeEnv make_env(Mode mode, const ModeEnvConfig& cfg) {
       break;  // Tx and algorithm modes build workload-specific state on the arena.
   }
   if (env.backend) {
-    env.backend->configure_chunks({cfg.ckpt_chunk_bytes, cfg.ckpt_threads});
+    env.backend->configure_chunks({cfg.ckpt_chunk_bytes, cfg.ckpt_threads, cfg.ckpt_async});
   }
   return env;
 }

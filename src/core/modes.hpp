@@ -51,6 +51,8 @@ bool is_algorithm_mode(Mode m);
 enum class DurabilityKind { kNone, kCheckpoint, kTransaction, kAlgorithm };
 DurabilityKind durability_kind(Mode m);
 
+/// Substrate sizing for make_env: arena/slot capacities, device models, and
+/// the durability-engine knobs (all sweepable through the CLI).
 struct ModeEnvConfig {
   std::size_t arena_bytes = 64u << 20;   ///< NVM arena capacity.
   std::size_t slot_bytes = 16u << 20;    ///< Per-slot checkpoint capacity.
@@ -61,6 +63,9 @@ struct ModeEnvConfig {
   std::size_t dram_cache_bytes = 32u << 20;  ///< Paper: 32 MB.
   std::size_t ckpt_chunk_bytes = 256u << 10; ///< --ckpt_chunk_kb (chunk payload).
   int ckpt_threads = 1;                      ///< --ckpt_threads (write pipeline).
+  /// --ckpt_async: checkpoint saves stage + drain in the background, so the
+  /// next work unit overlaps the device window (sweepable axis ckpt_async=0+1).
+  bool ckpt_async = false;
 };
 
 /// Everything a mode needs, wired together. Members not used by the mode stay

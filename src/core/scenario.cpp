@@ -375,13 +375,29 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     const std::size_t before = workload_.units_done();
     bool crashed_mid = false;
     bool stepped = false;
+    bool finished = false;
     try {
+      // A unit starting while an asynchronous checkpoint drain is still in
+      // flight overlaps the device window with compute — the async engine's
+      // whole win; account its execution time separately.
+      const bool overlapped = workload_.durability_pending();
+      Timer step;
       stepped = workload_.run_step();
+      if (overlapped) result.recomputation.overlap_seconds += step.elapsed();
       // The durability action shares the fault surface since the chunk engine
-      // (point:ckpt_chunk fires between chunk persists inside save), so it
-      // can raise the same CrashException — a crash mid-checkpoint, leaving
-      // the slot torn and the marker uncommitted.
-      if (stepped) workload_.make_durable();
+      // (point:ckpt_chunk fires between chunk persists inside save; an async
+      // drain's ckpt_drain crash surfaces at the join the next save performs),
+      // so it can raise the same CrashException — a crash mid-checkpoint,
+      // leaving the slot torn and the marker uncommitted.
+      if (stepped) {
+        workload_.make_durable();
+      } else {
+        // The run may not end with progress still draining: join the final
+        // async save inside the timed region (a crash in that drain surfaces
+        // here and is handled like any crash-mid-checkpoint).
+        finished = true;
+        workload_.wait_durable();
+      }
     } catch (const memsim::CrashException& e) {
       // A FaultSurface / MemorySimulator trigger fired inside the unit. The
       // surface is one-shot, so recovery's re-execution cannot re-fire it.
@@ -396,8 +412,10 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
       crash_unit = workload_.units_done();
       // End-of-unit crash points may fire after the workload advanced its
       // cursor; only a crash before the advance interrupted a unit mid-flight
-      // (a crash inside make_durable interrupted the *save*, not the unit).
-      partial = workload_.units_done() == before;
+      // (a crash inside make_durable interrupted the *save*, not the unit —
+      // and a crash in the final wait_durable interrupted a *drain*, with the
+      // cursor legitimately unchanged).
+      partial = !finished && workload_.units_done() == before;
     } else {
       if (!stepped) break;
       if (next_target >= targets.size() ||

@@ -53,6 +53,8 @@
 
 namespace adcc::core {
 
+/// A parsed crash plan: when (and how often) the emulated power failure
+/// fires, plus the optional double-fault chain armed inside recovery.
 struct CrashScenario {
   enum class Kind { kNone, kAtStep, kRandom, kRepeated, kAtAccess, kAtPoint, kFuzz };
   Kind kind = Kind::kNone;
@@ -83,6 +85,8 @@ bool crash_is_mid_unit(const CrashScenario& crash);
 /// every mid-unit plan (those arm the FaultSurface instead).
 std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t work_units);
 
+/// Everything one scenario execution needs besides the workload: mode, crash
+/// plan, substrate sizing, repetition policy and the optional shared fuzz probe.
 struct ScenarioConfig {
   Mode mode = Mode::kNative;
   CrashScenario crash;
@@ -98,6 +102,8 @@ struct ScenarioConfig {
   std::shared_ptr<const std::vector<std::uint64_t>> fuzz_boundaries;
 };
 
+/// One scenario's aggregated measurement: median wall time, normalization,
+/// and the last repetition's crash/recovery accounting.
 struct ScenarioResult {
   Mode mode = Mode::kNative;
   CrashScenario crash;
@@ -118,6 +124,9 @@ struct ScenarioResult {
   bool verified = false;
 };
 
+/// The one driver loop every bench shares: prepare, step/make_durable, fire
+/// crashes (boundary, mid-unit, mid-checkpoint, mid-drain, mid-recovery),
+/// time detect/resume, join async drains, and aggregate repetitions.
 class ScenarioRunner {
  public:
   /// The workload must outlive the runner. Its problem instance is fixed;

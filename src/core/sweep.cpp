@@ -364,6 +364,7 @@ ScenarioConfig cell_config(const Workload& workload, Mode mode, const CrashScena
   sc.env.ckpt_threads = std::max(1, static_cast<int>(opts.get_int("ckpt_threads", 1)));
   sc.env.ckpt_chunk_bytes =
       std::max<std::size_t>(1u << 10, opts.get_size("ckpt_chunk_kb", 256) << 10);
+  sc.env.ckpt_async = opts.get_bool("ckpt_async");
   workload.tune_env(mode, sc.env);
   if (opts.has("arena")) sc.env.arena_bytes = opts.get_size("arena", sc.env.arena_bytes);
   if (opts.has("slot")) sc.env.slot_bytes = opts.get_size("slot", sc.env.slot_bytes);
@@ -374,14 +375,20 @@ ScenarioConfig cell_config(const Workload& workload, Mode mode, const CrashScena
 }
 
 /// The baseline is a function of everything except the durability-only axes:
-/// mode and crash are forced to native/none in the baseline run, and policy
-/// only selects a flush scheme the native run never executes. Cells differing
-/// only in those share one baseline.
+/// mode and crash are forced to native/none in the baseline run, policy only
+/// selects a flush scheme the native run never executes, and the
+/// checkpoint-engine knobs (threads/chunking/async, the disk device model)
+/// configure a backend the native run never builds. Cells differing only in
+/// those share one baseline — which also keeps self-relative gates (e.g. the
+/// ckpt_async overhead ratio) free of native-measurement noise between cells.
 std::string baseline_key(const std::string& workload,
                          const std::vector<std::pair<std::string, std::string>>& assignment) {
   std::string key = workload;
   for (const auto& [k, v] : assignment) {
-    if (k == "mode" || k == "crash" || k == "policy") continue;
+    if (k == "mode" || k == "crash" || k == "policy" || k == "ckpt_threads" ||
+        k == "ckpt_chunk_kb" || k == "ckpt_async" || k == "disk_mbps") {
+      continue;
+    }
     key += '\x1f' + k + '=' + v;
   }
   return key;
@@ -539,7 +546,8 @@ Table SweepResult::table(bool timing) const {
     }
   }
   for (const char* h : {"units", "seconds", "normalized", "overhead", "lost", "partial",
-                        "corrected", "torn", "detect/unit", "resume/unit", "status"}) {
+                        "corrected", "torn", "overlap", "detect/unit", "resume/unit",
+                        "status"}) {
     headers.emplace_back(h);
   }
 
@@ -555,7 +563,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::move(value));
     }
     if (cell.status == SweepCellResult::Status::kError) {
-      for (int i = 0; i < 10; ++i) row.emplace_back("-");
+      for (int i = 0; i < 11; ++i) row.emplace_back("-");
       row.push_back("ERROR: " + cell.error);
     } else {
       const ScenarioResult& res = cell.result;
@@ -569,6 +577,9 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::to_string(rb.partial_units));
       row.push_back(std::to_string(rb.units_corrected));
       row.push_back(std::to_string(rb.torn_chunks));
+      // Wall-clock-derived like seconds: blanked under --no_timing so serial
+      // and parallel decks stay byte-identical.
+      row.push_back(timing && rb.overlap_seconds > 0 ? Table::fmt(rb.overlap_seconds, 4) : "-");
       row.push_back(timing && res.crashes > 0 ? Table::fmt(rb.detect_normalized(), 2) : "-");
       row.push_back(timing && res.crashes > 0 ? Table::fmt(rb.resume_normalized(), 2) : "-");
       row.push_back(cell.status == SweepCellResult::Status::kOk ? "ok" : "FAIL:verify");

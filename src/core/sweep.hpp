@@ -44,8 +44,10 @@
 
 namespace adcc::core {
 
+/// One expanded sweep dimension: an option key and the literal values the
+/// deck's cross product iterates over it.
 struct SweepAxis {
-  std::string key;
+  std::string key;                  ///< Option key ("mode", "n", "ckpt_async", ...).
   std::vector<std::string> values;  ///< Expanded, in declaration order.
 };
 
@@ -55,8 +57,10 @@ struct SweepAxis {
 std::optional<SweepAxis> make_axis(std::string_view key, std::string_view values,
                                    std::string* error = nullptr);
 
+/// A parsed --sweep grammar: the ordered axes whose cross product is the
+/// deck. Axis order is row-emission order (first axis slowest-varying).
 struct SweepSpec {
-  std::vector<SweepAxis> axes;
+  std::vector<SweepAxis> axes;  ///< Declaration order; cells() is their product.
 
   std::size_t cells() const;  ///< Cross-product size (1 for an empty spec).
   const SweepAxis* find(std::string_view key) const;
@@ -73,6 +77,8 @@ struct SweepSpec {
 /// in *error. Rejects duplicate axes and decks over the expansion caps.
 std::optional<SweepSpec> parse_sweep(std::string_view spec, std::string* error = nullptr);
 
+/// How run_sweep executes a deck: base options, worker count, baseline policy
+/// and scratch-dir isolation.
 struct SweepConfig {
   Options base;      ///< CLI options every cell starts from (axes overlay it).
   int jobs = 1;      ///< Worker threads executing cells (1 = serial, in-order).
@@ -83,12 +89,14 @@ struct SweepConfig {
   std::filesystem::path scratch_root;
 };
 
+/// One deck cell's outcome: its axis assignment, the scenario measurement,
+/// and a captured per-cell failure (ERROR rows instead of deck death).
 struct SweepCellResult {
   enum class Status { kOk, kVerifyFailed, kError };
 
-  std::size_t index = 0;
-  std::vector<std::pair<std::string, std::string>> assignment;
-  std::string workload;
+  std::size_t index = 0;    ///< Deck position (deterministic, jobs-independent).
+  std::vector<std::pair<std::string, std::string>> assignment;  ///< Axis values.
+  std::string workload;     ///< Registry name the cell ran.
   std::string mode_label;   ///< Canonical mode name (raw spelling on error).
   std::string crash_label;  ///< Canonical crash plan (raw spelling on error).
   Status status = Status::kOk;
@@ -97,6 +105,8 @@ struct SweepCellResult {
   double native_seconds = 0.0;
 };
 
+/// A fully executed deck: every cell result in deck order plus the table
+/// emitter the CLI and the pinned bench decks render from.
 struct SweepResult {
   SweepSpec spec;
   std::vector<SweepCellResult> cells;  ///< Deck order, independent of jobs.

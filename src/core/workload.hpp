@@ -46,6 +46,10 @@ struct WorkloadRecovery {
   double repair_seconds = 0.0;         ///< recover()-internal re-execution time.
 };
 
+/// A fixed problem instance runnable under any durability mode: the unit
+/// ScenarioRunner composes with a Mode and a CrashScenario. Implementations
+/// register themselves with core::WorkloadRegistry (ADCC_REGISTER_WORKLOAD)
+/// so one CLI/sweep engine can drive every workload.
 class Workload {
  public:
   virtual ~Workload() = default;
@@ -73,8 +77,22 @@ class Workload {
 
   /// The prepared mode's durability action for the last completed unit:
   /// nothing (native), CheckpointSet::save, transaction commit, or the
-  /// algorithm-directed checksum/counter-line flush.
+  /// algorithm-directed checksum/counter-line flush. With asynchronous
+  /// checkpointing enabled this may return before the image is durable
+  /// (stage + background drain); wait_durable() completes the handshake.
   virtual void make_durable() = 0;
+
+  /// Joins any outstanding asynchronous durability work (an in-flight
+  /// checkpoint drain). The runner calls it inside the timed region after the
+  /// last unit, so a run never finishes with undurable progress; a drain
+  /// crash point (ckpt_drain) surfaces here as memsim::CrashException exactly
+  /// like a synchronous crash-mid-save. Default: nothing pending.
+  virtual void wait_durable() {}
+
+  /// True while an asynchronous durability action from an earlier unit is
+  /// still in flight — the unit now executing overlaps the drain (the
+  /// runner's overlap_seconds accounting).
+  virtual bool durability_pending() const { return false; }
 
   /// Emulates a power failure at a unit boundary: discards every volatile
   /// structure, leaving only the mode's durable image.

@@ -51,6 +51,9 @@ void McWorkload::prepare(core::ModeEnv& env) {
   durable_units_ = 0;
   scratch_index_ = 0;
   fault_.reset_counter();
+  // Drop any previous mode's checkpoint set: its backend reference dies with
+  // the old env, and a stale async_pending flag must not leak into this run.
+  ckpt_.reset();
   engine_ = core::durability_kind(env.mode);
 
   switch (engine_) {
@@ -147,10 +150,20 @@ void McWorkload::make_durable() {
   }
 }
 
+void McWorkload::wait_durable() {
+  // Joins an in-flight async checkpoint drain (--ckpt_async); other engines
+  // are durable the moment make_durable returns.
+  if (ckpt_) ckpt_->wait_durable();
+}
+
+bool McWorkload::durability_pending() const { return ckpt_ && ckpt_->async_pending(); }
+
 void McWorkload::inject_crash() {
   crashed_done_ = done_;
-  // The DRAM working copy dies with the power in every mode; the durable
-  // snapshot (checkpoint / heap / arena) is all recovery may read.
+  // The DRAM working copy dies with the power in every mode; an in-flight
+  // checkpoint drain is cut off first, and the durable snapshot (checkpoint /
+  // heap / arena) is all recovery may read.
+  if (ckpt_) ckpt_->abort_async();
   if (env_ != nullptr && env_->dram) env_->dram->discard();
   macro_.fill(0.0);
   counters_.fill(0);

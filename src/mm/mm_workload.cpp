@@ -62,6 +62,9 @@ void MmWorkload::prepare(core::ModeEnv& env) {
   done_ = 0;
   crashed_done_ = 0;
   fault_.reset_counter();
+  // Drop any previous mode's checkpoint set: its backend reference dies with
+  // the old env, and a stale async_pending flag must not leak into this run.
+  ckpt_.reset();
   engine_ = core::durability_kind(env.mode);
 
   switch (engine_) {
@@ -220,8 +223,19 @@ void MmWorkload::make_durable() {
   }
 }
 
+void MmWorkload::wait_durable() {
+  // Joins an in-flight async checkpoint drain (--ckpt_async); other engines
+  // are durable the moment make_durable returns.
+  if (ckpt_) ckpt_->wait_durable();
+}
+
+bool MmWorkload::durability_pending() const { return ckpt_ && ckpt_->async_pending(); }
+
 void MmWorkload::inject_crash() {
   crashed_done_ = done_;
+  // Power failure: cut off an in-flight checkpoint drain before the volatile
+  // state (and the DRAM staging) is discarded.
+  if (ckpt_) ckpt_->abort_async();
   if (env_ != nullptr && env_->dram) env_->dram->discard();
   switch (engine_) {
     case core::DurabilityKind::kNone:

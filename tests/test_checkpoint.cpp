@@ -2,6 +2,7 @@
 // all three media (file / NVM-only / heterogeneous NVM-DRAM).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -25,6 +26,7 @@ struct BackendBundle {
   std::unique_ptr<nvm::NvmRegion> region;
   std::unique_ptr<nvm::DramCache> dram;
   std::unique_ptr<Backend> backend;
+  std::filesystem::path file_dir;  ///< kFile only: the backend's scratch dir.
 };
 
 BackendBundle make_backend(Kind kind, double throttle = 0.0) {
@@ -36,10 +38,15 @@ BackendBundle make_backend(Kind kind, double throttle = 0.0) {
   b.perf = std::make_unique<nvm::PerfModel>(pc);
   switch (kind) {
     case Kind::kFile: {
+      // Unique per call: async tests hold two file backends alive at once
+      // (sync-vs-async image comparison), which must not share slot files.
+      static std::atomic<int> counter{0};
       FileBackendConfig fc;
       fc.directory = std::filesystem::temp_directory_path() /
-                     ("adcc_test_ckpt_" + std::to_string(::getpid()));
+                     ("adcc_test_ckpt_" + std::to_string(::getpid()) + "_" +
+                      std::to_string(counter.fetch_add(1)));
       fc.throttle_bytes_per_s = throttle;
+      b.file_dir = fc.directory;
       b.backend = std::make_unique<FileBackend>(fc);
       break;
     }
@@ -352,9 +359,7 @@ TEST(FileBackend, CorruptedPayloadFailsItsCrc) {
 
   // Flip one payload byte on disk (the image's last bytes are payload).
   const std::size_t image = checkpoint_image_bytes(objs, b.backend->chunk_config().chunk_bytes);
-  const std::filesystem::path slot = std::filesystem::temp_directory_path() /
-                                     ("adcc_test_ckpt_" + std::to_string(::getpid())) /
-                                     "slot0.ckpt";
+  const std::filesystem::path slot = b.file_dir / "slot0.ckpt";
   ASSERT_TRUE(std::filesystem::exists(slot));
   {
     std::fstream f(slot, std::ios::in | std::ios::out | std::ios::binary);
@@ -437,6 +442,230 @@ TEST(CheckpointSet, ZeroChunkSetSavesAndRestores) {
   EXPECT_EQ(set.save(), 1u);
   EXPECT_EQ(set.payload_bytes(), 0u);
   EXPECT_EQ(set.restore(), 1u);
+}
+
+// ------------------------------------------------- asynchronous save path --
+
+TEST_P(BackendTest, AsyncSaveCommitsAfterWaitDurable) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(4096, 1.5);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.save_async(), 1u);
+  EXPECT_TRUE(set.async_pending());
+  EXPECT_EQ(set.wait_durable(), 1u);
+  EXPECT_FALSE(set.async_pending());
+  EXPECT_EQ(b.backend->latest().second, 1u);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(set.restore(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+}
+
+TEST_P(BackendTest, AsyncSaveSnapshotsAtCallTime) {
+  // The whole point of the staging arena: the caller may clobber the live
+  // objects the moment save_async returns, and the drain still persists the
+  // values the save saw.
+  auto b = make_backend(GetParam());
+  std::vector<double> x(4096, 1.5);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  set.save_async();
+  std::fill(x.begin(), x.end(), 9.0);  // Next unit's writes, racing the drain.
+  set.wait_durable();
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(set.restore(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+  EXPECT_DOUBLE_EQ(x[4095], 1.5);
+}
+
+TEST_P(BackendTest, BackToBackAsyncSavesJoinTheFirst) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(2048, 1.0);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.save_async(), 1u);
+  std::fill(x.begin(), x.end(), 2.0);
+  EXPECT_EQ(set.save_async(), 2u);  // Joins drain 1 before staging v2.
+  EXPECT_EQ(set.wait_durable(), 2u);
+  EXPECT_EQ(b.backend->latest().second, 2u);
+  // Both slots hold committed images (double buffering survived the overlap).
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
+  EXPECT_EQ(b.backend->load(1, objs), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_EQ(b.backend->load(0, objs), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+}
+
+TEST_P(BackendTest, WaitDurableIsIdempotent) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(512, 4.0);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.wait_durable(), 0u);  // Nothing pending, nothing saved.
+  set.save_async();
+  EXPECT_EQ(set.wait_durable(), 1u);
+  EXPECT_EQ(set.wait_durable(), 1u);  // Second join is a no-op.
+  EXPECT_EQ(set.wait_durable(), 1u);
+  EXPECT_EQ(b.backend->latest().second, 1u);
+}
+
+TEST_P(BackendTest, AsyncSlotImagesMatchSyncByteForByte) {
+  // The same save sequence through save() and save_async() must produce
+  // byte-identical slot images on every medium — async changes when bytes
+  // land, never which bytes.
+  auto sync_b = make_backend(GetParam());
+  auto async_b = make_backend(GetParam());
+  std::vector<double> x(3000, 0.0), y(700, 0.0);
+  CheckpointSet sync_set(*sync_b.backend);
+  CheckpointSet async_set(*async_b.backend);
+  for (CheckpointSet* set : {&sync_set, &async_set}) {
+    set->add("x", x.data(), x.size() * 8);
+    set->add("y", y.data(), y.size() * 8);
+  }
+  for (int ver = 1; ver <= 3; ++ver) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = ver * 1.25 + double(i);
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = ver * 2.5 - double(i);
+    sync_set.save();
+    async_set.save_async();
+    async_set.wait_durable();
+  }
+  const std::size_t image_bytes =
+      checkpoint_image_bytes(std::vector<ObjectView>{{"x", x.data(), x.size() * 8},
+                                                     {"y", y.data(), y.size() * 8}},
+                             sync_b.backend->chunk_config().chunk_bytes);
+  for (int slot = 0; slot < 2; ++slot) {
+    std::vector<std::byte> sync_img(image_bytes), async_img(image_bytes);
+    ASSERT_EQ(sync_b.backend->read_image(slot, sync_img), image_bytes);
+    ASSERT_EQ(async_b.backend->read_image(slot, async_img), image_bytes);
+    EXPECT_EQ(sync_img, async_img) << "slot " << slot;
+  }
+}
+
+TEST_P(BackendTest, AsyncDirtyChunkFilterSkipsUnchangedChunks) {
+  auto b = make_backend(GetParam());
+  std::vector<double> x(3 * 4096, 7.0);
+  b.backend->configure_chunks({4096, 1});
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  set.save_async();  // v1 -> slot 1.
+  set.save_async();  // v2 -> slot 0 (first image there: full write).
+  set.save_async();  // v3 -> slot 1 again, data unchanged since v1.
+  EXPECT_EQ(set.wait_durable(), 3u);
+  EXPECT_EQ(set.last_save().chunks_written, 0u);
+  EXPECT_GT(set.last_save().chunks_skipped, 0u);
+}
+
+/// An InterruptibleSet variant for the async sites: cuts the power at the
+/// N-th hit of one crash-point name (ckpt_stage / ckpt_drain).
+struct AsyncInterruptibleSet {
+  AsyncInterruptibleSet(Backend& backend, const char* at)
+      : set(backend, [this, at](const char* point) {
+          if (arm_after > 0 && std::string_view(point) == at && ++fired == arm_after) {
+            throw TestPowerFailure{};
+          }
+        }) {}
+
+  CheckpointSet set;
+  std::size_t arm_after = 0;
+  std::size_t fired = 0;
+};
+
+TEST_P(BackendTest, CrashBetweenStageAndDrainLeavesBackendUntouched) {
+  auto b = make_backend(GetParam());
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  AsyncInterruptibleSet is(*b.backend, kPointChunkStaged);
+  is.set.add("x", x.data(), x.size() * 8);
+  is.set.save_async();
+  EXPECT_EQ(is.set.wait_durable(), 1u);  // v1 committed.
+  std::fill(x.begin(), x.end(), 2.0);
+  is.arm_after = 2;  // Power fails two chunks into v2's staging pass.
+  EXPECT_THROW(is.set.save_async(), TestPowerFailure);
+  EXPECT_EQ(is.set.version(), 1u);  // Rolled back; nothing reached the medium.
+  EXPECT_FALSE(is.set.async_pending());
+
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(is.set.restore(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  // No save started, so not a single torn chunk — on ANY medium.
+  EXPECT_EQ(is.set.last_restore().torn_chunks, 0u);
+}
+
+TEST_P(BackendTest, CrashMidDrainSurfacesAtJoinAndClassifiesLikeSyncMidSave) {
+  auto b = make_backend(GetParam());
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  AsyncInterruptibleSet is(*b.backend, kPointChunkDrained);
+  is.set.add("x", x.data(), x.size() * 8);
+  is.set.save_async();
+  EXPECT_EQ(is.set.wait_durable(), 1u);
+  std::fill(x.begin(), x.end(), 2.0);
+  is.set.save_async();
+  EXPECT_EQ(is.set.wait_durable(), 2u);
+  std::fill(x.begin(), x.end(), 3.0);
+  is.arm_after = 2;  // Power fails two chunks into v3's background drain.
+  is.set.save_async();                                 // Launch succeeds...
+  EXPECT_THROW(is.set.wait_durable(), TestPowerFailure);  // ...the join reports.
+  EXPECT_EQ(is.set.version(), 2u);  // Rolled back to the committed version.
+
+  // Power-loss epilogue, as the workloads' inject_crash does it.
+  if (b.dram) b.dram->discard();
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(is.set.restore(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  if (GetParam() == Kind::kHetero) {
+    // The drained-but-undrained chunks died in volatile DRAM staging: the
+    // slot's previous image is intact — clean-old, hetero's crash signature.
+    EXPECT_EQ(is.set.last_restore().torn_chunks, 0u);
+  } else {
+    EXPECT_GE(is.set.last_restore().torn_chunks, 1u);
+  }
+}
+
+TEST_P(BackendTest, AbortAsyncEmulatesPowerFailureAndRecoversConsistently) {
+  // abort_async lands at a nondeterministic drain position (that is the
+  // point); whatever it cut off, restore must land on a committed version
+  // whose payload matches it exactly.
+  auto b = make_backend(GetParam());
+  b.backend->configure_chunks({4096, 1});
+  std::vector<double> x(8 * 4096 / 8, 1.0);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  set.save_async();
+  set.wait_durable();  // v1 committed.
+  std::fill(x.begin(), x.end(), 2.0);
+  set.save_async();    // v2 drains in the background...
+  set.abort_async();   // ...and the power fails.
+  EXPECT_FALSE(set.async_pending());
+  if (b.dram) b.dram->discard();
+  std::fill(x.begin(), x.end(), 0.0);
+  const std::uint64_t restored = set.restore();
+  EXPECT_TRUE(restored == 1u || restored == 2u);  // Committed either way.
+  EXPECT_DOUBLE_EQ(x[0], restored == 1u ? 1.0 : 2.0);
+  EXPECT_EQ(set.version(), restored);
+  // Life goes on: the next save commits the next version durably.
+  std::fill(x.begin(), x.end(), 5.0);
+  const std::uint64_t next = set.save();
+  EXPECT_EQ(next, restored + 1);
+  EXPECT_EQ(b.backend->latest().second, next);
+}
+
+TEST_P(BackendTest, ConfiguredAsyncDispatchesPlainSave) {
+  // ChunkConfig::async reroutes save() through the async path, which is how
+  // --ckpt_async reaches adapters without any adapter change.
+  auto b = make_backend(GetParam());
+  ChunkConfig cc = b.backend->chunk_config();
+  cc.async = true;
+  b.backend->configure_chunks(cc);
+  std::vector<double> x(1024, 6.5);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.save(), 1u);
+  EXPECT_TRUE(set.async_pending());
+  EXPECT_EQ(set.wait_durable(), 1u);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(set.restore(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 6.5);
 }
 
 }  // namespace
