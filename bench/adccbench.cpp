@@ -57,7 +57,10 @@ int main(int argc, char** argv) try {
       .doc("crash",
            "crash plan: none | step:K | random[:SEED] | repeat:N | access:N | "
            "point:NAME[:K] | fuzz:SEED, chainable with ^ for crash-during-"
-           "recovery double faults (e.g. step:2^point:ckpt_restore:1)",
+           "recovery double faults (e.g. step:2^point:ckpt_restore:1); scope "
+           "prefixes shard:I: (kill shard I), shards:K:SEED: (kill a seeded "
+           "random k-of-N) and coord: (kill the group coordinator) target the "
+           "multi-shard engine (e.g. shard:0:step:2, coord:point:global_commit)",
            "none")
       .doc("sweep",
            "axis grid: key=v1+v2,key=lo:hi[:step|:xF],... (axes: workload, mode, "
@@ -95,6 +98,14 @@ int main(int argc, char** argv) try {
            "next unit overlaps the device window (sweepable axis)",
            "off")
       .doc("disk_mbps", "ckpt-disk device model bandwidth, MB/s (0 = real device)", "150")
+      .doc("shards",
+           "cg/mm/mc: split the run across N in-process shards with coordinated "
+           "global snapshots (sweepable axis; 1 = single-rank engine)",
+           "1")
+      .doc("shard_stagger",
+           "rotate the per-epoch shard save order so drains stagger across the "
+           "device window (sweepable axis)",
+           "off")
       .doc("seed", "problem seed");
   if (opts.maybe_print_help("adccbench")) return 0;
 

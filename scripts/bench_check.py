@@ -29,18 +29,26 @@ Checks, in order:
      checkpointing must actually cut the overhead" acceptance gate —
      self-relative like the speedup gate, but measured against the native
      baseline so compute speed cancels out).
+  6. With --history: every self-relative gate metric (speedup, overhead
+     ratio) is appended to the given JSONL file, and each is ratcheted
+     against the best clean value ever recorded there — a run may not be
+     worse than the best-known by more than --ratchet-tol, even if it still
+     clears the static gate. The history file is append-only; commit it so
+     the trajectory rides along with the pinned decks.
 
 Exit status: 0 clean, 1 regression(s), 2 usage/structural error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Columns that are measurements, not cell identity.
 MEASUREMENT_COLS = {
     "cell", "units", "seconds", "normalized", "overhead", "lost", "partial",
-    "corrected", "torn", "overlap", "detect/unit", "resume/unit", "status",
+    "corrected", "torn", "overlap", "detect/unit", "resume/unit",
+    "victims", "epochs_rb", "replayed", "halo_kb", "status",
 }
 
 
@@ -88,7 +96,15 @@ def main():
     ap.add_argument("--overhead-to", default="1")
     ap.add_argument("--overhead-max", type=float, default=0.90,
                     help="max (normalized-1) ratio of --overhead-to vs --overhead-from")
+    ap.add_argument("--history", default=None,
+                    help="JSONL ratchet file: append this run's gate metrics and "
+                         "fail any metric that regresses past --ratchet-tol of its "
+                         "best-known clean value")
+    ap.add_argument("--ratchet-tol", type=float, default=0.25,
+                    help="allowed relative slack vs the best-known history value")
     args = ap.parse_args()
+    # Gate metrics for the history ratchet: name -> (value, "higher"|"lower").
+    metrics = {}
 
     current = load_deck(args.current)
     baseline = load_deck(args.baseline)
@@ -146,6 +162,9 @@ def main():
                 failures.append(f"speedup gate: unreadable seconds in group {dict(gkey)}")
                 continue
             speedup = lo_s / hi_s
+            gname = ";".join(f"{k}={v}" for k, v in gkey)
+            metrics[f"speedup:{axis}:{args.speedup_from}->{args.speedup_to}:{gname}"] = (
+                speedup, "higher")
             verdict = "ok" if speedup >= args.speedup_min else "FAIL"
             print(f"bench_check: {axis} {args.speedup_from}->{args.speedup_to} "
                   f"speedup {speedup:.2f}x (need >= {args.speedup_min:.2f}x) "
@@ -181,6 +200,9 @@ def main():
                     f"in group {dict(gkey)}")
                 continue
             ratio = (hi_n - 1.0) / (lo_n - 1.0)
+            gname = ";".join(f"{k}={v}" for k, v in gkey)
+            metrics[f"overhead:{axis}:{args.overhead_from}->{args.overhead_to}:{gname}"] = (
+                ratio, "lower")
             verdict = "ok" if ratio <= args.overhead_max else "FAIL"
             print(f"bench_check: {axis} {args.overhead_from}->{args.overhead_to} "
                   f"overhead {lo_n - 1.0:.3f} -> {hi_n - 1.0:.3f} "
@@ -191,6 +213,48 @@ def main():
                     f"{axis}={args.overhead_to} does not cut ={args.overhead_from}'s "
                     f"overhead to {args.overhead_max:.2f}x: {lo_n - 1.0:.3f} -> "
                     f"{hi_n - 1.0:.3f} ({ratio:.2f}x) in {dict(gkey)}")
+
+    if args.history:
+        records = []
+        if os.path.exists(args.history):
+            with open(args.history) as f:
+                for line in f:
+                    line = line.strip()
+                    if line:
+                        try:
+                            records.append(json.loads(line))
+                        except json.JSONDecodeError:
+                            sys.exit(f"bench_check: corrupt history line in {args.history}")
+        # Ratchet every gate metric against the best clean value on record.
+        for name, (value, better) in sorted(metrics.items()):
+            best = None
+            for rec in records:
+                if rec.get("status") != "ok":
+                    continue
+                past = parse_float(rec.get("metrics", {}).get(name))
+                if past is None:
+                    continue
+                if best is None or (better == "higher") == (past > best):
+                    best = past
+            if best is None:
+                continue
+            if better == "higher" and value < best * (1 - args.ratchet_tol):
+                failures.append(
+                    f"history ratchet: {name} fell to {value:.3f} "
+                    f"(best-known {best:.3f}, tol {args.ratchet_tol:.0%})")
+            elif better == "lower" and value > best * (1 + args.ratchet_tol):
+                failures.append(
+                    f"history ratchet: {name} rose to {value:.3f} "
+                    f"(best-known {best:.3f}, tol {args.ratchet_tol:.0%})")
+        record = {
+            "deck": os.path.basename(args.current),
+            "baseline": os.path.basename(args.baseline),
+            "cells": len(current),
+            "status": "fail" if failures else "ok",
+            "metrics": {name: value for name, (value, _) in sorted(metrics.items())},
+        }
+        with open(args.history, "a") as f:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
 
     if failures:
         print(f"bench_check: {len(failures)} regression(s) vs {args.baseline}:",

@@ -13,6 +13,12 @@
 #                           native baseline so bench_check.py can gate the
 #                           normalized overhead (async must cut the sync
 #                           scheme's overhead, not just its raw seconds)
+#   BENCH_shards.json       the multi-shard engine deck: the same CG problem
+#                           on ckpt-disk at shards=1 (single-rank engine) vs
+#                           shards=4 (coordinated group snapshots), both
+#                           normalized against the single-rank native
+#                           baseline — bench_check.py gates the 4-shard
+#                           normalized overhead against the single-shard one
 #
 #   scripts/bench_matrix.sh                 # build + decks -> BENCH_*.json
 #   scripts/bench_matrix.sh --out /tmp/b.json --bin ./build/adccbench --no-build
@@ -27,6 +33,7 @@ BIN=""
 OUT="BENCH_sweep.json"
 OUT_CKPT="BENCH_ckpt_threads.json"
 OUT_ASYNC="BENCH_ckpt_async.json"
+OUT_SHARDS="BENCH_shards.json"
 BUILD=1
 
 while [[ $# -gt 0 ]]; do
@@ -35,6 +42,7 @@ while [[ $# -gt 0 ]]; do
     --out) OUT="$2"; shift 2 ;;
     --out-ckpt) OUT_CKPT="$2"; shift 2 ;;
     --out-async) OUT_ASYNC="$2"; shift 2 ;;
+    --out-shards) OUT_SHARDS="$2"; shift 2 ;;
     --no-build) BUILD=0; shift ;;
     *) echo "bench_matrix.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
@@ -76,3 +84,15 @@ echo "bench_matrix OK -> $OUT_CKPT ($(grep -c '"workload"' "$OUT_CKPT") cells)"
   --format=json --out="$OUT_ASYNC" >/dev/null
 
 echo "bench_matrix OK -> $OUT_ASYNC ($(grep -c '"workload"' "$OUT_ASYNC") cells)"
+
+# Multi-shard engine deck: the same CG problem on ckpt-disk, single-rank
+# (shards=1) vs a 4-shard coordinated group. The sweep layer keys both cells
+# to the SAME single-rank native baseline (baseline_key drops the shard axes),
+# so the normalized columns compare the coordinated-snapshot protocol's cost
+# — per-shard slots plus the global marker commit — directly against the
+# monolithic checkpoint path. bench_check.py gates the 4-shard overhead ratio.
+"$BIN" --workload=cg --mode=ckpt-disk --sweep="shards=1+4" \
+  --n=2800000 --nz=8 --iters=3 --reps=3 --verify=off \
+  --format=json --out="$OUT_SHARDS" >/dev/null
+
+echo "bench_matrix OK -> $OUT_SHARDS ($(grep -c '"workload"' "$OUT_SHARDS") cells)"

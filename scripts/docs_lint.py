@@ -33,6 +33,8 @@ PUBLIC_HEADERS = [
     "src/core/scenario.hpp",
     "src/core/harness.hpp",
     "src/core/modes.hpp",
+    "src/core/shard.hpp",
+    "src/core/coordinator.hpp",
     "src/checkpoint/backend.hpp",
     "src/checkpoint/chunk.hpp",
     "src/checkpoint/checkpoint_set.hpp",

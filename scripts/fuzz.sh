@@ -4,7 +4,9 @@
 # inside a seeded random work unit (see parse_crash's fuzz:SEED plan); the run
 # must recover and verify in every mode or adccbench exits non-zero. Non-sim
 # workloads run a second deck per seed under --ckpt_async=1 covering the
-# asynchronous-drain crash families (ckpt_drain / ckpt_stage).
+# asynchronous-drain crash families (ckpt_drain / ckpt_stage), and a third
+# under --shards=4 covering the shard-scoped families (a fuzzed single-shard
+# kill and a coordinator kill mid-global-commit).
 #
 #   scripts/fuzz.sh                         # build + 20 seeds, quick sizes
 #   scripts/fuzz.sh --seeds 5 --start 100   # seeds 100..104
@@ -96,6 +98,26 @@ for workload in $WORKLOADS; do
       if [[ "$rc" -ne 0 ]]; then
         echo "fuzz.sh: FAILED at workload=$workload seed=$seed ckpt_async=1 (exit $rc); reproduce with:" >&2
         echo "  $BIN --workload=$workload --mode=$mode --ckpt_async=1 --sweep='crash=$crash' --no_baseline $QUICK" >&2
+        exit "$rc"
+      fi
+      runs=$((runs + 1))
+    done
+
+    # Multi-shard crash families under a 4-shard group: a seeded mid-unit
+    # fuzz crash scoped to shard 0 only (survivors keep computing, the victim
+    # restores its own slot and replays its delta) plus a coordinator kill at
+    # the global-commit point. Non-checkpoint modes fall back to the
+    # single-rank engine where the scopes degenerate to process scope — that
+    # degradation must stay green too.
+    for ((seed = START; seed < START + SEEDS; ++seed)); do
+      crash="shard:0:fuzz:$seed+coord:point:global_commit"
+      echo "fuzz: workload=$workload seed=$seed (shards=4)"
+      rc=0
+      "$BIN" --workload="$workload" --mode="$mode" --shards=4 --sweep="crash=$crash" \
+        --sweep_jobs="$JOBS" --no_baseline $QUICK >/dev/null || rc=$?
+      if [[ "$rc" -ne 0 ]]; then
+        echo "fuzz.sh: FAILED at workload=$workload seed=$seed shards=4 (exit $rc); reproduce with:" >&2
+        echo "  $BIN --workload=$workload --mode=$mode --shards=4 --sweep='crash=$crash' --no_baseline $QUICK" >&2
         exit "$rc"
       fi
       runs=$((runs + 1))

@@ -1,0 +1,199 @@
+#include "cg/cg_shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "linalg/spgen.hpp"
+#include "linalg/vec_ops.hpp"
+
+namespace adcc::cg {
+
+namespace {
+
+/// Sequential dot product: the reduction order must not depend on the OpenMP
+/// thread count, or per-shard checkpoint images would differ across runs.
+double seq_dot(std::span<const double> x, std::span<const double> y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+class CgShardPart final : public core::ShardPart {
+ public:
+  CgShardPart(const CgShardPlan& plan, std::size_t index, std::size_t count,
+              core::FaultSurface& fault)
+      : plan_(plan), fault_(fault), index_(index), count_(count) {
+    const std::size_t n = plan_.matrix().rows();
+    r0_ = n * index / count;
+    r1_ = n * (index + 1) / count;
+    p_.resize(len());
+    r_.resize(len());
+    z_.resize(len());
+    q_.resize(len());
+    p_full_.resize(n);
+    nnz_ = plan_.matrix().row_ptr()[r1_] - plan_.matrix().row_ptr()[r0_];
+  }
+
+  void prepare(checkpoint::CheckpointSet* ckpt) override {
+    init();
+    if (ckpt != nullptr) {
+      ckpt->add("p", std::span<double>(p_));
+      ckpt->add("r", std::span<double>(r_));
+      ckpt->add("z", std::span<double>(z_));
+      ckpt->add("scalars", &scalars_, sizeof(scalars_));
+    }
+  }
+
+  // Tick-before-mutate: every phase announces its whole access estimate up
+  // front, so a mid-phase trigger always interrupts at a phase boundary.
+  void compute(std::size_t unit, std::size_t phase, core::ShardExchange& ex) override {
+    switch (phase) {
+      case 0: {  // Halo publish.
+        fault_.tick(len() + 1);
+        ex.publish(unit, "p", index_, p_);
+        break;
+      }
+      case 1: {  // Local SpMV over the assembled direction + partial p.q.
+        fault_.tick(nnz_ + 2 * len());
+        assemble_p(unit, ex);
+        const linalg::CsrMatrix& a = plan_.matrix();
+        // Rows are independent and each row's sum is sequential, so the
+        // result — and the checkpoint image — is thread-count invariant.
+#pragma omp parallel for schedule(static)
+        for (std::size_t i = r0_; i < r1_; ++i) q_[i - r0_] = a.spmv_row(i, p_full_);
+        ex.publish(unit, "pq", index_, {seq_dot(p_, q_)});
+        break;
+      }
+      case 2: {  // alpha update + partial r.r.
+        fault_.tick(4 * len());
+        double pq = 0.0;
+        for (std::size_t j = 0; j < count_; ++j) pq += ex.fetch(unit, "pq", j)[0];
+        const double alpha = rho_ / pq;
+        for (std::size_t i = 0; i < len(); ++i) {
+          z_[i] += alpha * p_[i];
+          r_[i] -= alpha * q_[i];
+        }
+        ex.publish(unit, "rr", index_, {seq_dot(r_, r_)});
+        break;
+      }
+      case 3: {  // beta update: new search direction, advance rho.
+        fault_.tick(2 * len());
+        double rr = 0.0;
+        for (std::size_t j = 0; j < count_; ++j) rr += ex.fetch(unit, "rr", j)[0];
+        const double beta = rr / rho_;
+        for (std::size_t i = 0; i < len(); ++i) p_[i] = r_[i] + beta * p_[i];
+        rho_ = rr;
+        break;
+      }
+      default:
+        ADCC_CHECK(false, "cg shard units have four phases");
+    }
+  }
+
+  void on_save(std::size_t unit) override { scalars_ = {rho_, unit}; }
+
+  void clobber() override {
+    std::fill(p_.begin(), p_.end(), 0.0);
+    std::fill(r_.begin(), r_.end(), 0.0);
+    std::fill(z_.begin(), z_.end(), 0.0);
+    std::fill(q_.begin(), q_.end(), 0.0);
+    std::fill(p_full_.begin(), p_full_.end(), 0.0);
+    rho_ = 0.0;
+    scalars_ = {};
+  }
+
+  void restored(std::size_t units_done) override {
+    if (units_done == 0) {
+      init();
+      return;
+    }
+    // The checkpoint load rewrote p/r/z/scalars; q and the halo are scratch
+    // the replay of the next unit recomputes.
+    ADCC_CHECK(scalars_.unit == units_done,
+               "cg shard checkpoint does not match the committed global epoch");
+    rho_ = scalars_.rho;
+  }
+
+  std::span<const double> z_block() const { return z_; }
+  std::size_t row_begin() const { return r0_; }
+
+ private:
+  std::size_t len() const { return r1_ - r0_; }
+
+  void init() {
+    const std::span<const double> b = plan_.rhs();
+    for (std::size_t i = 0; i < len(); ++i) {
+      p_[i] = b[r0_ + i];
+      r_[i] = b[r0_ + i];
+    }
+    std::fill(z_.begin(), z_.end(), 0.0);
+    std::fill(q_.begin(), q_.end(), 0.0);
+    // rho0 = b.b over the FULL vector, summed sequentially: a replicated
+    // scalar every shard derives identically.
+    rho_ = seq_dot(b, b);
+    scalars_ = {rho_, 0};
+  }
+
+  void assemble_p(std::size_t unit, core::ShardExchange& ex) {
+    const std::size_t n = plan_.matrix().rows();
+    for (std::size_t j = 0; j < count_; ++j) {
+      const std::span<const double> blk = ex.fetch(unit, "p", j);
+      std::copy(blk.begin(), blk.end(), p_full_.begin() + static_cast<std::ptrdiff_t>(n * j / count_));
+    }
+  }
+
+  const CgShardPlan& plan_;
+  core::FaultSurface& fault_;
+  std::size_t index_, count_;
+  std::size_t r0_ = 0, r1_ = 0;
+  std::size_t nnz_ = 0;
+
+  std::vector<double> p_, r_, z_;  ///< Owned block state (checkpointed).
+  std::vector<double> q_, p_full_; ///< Volatile per-unit scratch.
+  double rho_ = 0.0;
+  struct Scalars {
+    double rho = 0.0;
+    std::uint64_t unit = 0;
+  };
+  Scalars scalars_;  ///< Durable mirror written by on_save.
+};
+
+}  // namespace
+
+CgShardPlan::CgShardPlan(const CgWorkloadConfig& cfg)
+    : cfg_(cfg),
+      a_(linalg::make_spd(cfg.n, cfg.nz_per_row, cfg.matrix_seed)),
+      b_(linalg::make_rhs(cfg.n, cfg.rhs_seed)) {}
+
+std::unique_ptr<core::ShardPart> CgShardPlan::make_part(std::size_t index, std::size_t count,
+                                                        core::FaultSurface& fault) {
+  return std::make_unique<CgShardPart>(*this, index, count, fault);
+}
+
+bool CgShardPlan::verify(const std::vector<core::ShardPart*>& parts) {
+  std::vector<double> x(a_.rows(), 0.0);
+  for (core::ShardPart* p : parts) {
+    auto* part = static_cast<CgShardPart*>(p);
+    const std::span<const double> blk = part->z_block();
+    std::copy(blk.begin(), blk.end(),
+              x.begin() + static_cast<std::ptrdiff_t>(part->row_begin()));
+  }
+  if (!reference_) reference_ = cg_solve(a_, b_, cfg_.iters);
+  const double err = linalg::max_abs_diff(x, reference_->x);
+  double scale = 1.0;
+  for (const double v : reference_->x) scale = std::max(scale, std::fabs(v));
+  return err <= cfg_.verify_rel_tol * scale;
+}
+
+void CgShardPlan::tune_env(core::Mode mode, core::ModeEnvConfig& env, std::size_t count) const {
+  // Per-shard slots hold the three owned block vectors; the same sizing also
+  // hosts the coordinator's tiny marker on the main env.
+  const std::size_t block = (cfg_.n + count - 1) / count;
+  env.slot_bytes = 3 * block * sizeof(double) + (1u << 20);
+  env.arena_bytes = core::durability_kind(mode) == core::DurabilityKind::kCheckpoint
+                        ? 2 * env.slot_bytes + (8u << 20)
+                        : (1u << 20);
+}
+
+}  // namespace adcc::cg

@@ -1,0 +1,49 @@
+// CG as a multi-shard plan: contiguous row-block decomposition with a
+// per-iteration halo exchange.
+//
+// Each shard owns a row block of the system — its slices of p/r/z plus a
+// replicated rho — and one CG iteration runs as four group phases:
+//   0: publish the local p block (the halo everybody needs for SpMV)
+//   1: assemble the full p, q_i = A[rows_i]·p, publish the partial dot pᵀq
+//   2: reduce pᵀq, alpha-update z/r, publish the partial dot rᵀr
+//   3: reduce rᵀr, beta-update p, advance rho
+// All reductions sum the per-shard partials in shard order with sequential
+// block dots, so every shard computes bitwise-identical scalars and the
+// per-shard checkpoint images are deterministic across thread counts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cg/cg.hpp"
+#include "cg/cg_workload.hpp"
+#include "core/shard.hpp"
+
+namespace adcc::cg {
+
+class CgShardPlan final : public core::ShardPlan {
+ public:
+  explicit CgShardPlan(const CgWorkloadConfig& cfg);
+
+  std::string name() const override { return "cg"; }
+  std::size_t work_units() const override { return cfg_.iters; }
+  std::size_t phases() const override { return 4; }
+  std::unique_ptr<core::ShardPart> make_part(std::size_t index, std::size_t count,
+                                             core::FaultSurface& fault) override;
+  bool verify(const std::vector<core::ShardPart*>& parts) override;
+  void tune_env(core::Mode mode, core::ModeEnvConfig& env, std::size_t count) const override;
+
+  const CgWorkloadConfig& config() const { return cfg_; }
+  const linalg::CsrMatrix& matrix() const { return a_; }
+  std::span<const double> rhs() const { return b_; }
+
+ private:
+  CgWorkloadConfig cfg_;
+  linalg::CsrMatrix a_;
+  std::vector<double> b_;
+  std::optional<CgResult> reference_;
+};
+
+}  // namespace adcc::cg

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "cg/cg_cc.hpp"
+#include "cg/cg_shard.hpp"
 #include "cg/cg_tx.hpp"
+#include "core/shard.hpp"
 #include "common/align.hpp"
 #include "common/check.hpp"
 #include "linalg/spgen.hpp"
@@ -378,7 +380,17 @@ bool CgWorkload::verify() {
 ADCC_REGISTER_WORKLOAD(
     "cg", "NPB-style sparse CG solver (paper SIII-B, Figs. 2-4)",
     [](const Options& opts) -> std::unique_ptr<core::Workload> {
-      return std::make_unique<CgWorkload>(cg_workload_config(opts));
+      const CgWorkloadConfig cfg = cg_workload_config(opts);
+      const std::size_t shards = opts.get_size("shards", 1);
+      if (shards > 1) {
+        return std::make_unique<core::ShardGroup>(
+            std::make_unique<CgShardPlan>(cfg),
+            core::ShardGroupConfig{shards, opts.get_bool("shard_stagger", false)},
+            [cfg]() -> std::unique_ptr<core::Workload> {
+              return std::make_unique<CgWorkload>(cfg);
+            });
+      }
+      return std::make_unique<CgWorkload>(cfg);
     });
 
 }  // namespace adcc::cg

@@ -221,4 +221,55 @@ std::uint64_t CheckpointSet::restore() {
   return loaded;
 }
 
+std::uint64_t CheckpointSet::restore_version(std::uint64_t want) {
+  ADCC_CHECK(!objs_.empty(), "no objects registered");
+  abort_async();
+  frozen_ = true;
+  restore_stats_ = {};
+  if (want == 0) {
+    // Rewinding to "before the first commit": nothing durable is trusted, the
+    // caller reinitializes, and the version realigns so the next save is 1.
+    version_ = 0;
+    return 0;
+  }
+  // The marker's version may be older than the backend's newest commit (the
+  // shard saved ahead of a global commit the crash interrupted); scan the slot
+  // headers for the one whose committed image is exactly `want`.
+  const auto [latest_slot, latest_ver] = backend_.latest();
+  int found = -1;
+  if (latest_ver == want) {
+    found = latest_slot;
+  } else {
+    for (int s = 0; s < backend_.slot_count(); ++s) {
+      SlotHeader h{};
+      if (backend_.read_image(s, {reinterpret_cast<std::byte*>(&h), sizeof(h)}) != sizeof(h)) {
+        continue;
+      }
+      if (h.magic != kSlotMagic || slot_header_crc(h) != h.header_crc) continue;
+      if (h.version == want) {
+        found = s;
+        break;
+      }
+    }
+  }
+  ADCC_CHECK(found >= 0, "no committed slot holds the requested checkpoint version");
+  // Classify the remaining slot(s) for torn-save evidence, as restore() does.
+  for (int s = 0; s < backend_.slot_count(); ++s) {
+    if (s == found) continue;
+    const TornProbe probe = backend_.probe_torn(s, objs_);
+    restore_stats_.chunks_probed += probe.chunks_probed;
+    restore_stats_.torn_chunks += probe.torn_chunks;
+  }
+  ChunkHooks hooks;
+  hooks.point = point_hook_;
+  const std::uint64_t before = backend_.stats().chunks_loaded;
+  const std::uint64_t loaded = backend_.load(found, objs_, hooks);
+  ADCC_CHECK(loaded == want, "slot header version does not match its committed image");
+  restore_stats_.version = loaded;
+  restore_stats_.chunks_loaded =
+      static_cast<std::size_t>(backend_.stats().chunks_loaded - before);
+  version_ = loaded;
+  return loaded;
+}
+
 }  // namespace adcc::checkpoint

@@ -114,6 +114,18 @@ class CheckpointSet {
   /// TornCheckpoint per Backend::load; details land in last_restore().
   std::uint64_t restore();
 
+  /// Restores a specific committed version — the coordinated-rollback
+  /// primitive: a group coordinator's global marker records the exact slot
+  /// version each shard must rewind to, which may be OLDER than the shard's
+  /// own newest commit (the shard saved ahead of a global commit the crash
+  /// interrupted). With the double-buffered slot discipline the previous
+  /// version's image is still intact in the other slot, so the requested
+  /// version is found by scanning slot headers. Returns `want` on success;
+  /// `want == 0` restores nothing (caller reinitializes) and returns 0.
+  /// Aborts if no slot holds a committed image of version `want` — a global
+  /// marker must never reference an uncommitted shard version.
+  std::uint64_t restore_version(std::uint64_t want);
+
   struct SaveStats {
     std::size_t chunks_written = 0;
     std::size_t chunks_skipped = 0;   ///< Clean under the CRC filter.

@@ -43,6 +43,13 @@ struct RecomputationBreakdown {
                                    ///< async checkpoint drain was in flight —
                                    ///< the device window hidden behind compute.
 
+  // Multi-shard group recovery accounting (zero for single-rank runs).
+  std::size_t shards_restored = 0;     ///< Victim shards reloaded from their slots.
+  std::size_t epochs_rolled_back = 0;  ///< Global epochs lost to coordinator rollbacks.
+  std::size_t units_replayed = 0;      ///< Victim-local shard units replayed from
+                                       ///< retained exchange logs inside recover().
+  std::size_t halo_bytes = 0;          ///< Exchange bytes re-fetched by those replays.
+
   /// The paper's "iterations lost" count: destroyed + interrupted units.
   std::size_t units_redone() const { return units_lost + partial_units; }
 

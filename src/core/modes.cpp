@@ -64,6 +64,7 @@ DurabilityKind durability_kind(Mode m) {
 ModeEnv make_env(Mode mode, const ModeEnvConfig& cfg) {
   ModeEnv env;
   env.mode = mode;
+  env.cfg = cfg;
   if (mode == Mode::kNative) return env;
 
   // NVM-only modes assume NVM as fast as DRAM (paper's optimistic

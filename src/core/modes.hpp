@@ -72,6 +72,9 @@ struct ModeEnvConfig {
 /// null (e.g. no NVM arena in kNative, no backend in kAlgNvm).
 struct ModeEnv {
   Mode mode = Mode::kNative;
+  /// The sizing this env was built from. Multi-shard groups derive their
+  /// per-shard sub-envs from it (same knobs, per-shard scratch namespaces).
+  ModeEnvConfig cfg;
   std::unique_ptr<nvm::PerfModel> perf;
   std::unique_ptr<nvm::NvmRegion> region;
   std::unique_ptr<nvm::DramCache> dram;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <numeric>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -32,6 +33,50 @@ std::optional<CrashScenario> parse_crash_link(std::string_view spec);
 }  // namespace
 
 std::optional<CrashScenario> parse_crash(std::string_view spec) {
+  // Shard-scope prefix ([shard:I: | shards:K:SEED: | coord:]PLAN): stripped
+  // before the '^' split, so the scope covers the whole chain; a scoped
+  // "none" is rejected (a scope names what a crash destroys).
+  CrashScenario::Scope scope = CrashScenario::Scope::kProcess;
+  std::size_t shard = 0;
+  std::size_t victims = 1;
+  std::uint64_t victim_seed = 1;
+  {
+    const auto colon = spec.find(':');
+    const std::string_view head = spec.substr(0, colon);
+    if (head == "shard") {
+      if (colon == std::string_view::npos) return std::nullopt;
+      const std::string_view rest = spec.substr(colon + 1);
+      const auto c2 = rest.find(':');
+      if (c2 == std::string_view::npos) return std::nullopt;
+      const auto idx = parse_u64(rest.substr(0, c2));
+      if (!idx) return std::nullopt;
+      scope = CrashScenario::Scope::kShard;
+      shard = static_cast<std::size_t>(*idx);
+      spec = rest.substr(c2 + 1);
+    } else if (head == "shards") {
+      if (colon == std::string_view::npos) return std::nullopt;
+      std::string_view rest = spec.substr(colon + 1);
+      const auto c2 = rest.find(':');
+      if (c2 == std::string_view::npos) return std::nullopt;
+      const auto k = parse_u64(rest.substr(0, c2));
+      if (!k || *k == 0) return std::nullopt;
+      rest = rest.substr(c2 + 1);
+      const auto c3 = rest.find(':');
+      if (c3 == std::string_view::npos) return std::nullopt;
+      const auto s = parse_u64(rest.substr(0, c3));
+      if (!s) return std::nullopt;
+      scope = CrashScenario::Scope::kShardSet;
+      victims = static_cast<std::size_t>(*k);
+      victim_seed = *s;
+      spec = rest.substr(c3 + 1);
+    } else if (head == "coord") {
+      if (colon == std::string_view::npos) return std::nullopt;
+      scope = CrashScenario::Scope::kCoordinator;
+      spec = spec.substr(colon + 1);
+    }
+  }
+
+  std::optional<CrashScenario> out;
   // Double-fault chains: HEAD^TAIL^TAIL... — the head fires as usual, each
   // tail is armed before the recovery that follows its predecessor's crash.
   const auto caret = spec.find('^');
@@ -52,9 +97,19 @@ std::optional<CrashScenario> parse_crash(std::string_view spec) {
       if (next == std::string_view::npos) break;
       rest = rest.substr(next + 1);
     }
-    return head;
+    out = head;
+  } else {
+    out = parse_crash_link(spec);
   }
-  return parse_crash_link(spec);
+
+  if (out && scope != CrashScenario::Scope::kProcess) {
+    if (out->kind == CrashScenario::Kind::kNone) return std::nullopt;
+    out->scope = scope;
+    out->shard = shard;
+    out->victims = victims;
+    out->victim_seed = victim_seed;
+  }
+  return out;
 }
 
 namespace {
@@ -156,7 +211,27 @@ std::string crash_link_name(const CrashScenario& crash) {
 }  // namespace
 
 std::string crash_name(const CrashScenario& crash) {
-  std::string out = crash_link_name(crash);
+  std::string out;
+  switch (crash.scope) {
+    case CrashScenario::Scope::kProcess:
+      break;
+    case CrashScenario::Scope::kShard:
+      out += "shard:";
+      out += std::to_string(crash.shard);
+      out += ':';
+      break;
+    case CrashScenario::Scope::kShardSet:
+      out += "shards:";
+      out += std::to_string(crash.victims);
+      out += ':';
+      out += std::to_string(crash.victim_seed);
+      out += ':';
+      break;
+    case CrashScenario::Scope::kCoordinator:
+      out += "coord:";
+      break;
+  }
+  out += crash_link_name(crash);
   for (const CrashScenario& link : crash.then) {
     out += '^';
     out += crash_link_name(link);
@@ -196,6 +271,48 @@ std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t wor
       break;
   }
   return out;
+}
+
+std::vector<std::size_t> crash_victims(const CrashScenario& crash, std::size_t shard_count) {
+  std::vector<std::size_t> out;
+  if (shard_count == 0) return out;
+  if (crash.scope == CrashScenario::Scope::kShard) {
+    out.push_back(std::min(crash.shard, shard_count - 1));
+    return out;
+  }
+  if (crash.scope != CrashScenario::Scope::kShardSet) return out;
+  // Seeded Fisher-Yates prefix: deterministic in (SEED, N), so the same deck
+  // cell kills the same victim set on every repetition and every sweep job.
+  const std::size_t k = std::min(crash.victims, shard_count);
+  std::vector<std::size_t> idx(shard_count);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::uint64_t s = crash.victim_seed;
+  for (std::size_t i = 0; i < k; ++i) {
+    s = splitmix64(s);
+    const std::size_t j = i + static_cast<std::size_t>(s % (shard_count - i));
+    std::swap(idx[i], idx[j]);
+  }
+  out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CrashScope resolve_crash_scope(const CrashScenario& crash, std::size_t shard_count) {
+  CrashScope scope;
+  if (shard_count <= 1) return scope;  // Unsharded: every scope is a process death.
+  switch (crash.scope) {
+    case CrashScenario::Scope::kProcess:
+      break;
+    case CrashScenario::Scope::kShard:
+    case CrashScenario::Scope::kShardSet:
+      scope.kind = CrashScope::Kind::kShards;
+      scope.victims = crash_victims(crash, shard_count);
+      break;
+    case CrashScenario::Scope::kCoordinator:
+      scope.kind = CrashScope::Kind::kCoordinator;
+      break;
+  }
+  return scope;
 }
 
 ScenarioRunner::ScenarioRunner(Workload& workload, ScenarioConfig cfg)
@@ -354,6 +471,10 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     arm_fault(*fault);
   }
 
+  // Shard-scoped plans resolve against the prepared group's shard count; the
+  // scope holds for every crash of this run (chain links re-kill it too).
+  workload_.set_crash_scope(resolve_crash_scope(cfg_.crash, workload_.shard_count()));
+
   const std::size_t units = workload_.work_units();
   const std::vector<std::size_t> targets = crash_units(cfg_.crash, units);
   std::size_t next_target = 0;
@@ -459,6 +580,10 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     result.recomputation.units_lost += rec.units_lost;
     result.recomputation.units_corrected += rec.units_corrected;
     result.recomputation.torn_chunks += rec.torn_chunks;
+    result.recomputation.shards_restored += rec.shards_restored;
+    result.recomputation.epochs_rolled_back += rec.epochs_rolled_back;
+    result.recomputation.units_replayed += rec.units_replayed;
+    result.recomputation.halo_bytes += rec.halo_bytes;
     if (partial) ++result.recomputation.partial_units;
     ++result.crashes;
     result.crash_unit = crash_unit;

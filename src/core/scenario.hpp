@@ -28,6 +28,17 @@
 //                     never fires (its point is not on this mode's recovery
 //                     path) is disarmed when recovery completes.
 //
+// Shard-scoped plans (multi-shard groups, core::ShardGroup) prefix any plan
+// above — the prefix selects WHAT the crash destroys, the plan still selects
+// WHEN it fires, and the scope covers the whole chain (tails re-kill it):
+//   shard:I:PLAN        — kill only shard I; survivors keep computing state
+//   shards:K:SEED:PLAN  — kill a seeded random k-of-N victim set
+//   coord:PLAN          — kill the coordinator (typically mid-global-commit:
+//                         coord:point:shard_join:2, coord:point:global_commit,
+//                         coord:point:coord_commit); the whole group dies and
+//                         rolls back to the last fully committed global epoch
+// On unsharded workloads every scope degenerates to a whole-process crash.
+//
 // Mid-unit plans require Workload::fault() != nullptr; the runner catches the
 // memsim::CrashException raised out of run_step, accounts the interrupted unit
 // as a partial unit in RecomputationBreakdown, and drives inject_crash /
@@ -68,6 +79,15 @@ struct CrashScenario {
   /// is armed before recover() so it fires *inside* the recovery. Links must be
   /// kAtAccess (relative to the recovery's start) or kAtPoint, with empty then.
   std::vector<CrashScenario> then;
+
+  /// What the crash destroys (shard:/shards:/coord: prefixes). Applies to the
+  /// head and every chain link; links carry kProcess themselves and inherit
+  /// the head's scope through the runner's per-run resolution.
+  enum class Scope { kProcess, kShard, kShardSet, kCoordinator };
+  Scope scope = Scope::kProcess;
+  std::size_t shard = 0;          ///< kShard: the victim index.
+  std::size_t victims = 1;        ///< kShardSet: victim count k.
+  std::uint64_t victim_seed = 1;  ///< kShardSet: seeds the victim draw.
 };
 
 /// Parses the CLI spelling; nullopt on malformed input.
@@ -84,6 +104,17 @@ bool crash_is_mid_unit(const CrashScenario& crash);
 /// for a run of `work_units` units, in firing order. Empty for kNone and for
 /// every mid-unit plan (those arm the FaultSurface instead).
 std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t work_units);
+
+/// The victim shard set of a shard-scoped plan, resolved against the group
+/// size: shard:I clamps I into [0, N); shards:K:SEED draws min(K, N) distinct
+/// indices with a splitmix64-seeded shuffle (deterministic in SEED and N),
+/// returned sorted. Empty for process/coordinator scopes.
+std::vector<std::size_t> crash_victims(const CrashScenario& crash, std::size_t shard_count);
+
+/// Resolves the plan's scope prefix against the prepared workload's shard
+/// count into the CrashScope handed to Workload::set_crash_scope. Unsharded
+/// runs (shard_count <= 1) always degenerate to a whole-process crash.
+CrashScope resolve_crash_scope(const CrashScenario& crash, std::size_t shard_count);
 
 /// Everything one scenario execution needs besides the workload: mode, crash
 /// plan, substrate sizing, repetition policy and the optional shared fuzz probe.

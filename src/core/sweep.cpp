@@ -381,12 +381,16 @@ ScenarioConfig cell_config(const Workload& workload, Mode mode, const CrashScena
 /// configure a backend the native run never builds. Cells differing only in
 /// those share one baseline — which also keeps self-relative gates (e.g. the
 /// ckpt_async overhead ratio) free of native-measurement noise between cells.
+/// The shard axes also drop out: the native baseline of a sharded cell is the
+/// single-rank run of the same problem, so "shards=4 overhead" is measured
+/// against the same denominator as "shards=1 overhead".
 std::string baseline_key(const std::string& workload,
                          const std::vector<std::pair<std::string, std::string>>& assignment) {
   std::string key = workload;
   for (const auto& [k, v] : assignment) {
     if (k == "mode" || k == "crash" || k == "policy" || k == "ckpt_threads" ||
-        k == "ckpt_chunk_kb" || k == "ckpt_async" || k == "disk_mbps") {
+        k == "ckpt_chunk_kb" || k == "ckpt_async" || k == "disk_mbps" || k == "shards" ||
+        k == "shard_stagger") {
       continue;
     }
     key += '\x1f' + k + '=' + v;
@@ -431,13 +435,20 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
     // measurement to the cache (normalized 1.000) instead of paying a second
     // native run. Every other cell fetches (or computes) the shared baseline.
     const bool want_baseline = cfg.baseline && !opts.get_bool("no_baseline");
+    // Sharded native cells don't self-seed the cache: the shared baseline is
+    // the SINGLE-RANK native run (shards is not part of the baseline key), so
+    // a shards=4 native measurement under the shards-agnostic key would skew
+    // every sibling's overhead column.
     const bool self_baseline = want_baseline && *mode == Mode::kNative &&
-                               crash->kind == CrashScenario::Kind::kNone;
+                               crash->kind == CrashScenario::Kind::kNone &&
+                               opts.get_size("shards", 1) <= 1;
     const std::string shape = baseline_key(cell.workload, cell.assignment);
     if (want_baseline && !self_baseline) {
       cell.native_seconds = baselines.get_or_compute(shape, [&] {
-        const auto native = registry.create(cell.workload, opts);
-        ScenarioConfig nc = cell_config(*native, Mode::kNative, {}, opts, scratch);
+        Options bopts = opts;
+        bopts.set("shards", "1");
+        const auto native = registry.create(cell.workload, bopts);
+        ScenarioConfig nc = cell_config(*native, Mode::kNative, {}, bopts, scratch);
         nc.verify = false;
         return run_scenario(*native, nc).seconds;
       });
@@ -547,7 +558,7 @@ Table SweepResult::table(bool timing) const {
   }
   for (const char* h : {"units", "seconds", "normalized", "overhead", "lost", "partial",
                         "corrected", "torn", "overlap", "detect/unit", "resume/unit",
-                        "status"}) {
+                        "victims", "epochs_rb", "replayed", "halo_kb", "status"}) {
     headers.emplace_back(h);
   }
 
@@ -563,7 +574,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::move(value));
     }
     if (cell.status == SweepCellResult::Status::kError) {
-      for (int i = 0; i < 11; ++i) row.emplace_back("-");
+      for (int i = 0; i < 15; ++i) row.emplace_back("-");
       row.push_back("ERROR: " + cell.error);
     } else {
       const ScenarioResult& res = cell.result;
@@ -582,6 +593,12 @@ Table SweepResult::table(bool timing) const {
       row.push_back(timing && rb.overlap_seconds > 0 ? Table::fmt(rb.overlap_seconds, 4) : "-");
       row.push_back(timing && res.crashes > 0 ? Table::fmt(rb.detect_normalized(), 2) : "-");
       row.push_back(timing && res.crashes > 0 ? Table::fmt(rb.resume_normalized(), 2) : "-");
+      // Shard-group recovery accounting: pure counts (and a byte count), so
+      // they stay populated — and deterministic — under --no_timing.
+      row.push_back(std::to_string(rb.shards_restored));
+      row.push_back(std::to_string(rb.epochs_rolled_back));
+      row.push_back(std::to_string(rb.units_replayed));
+      row.push_back(Table::fmt(static_cast<double>(rb.halo_bytes) / 1024.0, 1));
       row.push_back(cell.status == SweepCellResult::Status::kOk ? "ok" : "FAIL:verify");
     }
     table.add_row(std::move(row));

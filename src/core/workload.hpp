@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/modes.hpp"
 
@@ -44,6 +45,33 @@ struct WorkloadRecovery {
                                        ///< save classified as torn during
                                        ///< recovery (CRC/version evidence).
   double repair_seconds = 0.0;         ///< recover()-internal re-execution time.
+
+  // Multi-shard group recoveries (core::ShardGroup) report the group-level
+  // breakdown on top; single-rank workloads leave these zero.
+  std::size_t shards_restored = 0;     ///< Victim shards reloaded from their slots.
+  std::size_t epochs_rolled_back = 0;  ///< Global epochs a coordinator rollback lost.
+  std::size_t units_replayed = 0;      ///< Victim-local shard units replayed inside
+                                       ///< recover() from retained exchange logs
+                                       ///< (survivor units are never recomputed).
+  std::size_t halo_bytes = 0;          ///< Exchange bytes re-fetched by that replay.
+};
+
+/// The crash target a shard-scoped plan selects (scenario.hpp's shard:/
+/// shards:/coord: families): which part of a sharded group the emulated power
+/// failure destroys. ScenarioRunner resolves it once per run (after prepare,
+/// when shard_count() is known) and hands it to the workload before any
+/// inject_crash(). Unsharded workloads ignore it — every scope degenerates to
+/// a whole-process power failure.
+struct CrashScope {
+  enum class Kind {
+    kProcess,      ///< Whole process dies (the classic plans).
+    kShards,       ///< Only the listed shards die; survivors keep state.
+    kCoordinator,  ///< The group coordinator dies mid-commit: every shard's
+                   ///< volatile state dies with it, and recovery rolls the
+                   ///< group back to the last fully committed global epoch.
+  };
+  Kind kind = Kind::kProcess;
+  std::vector<std::size_t> victims;  ///< kShards: shard indices to kill.
 };
 
 /// A fixed problem instance runnable under any durability mode: the unit
@@ -120,6 +148,17 @@ class Workload {
   /// memsim::CrashException out of run_step() when the trigger fires. nullptr
   /// means only unit-boundary crash plans are available.
   virtual FaultSurface* fault() { return nullptr; }
+
+  /// Shards executing this workload in the prepared mode (1 = unsharded).
+  /// Valid after prepare(); the runner uses it to resolve shard-scoped crash
+  /// plans (a k-of-N victim draw needs N).
+  virtual std::size_t shard_count() const { return 1; }
+
+  /// Selects what the next inject_crash() destroys. Called by the runner once
+  /// per run, after prepare(); the scope holds for every crash of the run
+  /// (double-fault chain links re-kill the same scope). Default: ignored —
+  /// unsharded workloads always die whole.
+  virtual void set_crash_scope(const CrashScope& scope) { (void)scope; }
 };
 
 }  // namespace adcc::core

@@ -24,6 +24,28 @@ void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b
   }
 }
 
+void gemm_panel_tile(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b,
+                     std::size_t br0, std::size_t r0, std::size_t r1, std::size_t c0,
+                     std::size_t c1, double* tile, bool accumulate) {
+  ADCC_CHECK(ac0 + k <= a.cols(), "panel exceeds A columns");
+  ADCC_CHECK(br0 + k <= b.rows(), "panel exceeds B rows");
+  ADCC_CHECK(r0 <= r1 && r1 <= a.rows(), "tile rows exceed A");
+  ADCC_CHECK(c0 <= c1 && c1 <= b.cols(), "tile columns exceed B");
+  const std::size_t tn = c1 - c0;
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = r0; i < r1; ++i) {
+    double* ti = tile + (i - r0) * tn;
+    if (!accumulate) {
+      for (std::size_t j = 0; j < tn; ++j) ti[j] = 0.0;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a(i, ac0 + kk);
+      const double* brow = b.row(br0 + kk).data() + c0;
+      for (std::size_t j = 0; j < tn; ++j) ti[j] += aik * brow[j];
+    }
+  }
+}
+
 void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
                 Matrix& c, bool accumulate) {
   ADCC_CHECK(c.rows() == a.rows() && c.cols() == b.cols(), "C shape mismatch");

@@ -23,6 +23,15 @@ void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b
 void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,
                 double* c, bool accumulate);
 
+/// The 2-D-tile variant of the panel update, for shard-owned sub-blocks of C:
+/// tile (+)= A[r0:r1, ac0:ac0+k] × B[br0:br0+k, c0:c1], where `tile` is a raw
+/// row-major (r1-r0)×(c1-c0) buffer holding C's [r0,r1)×[c0,c1) block. Same
+/// i-k-j streaming order as gemm_panel; per-row sums are sequential, so the
+/// result is bitwise independent of the OpenMP thread count.
+void gemm_panel_tile(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b,
+                     std::size_t br0, std::size_t r0, std::size_t r1, std::size_t c0,
+                     std::size_t c1, double* tile, bool accumulate);
+
 /// Reference triple-loop product for validation (no blocking, no OpenMP).
 void gemm_reference(const Matrix& a, const Matrix& b, Matrix& c);
 

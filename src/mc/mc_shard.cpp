@@ -1,0 +1,131 @@
+#include "mc/mc_shard.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mc/xs_kernel.hpp"
+
+namespace adcc::mc {
+
+namespace {
+
+/// Mirrors the access model of the single-rank adapter: roughly this many
+/// tracked touches (grid search + interpolation reads + tally writes) per
+/// cross-section lookup.
+constexpr std::uint64_t kLookupAccessEstimate = 48;
+
+class McShardPart final : public core::ShardPart {
+ public:
+  McShardPart(const McShardPlan& plan, std::size_t index, std::size_t count,
+              core::FaultSurface& fault)
+      : plan_(plan), fault_(fault), index_(index), count_(count) {}
+
+  void prepare(checkpoint::CheckpointSet* ckpt) override {
+    reset();
+    if (ckpt != nullptr) {
+      ckpt->add("macro", std::span<double>(macro_));
+      ckpt->add("counters", std::span<std::uint64_t>(counters_));
+      ckpt->add("units", &scalars_, sizeof(scalars_));
+    }
+  }
+
+  void compute(std::size_t unit, std::size_t phase, core::ShardExchange& exchange) override {
+    (void)phase;
+    (void)exchange;  // Zero-halo: lookups are pure functions of (seed, index).
+    const std::uint64_t lookups = plan_.config().lookups;
+    const std::uint64_t gb = (unit - 1) * plan_.config().interval;
+    const std::uint64_t ge = std::min<std::uint64_t>(unit * plan_.config().interval, lookups);
+    const std::uint64_t sb = gb + (ge - gb) * index_ / count_;
+    const std::uint64_t se = gb + (ge - gb) * (index_ + 1) / count_;
+    // Tick-before-mutate: the whole slice's access estimate up front.
+    fault_.tick((se - sb) * kLookupAccessEstimate);
+    run_xs_range(plan_.data(), plan_.rng(), sb, se, macro_.data(), counters_.data(),
+                 &scalars_.lookups_done);
+  }
+
+  void on_save(std::size_t unit) override { scalars_.unit = unit; }
+
+  void clobber() override { reset(); }
+
+  void restored(std::size_t units_done) override {
+    if (units_done == 0) {
+      reset();
+      return;
+    }
+    ADCC_CHECK(scalars_.unit == units_done,
+               "mc shard checkpoint does not match the committed global epoch");
+  }
+
+  const std::array<std::uint64_t, kChannels>& counters() const { return counters_; }
+
+ private:
+  void reset() {
+    macro_.fill(0.0);
+    counters_.fill(0);
+    scalars_ = {};
+  }
+
+  const McShardPlan& plan_;
+  core::FaultSurface& fault_;
+  std::size_t index_, count_;
+  std::array<double, kChannels> macro_{};           ///< Checkpointed partial macro XS.
+  std::array<std::uint64_t, kChannels> counters_{}; ///< Checkpointed partial tally.
+  struct Scalars {
+    std::uint64_t unit = 0;          ///< Durable progress mirror (written by on_save).
+    std::uint64_t lookups_done = 0;  ///< Running lookup counter fed to the kernel.
+  };
+  Scalars scalars_;
+};
+
+}  // namespace
+
+McShardPlan::McShardPlan(const McWorkloadConfig& cfg)
+    : cfg_(cfg),
+      data_(cfg.data),
+      rng_(cfg.seed),
+      units_((cfg.lookups + cfg.interval - 1) / cfg.interval) {}
+
+std::unique_ptr<core::ShardPart> McShardPlan::make_part(std::size_t index, std::size_t count,
+                                                        core::FaultSurface& fault) {
+  return std::make_unique<McShardPart>(*this, index, count, fault);
+}
+
+bool McShardPlan::verify(const std::vector<core::ShardPart*>& parts) {
+  const std::size_t count = parts.size();
+  Tally sum;
+  for (core::ShardPart* p : parts) {
+    auto* part = static_cast<McShardPart*>(p);
+    for (std::size_t c = 0; c < kChannels; ++c) sum.counts[c] += part->counters()[c];
+  }
+  // tally_select reads the running macro accumulator, so the counter stream
+  // depends on the slice schedule: the reference is a no-crash replay of the
+  // same N-slice partition, which integer tallies must reproduce exactly.
+  if (!reference_ || ref_count_ != count) {
+    Tally ref;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::array<double, kChannels> macro{};
+      std::array<std::uint64_t, kChannels> counters{};
+      std::uint64_t index = 0;
+      for (std::size_t unit = 1; unit <= units_; ++unit) {
+        const std::uint64_t gb = (unit - 1) * cfg_.interval;
+        const std::uint64_t ge = std::min<std::uint64_t>(unit * cfg_.interval, cfg_.lookups);
+        const std::uint64_t sb = gb + (ge - gb) * i / count;
+        const std::uint64_t se = gb + (ge - gb) * (i + 1) / count;
+        run_xs_range(data_, rng_, sb, se, macro.data(), counters.data(), &index);
+      }
+      for (std::size_t c = 0; c < kChannels; ++c) ref.counts[c] += counters[c];
+    }
+    reference_ = ref;
+    ref_count_ = count;
+  }
+  return sum.counts == reference_->counts;
+}
+
+void McShardPlan::tune_env(core::Mode mode, core::ModeEnvConfig& env, std::size_t count) const {
+  (void)mode;
+  (void)count;
+  env.arena_bytes = 4u << 20;
+  env.slot_bytes = 64u << 10;
+}
+
+}  // namespace adcc::mc

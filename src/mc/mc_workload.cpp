@@ -5,6 +5,8 @@
 
 #include "common/align.hpp"
 #include "common/check.hpp"
+#include "core/shard.hpp"
+#include "mc/mc_shard.hpp"
 #include "mc/xs_cc.hpp"
 
 namespace adcc::mc {
@@ -224,7 +226,17 @@ bool McWorkload::verify() {
 ADCC_REGISTER_WORKLOAD(
     "mc", "XSBench-equivalent Monte-Carlo transport (paper SIII-D, Figs. 9-13)",
     [](const Options& opts) -> std::unique_ptr<core::Workload> {
-      return std::make_unique<McWorkload>(mc_workload_config(opts));
+      const McWorkloadConfig cfg = mc_workload_config(opts);
+      const std::size_t shards = opts.get_size("shards", 1);
+      if (shards > 1) {
+        return std::make_unique<core::ShardGroup>(
+            std::make_unique<McShardPlan>(cfg),
+            core::ShardGroupConfig{shards, opts.get_bool("shard_stagger", false)},
+            [cfg]() -> std::unique_ptr<core::Workload> {
+              return std::make_unique<McWorkload>(cfg);
+            });
+      }
+      return std::make_unique<McWorkload>(cfg);
     });
 
 }  // namespace adcc::mc

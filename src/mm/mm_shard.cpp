@@ -1,0 +1,139 @@
+#include "mm/mm_shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "linalg/gemm.hpp"
+
+namespace adcc::mm {
+
+namespace {
+
+class MmShardPart final : public core::ShardPart {
+ public:
+  MmShardPart(const MmShardPlan& plan, std::size_t index, std::size_t count,
+              core::FaultSurface& fault)
+      : plan_(plan), fault_(fault) {
+    const std::size_t n = plan_.config().n;
+    const std::size_t pr = MmShardPlan::grid_rows(count);
+    const std::size_t pc = count / pr;
+    const std::size_t tr = index / pc;
+    const std::size_t tc = index % pc;
+    r0_ = n * tr / pr;
+    r1_ = n * (tr + 1) / pr;
+    c0_ = n * tc / pc;
+    c1_ = n * (tc + 1) / pc;
+    tile_.resize((r1_ - r0_) * (c1_ - c0_));
+  }
+
+  void prepare(checkpoint::CheckpointSet* ckpt) override {
+    std::fill(tile_.begin(), tile_.end(), 0.0);
+    step_ = 0;
+    if (ckpt != nullptr) {
+      ckpt->add("tile", std::span<double>(tile_));
+      ckpt->add("step", &step_, sizeof(step_));
+    }
+  }
+
+  void compute(std::size_t unit, std::size_t phase, core::ShardExchange& exchange) override {
+    (void)phase;
+    (void)exchange;  // Zero-halo: A and B are shared immutable plan state.
+    const std::size_t n = plan_.config().n;
+    const std::size_t rank = plan_.config().rank_k;
+    const std::size_t p0 = (unit - 1) * rank;
+    const std::size_t k = std::min(rank, n - p0);
+    // Tick-before-mutate: the whole panel update's access estimate up front.
+    fault_.tick(k * (r1_ - r0_) + (r1_ - r0_) * (c1_ - c0_));
+    linalg::gemm_panel_tile(plan_.a(), p0, k, plan_.b(), p0, r0_, r1_, c0_, c1_, tile_.data(),
+                            /*accumulate=*/true);
+  }
+
+  void on_save(std::size_t unit) override { step_ = unit; }
+
+  void clobber() override {
+    std::fill(tile_.begin(), tile_.end(), 0.0);
+    step_ = 0;
+  }
+
+  void restored(std::size_t units_done) override {
+    if (units_done == 0) {
+      std::fill(tile_.begin(), tile_.end(), 0.0);
+      step_ = 0;
+      return;
+    }
+    ADCC_CHECK(step_ == units_done,
+               "mm shard checkpoint does not match the committed global epoch");
+  }
+
+  const std::vector<double>& tile() const { return tile_; }
+  std::size_t r0() const { return r0_; }
+  std::size_t r1() const { return r1_; }
+  std::size_t c0() const { return c0_; }
+  std::size_t c1() const { return c1_; }
+
+ private:
+  const MmShardPlan& plan_;
+  core::FaultSurface& fault_;
+  std::size_t r0_ = 0, r1_ = 0, c0_ = 0, c1_ = 0;
+  std::vector<double> tile_;  ///< Owned C block (checkpointed).
+  std::uint64_t step_ = 0;    ///< Durable progress mirror.
+};
+
+}  // namespace
+
+MmShardPlan::MmShardPlan(const MmWorkloadConfig& cfg)
+    : cfg_(cfg),
+      panels_((cfg.n + cfg.rank_k - 1) / cfg.rank_k),
+      a_(cfg.n, cfg.n),
+      b_(cfg.n, cfg.n) {
+  a_.fill_random(cfg.seed_a, -1, 1);
+  b_.fill_random(cfg.seed_b, -1, 1);
+}
+
+std::size_t MmShardPlan::grid_rows(std::size_t count) {
+  std::size_t pr = 1;
+  for (std::size_t d = 1; d * d <= count; ++d) {
+    if (count % d == 0) pr = d;
+  }
+  return pr;
+}
+
+std::unique_ptr<core::ShardPart> MmShardPlan::make_part(std::size_t index, std::size_t count,
+                                                        core::FaultSurface& fault) {
+  return std::make_unique<MmShardPart>(*this, index, count, fault);
+}
+
+bool MmShardPlan::verify(const std::vector<core::ShardPart*>& parts) {
+  const std::size_t n = cfg_.n;
+  linalg::Matrix c(n, n);
+  for (core::ShardPart* p : parts) {
+    auto* part = static_cast<MmShardPart*>(p);
+    const std::size_t tn = part->c1() - part->c0();
+    for (std::size_t i = part->r0(); i < part->r1(); ++i) {
+      const double* src = part->tile().data() + (i - part->r0()) * tn;
+      std::copy(src, src + tn, c.row(i).data() + part->c0());
+    }
+  }
+  if (!reference_) {
+    reference_.emplace(n, n);
+    linalg::gemm(a_, b_, *reference_);
+  }
+  double scale = 1.0;
+  for (const double v : reference_->flat()) scale = std::max(scale, std::fabs(v));
+  return linalg::Matrix::max_abs_diff(c, *reference_) <= cfg_.verify_rel_tol * scale;
+}
+
+void MmShardPlan::tune_env(core::Mode mode, core::ModeEnvConfig& env, std::size_t count) const {
+  const std::size_t pr = grid_rows(count);
+  const std::size_t pc = count / pr;
+  const std::size_t tile_bytes =
+      ((cfg_.n + pr - 1) / pr) * ((cfg_.n + pc - 1) / pc) * sizeof(double);
+  env.slot_bytes = tile_bytes + (1u << 20);
+  env.arena_bytes = core::durability_kind(mode) == core::DurabilityKind::kCheckpoint
+                        ? 2 * env.slot_bytes + (8u << 20)
+                        : (1u << 20);
+}
+
+}  // namespace adcc::mm

@@ -1,0 +1,50 @@
+// Dense matrix multiplication as a multi-shard plan: a 2-D tile grid of the
+// output, one rank-k panel update per work unit.
+//
+// The group factors N shards into a pr×pc grid (pr the largest divisor of N
+// not exceeding sqrt(N)); shard t owns the C tile [rows of block t/pc] ×
+// [cols of block t%pc] as a dense accumulator registered with its checkpoint.
+// Unit s applies C_tile += A[rows, panel_s] × B[panel_s, cols] via
+// linalg::gemm_panel_tile — no inter-shard exchange at all (A and B are
+// shared immutable plan state), which makes MM the zero-halo point of the
+// shard sweep. Unlike the single-rank adapter this path is plain tiled GEMM:
+// the ABFT checksum augmentation stays a single-rank engine (documented
+// scope cut), so sharded MM measures the snapshot protocol, not ABFT.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/shard.hpp"
+#include "linalg/dense.hpp"
+#include "mm/mm_workload.hpp"
+
+namespace adcc::mm {
+
+class MmShardPlan final : public core::ShardPlan {
+ public:
+  explicit MmShardPlan(const MmWorkloadConfig& cfg);
+
+  std::string name() const override { return "mm"; }
+  std::size_t work_units() const override { return panels_; }
+  std::size_t phases() const override { return 1; }
+  std::unique_ptr<core::ShardPart> make_part(std::size_t index, std::size_t count,
+                                             core::FaultSurface& fault) override;
+  bool verify(const std::vector<core::ShardPart*>& parts) override;
+  void tune_env(core::Mode mode, core::ModeEnvConfig& env, std::size_t count) const override;
+
+  const MmWorkloadConfig& config() const { return cfg_; }
+  const linalg::Matrix& a() const { return a_; }
+  const linalg::Matrix& b() const { return b_; }
+
+  /// The tile-grid factorization: largest divisor of `count` <= sqrt(count).
+  static std::size_t grid_rows(std::size_t count);
+
+ private:
+  MmWorkloadConfig cfg_;
+  std::size_t panels_ = 0;
+  linalg::Matrix a_, b_;  ///< Original (un-encoded) inputs, shared immutable.
+  std::optional<linalg::Matrix> reference_;
+};
+
+}  // namespace adcc::mm

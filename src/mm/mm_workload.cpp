@@ -5,8 +5,10 @@
 
 #include "common/align.hpp"
 #include "common/check.hpp"
+#include "core/shard.hpp"
 #include "linalg/gemm.hpp"
 #include "mm/mm_cc.hpp"
+#include "mm/mm_shard.hpp"
 #include "mm/mm_tx.hpp"
 
 namespace adcc::mm {
@@ -364,7 +366,17 @@ bool MmWorkload::verify() {
 ADCC_REGISTER_WORKLOAD(
     "mm", "ABFT dense matrix multiplication (paper SIII-C, Figs. 5-8)",
     [](const Options& opts) -> std::unique_ptr<core::Workload> {
-      return std::make_unique<MmWorkload>(mm_workload_config(opts));
+      const MmWorkloadConfig cfg = mm_workload_config(opts);
+      const std::size_t shards = opts.get_size("shards", 1);
+      if (shards > 1) {
+        return std::make_unique<core::ShardGroup>(
+            std::make_unique<MmShardPlan>(cfg),
+            core::ShardGroupConfig{shards, opts.get_bool("shard_stagger", false)},
+            [cfg]() -> std::unique_ptr<core::Workload> {
+              return std::make_unique<MmWorkload>(cfg);
+            });
+      }
+      return std::make_unique<MmWorkload>(cfg);
     });
 
 }  // namespace adcc::mm
