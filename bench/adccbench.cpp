@@ -35,6 +35,7 @@
 #include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "core/telemetry.hpp"
 
 namespace {
 
@@ -71,6 +72,10 @@ int main(int argc, char** argv) try {
       .doc("format", "table output: table | csv | json", "table")
       .doc("out", "also write the table to this file (format from extension)")
       .doc("no_timing", "blank wall-clock columns (byte-stable serial vs parallel)", "off")
+      .doc("trace",
+           "write a Chrome trace_event JSON timeline of every cell's stage "
+           "scopes (one track per cell/drain/pipeline thread, crash/recovery "
+           "instants) to this file; open in chrome://tracing or Perfetto")
       .doc("reps", "timed repetitions per scenario (median reported)", "1")
       .doc("warmup", "one discarded repetition first", "off")
       .doc("verify", "check results against references", "on")
@@ -175,6 +180,13 @@ int main(int argc, char** argv) try {
   // Baselines only feed the wall-clock columns, which --no_timing blanks.
   cfg.baseline = !opts.get_bool("no_baseline") && !opts.get_bool("no_timing");
   cfg.scratch_root = scratch_dir();
+  // Stage telemetry rides every timed deck (its columns are blanked with the
+  // other wall-clock columns under --no_timing); --trace additionally records
+  // the Chrome timeline, and keeps telemetry on even without timing columns.
+  std::shared_ptr<core::TraceSink> trace;
+  if (opts.has("trace")) trace = std::make_shared<core::TraceSink>();
+  cfg.telemetry = !opts.get_bool("no_timing") || trace != nullptr;
+  cfg.trace = trace;
 
   if (*format == core::TableFormat::kPlain) {
     core::print_banner("adccbench", "sweep " + spec.canonical() + " (" +
@@ -195,6 +207,13 @@ int main(int argc, char** argv) try {
     std::ofstream out(path);
     ADCC_CHECK(out.good(), "cannot open --out file");
     out << table.render(file_format);
+  }
+
+  if (trace != nullptr) {
+    const std::filesystem::path path = opts.get("trace", "");
+    std::ofstream out(path);
+    ADCC_CHECK(out.good(), "cannot open --trace file");
+    trace->write_chrome_trace(out);
   }
 
   if (*format == core::TableFormat::kPlain) {

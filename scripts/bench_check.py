@@ -29,12 +29,24 @@ Checks, in order:
      checkpointing must actually cut the overhead" acceptance gate —
      self-relative like the speedup gate, but measured against the native
      baseline so compute speed cancels out).
-  6. With --history: every self-relative gate metric (speedup, overhead
-     ratio) is appended to the given JSONL file, and each is ratcheted
-     against the best clean value ever recorded there — a run may not be
-     worse than the best-known by more than --ratchet-tol, even if it still
-     clears the static gate. The history file is append-only; commit it so
-     the trajectory rides along with the pinned decks.
+  6. With --stage-budget STAGE=FRACTION (repeatable): per-stage fraction
+     gates over the telemetry columns. For every cell with measurable stage
+     columns, STAGE's share of the checkpoint wall time
+     (t_stage + t_crc + t_io) must stay within FRACTION; cells with blank
+     ("-") stage columns or zero checkpoint time (native cells) are skipped,
+     but the gate fails if NO cell is measurable. The worst fraction per
+     budget feeds the history ratchet as a `stage:` metric, so a stage that
+     starts eating the checkpoint names itself in the report.
+  7. With --history: every self-relative gate metric (speedup, overhead
+     ratio, stage fraction) is appended to the given JSONL file, and each is
+     ratcheted against the best clean value ever recorded there — a run may
+     not be worse than the best-known by more than --ratchet-tol, even if it
+     still clears the static gate. The history file is append-only; commit it
+     so the trajectory rides along with the pinned decks. Corrupt history
+     lines are reported as file:line; blank lines are skipped.
+
+--self-test exercises the stage-budget pass/fail paths and the corrupt-
+history diagnostics against synthetic decks (wired into CI and ctest).
 
 Exit status: 0 clean, 1 regression(s), 2 usage/structural error.
 """
@@ -44,11 +56,17 @@ import json
 import os
 import sys
 
+# Telemetry stage columns (sweep table): seconds of the last timed rep.
+STAGE_COLS = ("t_stage", "t_crc", "t_io", "t_drain", "t_kernel")
+# The stage-budget denominator: the synchronous checkpoint wall time. t_drain
+# overlaps these by design and t_kernel is compute, so neither belongs in it.
+STAGE_DENOM_COLS = ("t_stage", "t_crc", "t_io")
+
 # Columns that are measurements, not cell identity.
 MEASUREMENT_COLS = {
     "cell", "units", "seconds", "normalized", "overhead", "lost", "partial",
     "corrected", "torn", "overlap", "detect/unit", "resume/unit",
-    "victims", "epochs_rb", "replayed", "halo_kb", "status",
+    "victims", "epochs_rb", "replayed", "halo_kb", "status", *STAGE_COLS,
 }
 
 
@@ -77,8 +95,8 @@ def parse_float(value):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current")
-    ap.add_argument("baseline")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("baseline", nargs="?")
     ap.add_argument("--tol", type=float, default=0.5,
                     help="max relative normalized-overhead growth (default 0.5)")
     ap.add_argument("--abs-floor", type=float, default=0.75,
@@ -96,13 +114,24 @@ def main():
     ap.add_argument("--overhead-to", default="1")
     ap.add_argument("--overhead-max", type=float, default=0.90,
                     help="max (normalized-1) ratio of --overhead-to vs --overhead-from")
+    ap.add_argument("--stage-budget", action="append", default=[],
+                    metavar="STAGE=FRACTION",
+                    help="repeatable: gate STAGE's share of the checkpoint wall "
+                         "time (t_stage+t_crc+t_io) to at most FRACTION, e.g. "
+                         "t_crc=0.35")
     ap.add_argument("--history", default=None,
                     help="JSONL ratchet file: append this run's gate metrics and "
                          "fail any metric that regresses past --ratchet-tol of its "
                          "best-known clean value")
     ap.add_argument("--ratchet-tol", type=float, default=0.25,
                     help="allowed relative slack vs the best-known history value")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in self-test against synthetic decks")
     args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.current is None or args.baseline is None:
+        ap.error("current and baseline decks are required (or use --self-test)")
     # Gate metrics for the history ratchet: name -> (value, "higher"|"lower").
     metrics = {}
 
@@ -214,17 +243,58 @@ def main():
                     f"overhead to {args.overhead_max:.2f}x: {lo_n - 1.0:.3f} -> "
                     f"{hi_n - 1.0:.3f} ({ratio:.2f}x) in {dict(gkey)}")
 
+    for spec in args.stage_budget:
+        stage, _, frac = spec.partition("=")
+        budget = parse_float(frac)
+        if stage not in STAGE_COLS or budget is None or not 0 < budget <= 1:
+            sys.exit(f"bench_check: bad --stage-budget {spec!r} "
+                     f"(want STAGE=FRACTION with STAGE in {'/'.join(STAGE_COLS)} "
+                     f"and 0 < FRACTION <= 1)")
+        gated = 0
+        worst = None
+        for row in current:
+            denom_vals = [parse_float(row.get(c)) for c in STAGE_DENOM_COLS]
+            value = parse_float(row.get(stage))
+            if value is None or None in denom_vals:
+                continue  # Blank ("-") stage columns: --no_timing or old deck.
+            denom = sum(denom_vals)
+            if denom <= 0:
+                continue  # Native cells run no checkpoint stages.
+            fraction = value / denom
+            gated += 1
+            if worst is None or fraction > worst[0]:
+                worst = (fraction, row)
+            if fraction > budget:
+                failures.append(
+                    f"stage budget: {stage} is {fraction:.1%} of the checkpoint "
+                    f"wall time (budget {budget:.0%}) in cell "
+                    f"{row.get('workload')}/{row.get('mode')}"
+                    f"{'/' + row.get('crash') if row.get('crash') else ''} "
+                    f"(cell {row.get('cell')})")
+        if gated == 0:
+            failures.append(
+                f"stage budget: no cell carries measurable stage columns for "
+                f"{stage} (deck predates telemetry or ran --no_timing)")
+        else:
+            metrics[f"stage:{stage}"] = (worst[0], "lower")
+            verdict = "ok" if worst[0] <= budget else "FAIL"
+            print(f"bench_check: stage budget {stage} worst {worst[0]:.1%} of "
+                  f"checkpoint time across {gated} cells (budget {budget:.0%}) "
+                  f"[{verdict}]")
+
     if args.history:
         records = []
         if os.path.exists(args.history):
             with open(args.history) as f:
-                for line in f:
+                for lineno, line in enumerate(f, 1):
                     line = line.strip()
-                    if line:
-                        try:
-                            records.append(json.loads(line))
-                        except json.JSONDecodeError:
-                            sys.exit(f"bench_check: corrupt history line in {args.history}")
+                    if not line:
+                        continue  # Blank lines (trailing newlines, hand edits) are fine.
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError as e:
+                        sys.exit(f"bench_check: {args.history}:{lineno}: "
+                                 f"corrupt history line: {e}")
         # Ratchet every gate metric against the best clean value on record.
         for name, (value, better) in sorted(metrics.items()):
             best = None
@@ -263,6 +333,107 @@ def main():
             print(f"  - {f}", file=sys.stderr)
         return 1
     print(f"bench_check OK: {len(current)} cells within tolerance of {args.baseline}")
+    return 0
+
+
+def self_test():
+    """Prove the stage-budget gate passes, fails when a stage blows its
+    budget, skips unmeasurable cells, and that corrupt history lines are
+    reported as file:line — all via real subprocess invocations."""
+    import shutil
+    import subprocess
+    import tempfile
+
+    tmp = tempfile.mkdtemp(prefix="bench_check_selftest.")
+    me = os.path.abspath(__file__)
+
+    def deck(name, rows):
+        path = os.path.join(tmp, name)
+        with open(path, "w") as f:
+            json.dump(rows, f)
+        return path
+
+    def run(*argv):
+        return subprocess.run([sys.executable, me, *argv],
+                              capture_output=True, text=True)
+
+    def stage_row(mode, t_stage, t_crc, t_io):
+        return {
+            "cell": "0", "workload": "cg", "mode": mode, "crash": "none",
+            "units": "3", "seconds": "0.5000", "normalized": "-",
+            "overhead": "-", "lost": "0", "partial": "0", "corrected": "0",
+            "torn": "0", "overlap": "-", "detect/unit": "-",
+            "resume/unit": "-", "victims": "0", "epochs_rb": "0",
+            "replayed": "0", "halo_kb": "0.0", "t_stage": t_stage,
+            "t_crc": t_crc, "t_io": t_io, "t_drain": "-",
+            "t_kernel": "0.4000", "status": "ok",
+        }
+
+    # A native cell (blank stage columns, must be skipped) plus a ckpt cell
+    # where t_crc is 10% of the 0.20s checkpoint wall time.
+    lean = deck("lean.json", [
+        stage_row("native", "-", "-", "-"),
+        stage_row("ckpt-disk", "0.0400", "0.0200", "0.1400"),
+    ])
+    # Same deck with CRC inflated to 50% of the checkpoint time.
+    fat = deck("fat.json", [
+        stage_row("native", "-", "-", "-"),
+        stage_row("ckpt-disk", "0.0400", "0.1000", "0.0600"),
+    ])
+    # No measurable cell at all: the gate must refuse to silently pass.
+    blank = deck("blank.json", [stage_row("native", "-", "-", "-")])
+
+    problems = []
+
+    def expect(label, proc, code, needle=None):
+        output = proc.stdout + proc.stderr
+        if proc.returncode != code:
+            problems.append(f"{label}: exit {proc.returncode}, want {code}:\n{output}")
+        elif needle is not None and needle not in output:
+            problems.append(f"{label}: output lacks {needle!r}:\n{output}")
+
+    expect("budget-pass", run(lean, lean, "--stage-budget", "t_crc=0.35"),
+           0, "stage budget t_crc worst 10.0%")
+    expect("budget-fail", run(fat, fat, "--stage-budget", "t_crc=0.35"),
+           1, "stage budget: t_crc is 50.0%")
+    expect("budget-unmeasurable", run(blank, blank, "--stage-budget", "t_crc=0.35"),
+           1, "no cell carries measurable stage columns")
+    expect("budget-bad-spec", run(lean, lean, "--stage-budget", "t_crc=nan"),
+           1, "bad --stage-budget")
+    expect("budget-bad-stage", run(lean, lean, "--stage-budget", "seconds=0.5"),
+           1, "bad --stage-budget")
+
+    # Corrupt history: line 3 (after a valid record and a skipped blank) must
+    # be named file:3 in the error.
+    hist = os.path.join(tmp, "hist.jsonl")
+    with open(hist, "w") as f:
+        f.write(json.dumps({"status": "ok", "metrics": {}}) + "\n")
+        f.write("\n")
+        f.write("{not json\n")
+    expect("history-corrupt", run(lean, lean, "--history", hist),
+           1, f"{hist}:3: corrupt history line")
+
+    # Clean history appends a record carrying the stage metric.
+    with open(hist, "w") as f:
+        f.write(json.dumps({"status": "ok", "metrics": {}}) + "\n")
+    expect("history-append",
+           run(lean, lean, "--stage-budget", "t_crc=0.35", "--history", hist), 0)
+    with open(hist) as f:
+        lines = [json.loads(l) for l in f if l.strip()]
+    if len(lines) != 2 or parse_float(lines[-1].get("metrics", {}).get("stage:t_crc")) is None:
+        problems.append(f"history-append: stage metric not recorded: {lines}")
+    # And the ratchet fires when the stage fraction balloons past best-known.
+    expect("history-ratchet",
+           run(fat, fat, "--stage-budget", "t_crc=0.60", "--history", hist),
+           1, "history ratchet: stage:t_crc rose")
+
+    shutil.rmtree(tmp, ignore_errors=True)
+    if problems:
+        print(f"bench_check --self-test: {len(problems)} failure(s):", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print("bench_check --self-test OK")
     return 0
 
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Run a tiny deck with --trace and validate the Chrome trace JSON.
+
+The smoke.trace ctest drives this: it executes adccbench with a checkpointing
+cell plus a crash so the trace must contain stage scopes on per-cell tracks
+AND crash/recovery instant events, then checks the file parses as the Chrome
+trace_event array format chrome://tracing and Perfetto accept.
+
+Usage:
+    check_trace.py --bin PATH/TO/adccbench [--keep]
+    check_trace.py --validate TRACE.json   # just validate an existing file
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def validate(path):
+    """Validates one trace file.
+
+    Returns (problems, tracks, phases, names): human-readable problems plus
+    the track labels, event phases, and event names seen.
+    """
+    problems = []
+    tracks, phases, names = set(), set(), set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not parseable JSON: {e}"], tracks, phases, names
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents array"], tracks, phases, names
+    if not events:
+        problems.append(f"{path}: traceEvents is empty")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"{path}: event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        phases.add(ph)
+        if ph not in ("M", "X", "i"):
+            problems.append(f"{path}: event {i} has unexpected ph={ph!r}")
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                tracks.add(ev.get("args", {}).get("name"))
+            continue
+        names.add(ev.get("name"))
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"{path}: event {i} has no numeric ts")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"{path}: complete event {i} has no numeric dur")
+    return problems, tracks, phases, names
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin", help="adccbench binary to drive")
+    ap.add_argument("--validate", help="validate an existing trace file and exit")
+    ap.add_argument("--keep", action="store_true", help="print the trace path, don't delete it")
+    args = ap.parse_args()
+
+    if args.validate:
+        problems, _, _, _ = validate(args.validate)
+        for p in problems:
+            print(f"check_trace: {p}", file=sys.stderr)
+        if problems:
+            sys.exit(1)
+        print(f"check_trace: OK ({args.validate})")
+        return
+
+    if not args.bin:
+        ap.error("--bin or --validate is required")
+
+    tmpdir = tempfile.mkdtemp(prefix="adcc_trace.")
+    trace = Path(tmpdir) / "trace.json"
+    # A checkpointing mode (stage/crc/queue scopes), a crash (instant events),
+    # and --no_timing to prove --trace alone keeps telemetry alive.
+    cmd = [
+        args.bin,
+        "--workload=cg", "--mode=ckpt-nvm", "--crash=step:2",
+        "--quick", "--n=300", "--iters=4", "--no_baseline", "--no_timing",
+        "--format=csv", f"--trace={trace}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"check_trace: deck failed ({proc.returncode}):\n{proc.stderr}", file=sys.stderr)
+        sys.exit(1)
+
+    problems, tracks, phases, names = validate(trace)
+    if not any(t and t.startswith("cell") for t in tracks):
+        problems.append("no per-cell track (thread_name metadata) found")
+    if "X" not in phases:
+        problems.append("no stage scope (ph=X) events")
+    if "crash" not in names or "recovered" not in names:
+        problems.append(f"missing crash/recovered instants (got {sorted(names)[:8]})")
+    if not any(n and n.startswith("ckpt/") for n in names):
+        problems.append("no ckpt/* stage scopes recorded")
+    for p in problems:
+        print(f"check_trace: {p}", file=sys.stderr)
+    if problems:
+        sys.exit(1)
+    if args.keep:
+        print(f"check_trace: OK, trace kept at {trace}")
+    else:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+        print(f"check_trace: OK ({len(tracks)} tracks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ REQUIRED_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/CRASH_GRAMMAR.md",
     "docs/SWEEP.md",
+    "docs/OBSERVABILITY.md",
 ]
 
 # The public API surface held to the struct/class doc-comment rule.
@@ -35,6 +36,7 @@ PUBLIC_HEADERS = [
     "src/core/modes.hpp",
     "src/core/shard.hpp",
     "src/core/coordinator.hpp",
+    "src/core/telemetry.hpp",
     "src/checkpoint/backend.hpp",
     "src/checkpoint/chunk.hpp",
     "src/checkpoint/checkpoint_set.hpp",

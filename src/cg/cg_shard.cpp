@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "core/telemetry.hpp"
 #include "linalg/spgen.hpp"
 #include "linalg/vec_ops.hpp"
 
@@ -60,8 +61,12 @@ class CgShardPart final : public core::ShardPart {
         const linalg::CsrMatrix& a = plan_.matrix();
         // Rows are independent and each row's sum is sequential, so the
         // result — and the checkpoint image — is thread-count invariant.
+        // (Timed around the loop, not per row: spmv_row is too hot to scope.)
+        {
+          const core::StageTimer timer("kernel/spmv");
 #pragma omp parallel for schedule(static)
-        for (std::size_t i = r0_; i < r1_; ++i) q_[i - r0_] = a.spmv_row(i, p_full_);
+          for (std::size_t i = r0_; i < r1_; ++i) q_[i - r0_] = a.spmv_row(i, p_full_);
+        }
         ex.publish(unit, "pq", index_, {seq_dot(p_, q_)});
         break;
       }

@@ -5,6 +5,7 @@
 
 #include "checkpoint/write_pipeline.hpp"
 #include "common/check.hpp"
+#include "core/telemetry.hpp"
 
 namespace adcc::checkpoint {
 
@@ -79,8 +80,15 @@ SaveReceipt Backend::do_save(int slot, std::uint64_t version, std::span<const Ob
     if (hooks.select && !hooks.select(i)) return;
     scratch.resize(sizeof(ChunkHeader) + c.payload_bytes);
     const auto* src = static_cast<const std::byte*>(objs[c.object].data) + c.object_offset;
-    std::memcpy(scratch.data() + sizeof(ChunkHeader), src, c.payload_bytes);
-    const std::uint32_t crc = crc32(scratch.data() + sizeof(ChunkHeader), c.payload_bytes);
+    {
+      const core::StageTimer timer("ckpt/stage");
+      std::memcpy(scratch.data() + sizeof(ChunkHeader), src, c.payload_bytes);
+    }
+    std::uint32_t crc;
+    {
+      const core::StageTimer timer("ckpt/crc");
+      crc = crc32(scratch.data() + sizeof(ChunkHeader), c.payload_bytes);
+    }
     receipt.crcs[i] = crc;
     if (hooks.should_write && !hooks.should_write(i, crc)) {
       receipt.chunks[i] = SaveReceipt::Chunk::kClean;
@@ -95,7 +103,12 @@ SaveReceipt Backend::do_save(int slot, std::uint64_t version, std::span<const Ob
     h.payload_crc = crc;
     h.header_crc = chunk_header_crc(h);
     std::memcpy(scratch.data(), &h, sizeof(h));
-    write_span(slot, c.image_offset, scratch.data(), scratch.size());
+    {
+      // ckpt/queue is the device-facing cost: the medium write plus any
+      // device-bandwidth throttle wait. The sweep surfaces it as t_io.
+      const core::StageTimer timer("ckpt/queue");
+      write_span(slot, c.image_offset, scratch.data(), scratch.size());
+    }
     receipt.chunks[i] = SaveReceipt::Chunk::kWritten;
     if (hooks.point) {
       // Serialized: the fault surface's one-shot occurrence counting (and its
@@ -125,10 +138,17 @@ SaveReceipt Backend::do_save(int slot, std::uint64_t version, std::span<const Ob
   // after the last chunk must stop here too: the emulated power failure may
   // never reach the commit point.
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) throw DrainCancelled{};
-  const std::vector<std::byte> header = make_header_image(layout, version, chunks_.chunk_bytes);
-  write_span(slot, 0, header.data(), header.size());
-  finish_slot(slot);
-  commit_marker(slot, version);
+  {
+    const core::StageTimer timer("ckpt/commit");
+    const std::vector<std::byte> header = make_header_image(layout, version, chunks_.chunk_bytes);
+    write_span(slot, 0, header.data(), header.size());
+    finish_slot(slot);
+    commit_marker(slot, version);
+  }
+  if (core::Telemetry* tel = core::Telemetry::current()) {
+    tel->count("ckpt/chunks_written", receipt.written);
+    tel->count("ckpt/chunks_skipped", receipt.skipped);
+  }
 
   ++stats_.saves;
   stats_.bytes_saved += receipt.payload_bytes;
@@ -146,7 +166,14 @@ void Backend::save_async(int slot, std::uint64_t version, std::vector<ObjectView
   drain->layout = std::move(layout);
   drain->keepalive = std::move(keepalive);
   Drain* d = drain.get();
-  d->thread = std::thread([this, d, slot, version, hooks = std::move(hooks)] {
+  // The drain thread inherits the caller's telemetry binding under a "/drain"
+  // track so its stage scopes merge into the owning cell and get their own
+  // trace timeline; ckpt/drain is the drain's wall time (it overlaps the
+  // compute it hides — that overlap is the point of async).
+  const core::TelemetryBinding binding = core::Telemetry::current_binding();
+  d->thread = std::thread([this, d, slot, version, binding, hooks = std::move(hooks)] {
+    const core::TelemetryBind bind(binding, "/drain");
+    const core::StageTimer timer("ckpt/drain");
     try {
       d->receipt = do_save(slot, version, d->objs, hooks,
                            d->layout ? d->layout.get() : nullptr, kPointChunkDrained,

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "core/telemetry.hpp"
 
 namespace adcc::checkpoint {
 
@@ -107,6 +108,7 @@ std::uint64_t CheckpointSet::save_async() {
         {objs_[i].name, staging_->bytes.data() + object_base[i], objs_[i].bytes});
   }
   try {
+    const core::StageTimer timer("ckpt/stage");
     for (const ChunkLayout::Chunk& c : layout.chunks) {
       std::memcpy(staging_->bytes.data() + object_base[c.object] + c.object_offset,
                   static_cast<const std::byte*>(objs_[c.object].data) + c.object_offset,

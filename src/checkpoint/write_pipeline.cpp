@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "core/telemetry.hpp"
 
 namespace adcc::checkpoint {
 
@@ -47,7 +48,15 @@ void WritePipeline::run(std::size_t count, const ChunkFn& fn) {
 
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers - 1));
-  for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
+  // Spawned workers inherit the caller's telemetry binding on a per-worker
+  // "/wN" track; the calling thread (worker 0) keeps its ambient binding.
+  const core::TelemetryBinding binding = core::Telemetry::current_binding();
+  for (int t = 1; t < workers; ++t) {
+    pool.emplace_back([&worker, &binding, t] {
+      const core::TelemetryBind bind(binding, "/w" + std::to_string(t));
+      worker();
+    });
+  }
   worker();  // The calling thread is worker 0.
   for (std::thread& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "core/fault.hpp"
+#include "core/telemetry.hpp"
 
 namespace adcc::core {
 
@@ -30,18 +31,24 @@ void GroupCoordinator::commit_epoch(
     const std::vector<std::unique_ptr<checkpoint::CheckpointSet>>& shard_ckpts) {
   ADCC_CHECK(shard_ckpts.size() == versions_.size(), "coordinator/shard count mismatch");
   ADCC_CHECK(order.size() == versions_.size(), "drain order must cover every shard");
-  for (const std::size_t i : order) {
-    // The join is what makes this shard's epoch image durable; only then may
-    // the marker reference its version.
-    shard_ckpts[i]->wait_durable();
-    versions_[i] = shard_ckpts[i]->version();
-    if (fault_ != nullptr) fault_->point(kPointShardJoin);
+  {
+    // coord/join is where a stalled drain shows up: the barrier that makes
+    // every shard's epoch image durable before the marker may reference it.
+    const StageTimer timer("coord/join");
+    for (const std::size_t i : order) {
+      // The join is what makes this shard's epoch image durable; only then may
+      // the marker reference its version.
+      shard_ckpts[i]->wait_durable();
+      versions_[i] = shard_ckpts[i]->version();
+      if (fault_ != nullptr) fault_->point(kPointShardJoin);
+    }
   }
   epoch_ = epoch;
   if (fault_ != nullptr) fault_->point(kPointGlobalCommit);
   // A throw below (coord_commit crash site, medium failure) rolls the marker
   // save back inside CheckpointSet; the previous epoch stays committed and
   // reload() realigns the in-memory table during recovery.
+  const StageTimer timer("coord/commit");
   marker_.save();
 }
 

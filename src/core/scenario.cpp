@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "core/fault.hpp"
+#include "core/telemetry.hpp"
 #include "memsim/crash.hpp"
 
 namespace adcc::core {
@@ -442,6 +443,9 @@ WorkloadRecovery ScenarioRunner::recover_with_chain(ScenarioResult& result,
 }
 
 double ScenarioRunner::run_once(ScenarioResult& result) {
+  // Bind telemetry for this repetition (RAII, restores on every exit path);
+  // engine threads propagate the binding themselves.
+  const TelemetryBind telemetry_bind(cfg_.telemetry, cfg_.telemetry_label);
   ensure_env();
   workload_.prepare(*env_);
 
@@ -491,6 +495,10 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
   std::size_t first_crash_unit = 0;
   std::size_t chain_pos = 0;  // Double-fault chain links fired so far.
 
+  // Reset just before the timed region: fuzz probes and prepare() above must
+  // not pollute the totals, and after the last repetition the registry holds
+  // exactly that rep's stage breakdown (what the sweep columns report).
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->reset();
   Timer total;
   for (;;) {
     const std::size_t before = workload_.units_done();
@@ -551,11 +559,13 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
       first_crash_elapsed = total.elapsed();
       first_crash_unit = crash_unit;
     }
+    if (cfg_.telemetry != nullptr) cfg_.telemetry->instant("crash");
     workload_.inject_crash();
 
     Timer detect;
     const WorkloadRecovery rec = recover_with_chain(result, chain_pos);
     const double recover_seconds = detect.elapsed();
+    if (cfg_.telemetry != nullptr) cfg_.telemetry->instant("recovered");
     // Checksum-classifying recoveries recompute/repair units inside recover();
     // that work is resume time, not detection time (the fig3/fig7 split).
     result.recomputation.detect_seconds +=

@@ -64,6 +64,8 @@
 
 namespace adcc::core {
 
+class Telemetry;
+
 /// A parsed crash plan: when (and how often) the emulated power failure
 /// fires, plus the optional double-fault chain armed inside recovery.
 struct CrashScenario {
@@ -131,6 +133,11 @@ struct ScenarioConfig {
   /// repetition — sweep decks share one probe across every fuzz seed of the
   /// same cell shape (see probe_fuzz_boundaries).
   std::shared_ptr<const std::vector<std::uint64_t>> fuzz_boundaries;
+  /// Stage-timer registry bound (per thread, RAII) around every timed
+  /// repetition; null leaves every StageTimer on its no-op path. The runner
+  /// resets it before each rep so the totals describe the last one.
+  Telemetry* telemetry = nullptr;
+  std::string telemetry_label;  ///< Trace-track label ("cellN" in sweeps).
 };
 
 /// One scenario's aggregated measurement: median wall time, normalization,

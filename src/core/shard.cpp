@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "core/telemetry.hpp"
 
 namespace adcc::core {
 
@@ -16,12 +17,14 @@ namespace adcc::core {
 
 void ShardExchange::publish(std::size_t unit, std::string tag, std::size_t shard,
                             std::vector<double> value) {
+  const StageTimer timer("shard/halo");
   // Overwrite semantics: a replaying shard republishes (identical) values.
   entries_[Key{unit, std::move(tag), shard}] = std::move(value);
 }
 
 std::span<const double> ShardExchange::fetch(std::size_t unit, const std::string& tag,
                                              std::size_t shard) {
+  const StageTimer timer("shard/halo");
   const auto it = entries_.find(Key{unit, tag, shard});
   ADCC_CHECK(it != entries_.end(), "exchange fetch of an unpublished value (phase-order bug)");
   fetched_bytes_ += it->second.size() * sizeof(double);

@@ -10,10 +10,12 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/check.hpp"
 #include "core/registry.hpp"
+#include "core/telemetry.hpp"
 
 namespace adcc::core {
 
@@ -431,6 +433,17 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
     const std::filesystem::path scratch = scratch_root / ("cell" + std::to_string(index));
     ScenarioConfig sc = cell_config(*workload, *mode, *crash, opts, scratch);
 
+    // Per-cell stage-timer registry (the baseline and fuzz-probe runs below
+    // use their own ScenarioConfigs and stay unbound, so the memoized native
+    // baseline is never perturbed by telemetry).
+    std::optional<Telemetry> telemetry;
+    if (cfg.telemetry || cfg.trace != nullptr) {
+      telemetry.emplace();
+      telemetry->set_trace(cfg.trace);
+      sc.telemetry = &*telemetry;
+      sc.telemetry_label = "cell" + std::to_string(index);
+    }
+
     // A crash-free native cell IS its shape's baseline: it offers its own
     // measurement to the cache (normalized 1.000) instead of paying a second
     // native run. Every other cell fetches (or computes) the shared baseline.
@@ -477,6 +490,14 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
     }
 
     cell.result = ScenarioRunner(*workload, sc).run();
+    if (telemetry) {
+      cell.telemetry = true;
+      cell.t_stage = telemetry->seconds("ckpt/stage");
+      cell.t_crc = telemetry->seconds("ckpt/crc");
+      cell.t_io = telemetry->seconds("ckpt/queue");
+      cell.t_drain = telemetry->seconds("ckpt/drain");
+      cell.t_kernel = telemetry->prefix_seconds("kernel/");
+    }
     if (self_baseline) {
       cell.native_seconds = baselines.put_or_get(shape, cell.result.seconds);
       cell.result.time = normalize(cell.result.seconds, cell.native_seconds);
@@ -558,7 +579,8 @@ Table SweepResult::table(bool timing) const {
   }
   for (const char* h : {"units", "seconds", "normalized", "overhead", "lost", "partial",
                         "corrected", "torn", "overlap", "detect/unit", "resume/unit",
-                        "victims", "epochs_rb", "replayed", "halo_kb", "status"}) {
+                        "victims", "epochs_rb", "replayed", "halo_kb", "t_stage", "t_crc",
+                        "t_io", "t_drain", "t_kernel", "status"}) {
     headers.emplace_back(h);
   }
 
@@ -574,7 +596,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::move(value));
     }
     if (cell.status == SweepCellResult::Status::kError) {
-      for (int i = 0; i < 15; ++i) row.emplace_back("-");
+      for (int i = 0; i < 20; ++i) row.emplace_back("-");
       row.push_back("ERROR: " + cell.error);
     } else {
       const ScenarioResult& res = cell.result;
@@ -599,6 +621,14 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::to_string(rb.epochs_rolled_back));
       row.push_back(std::to_string(rb.units_replayed));
       row.push_back(Table::fmt(static_cast<double>(rb.halo_bytes) / 1024.0, 1));
+      // Stage breakdown: wall-clock-derived, so blanked under --no_timing
+      // (byte-equality) and when the deck ran without telemetry.
+      const bool stages = timing && cell.telemetry;
+      row.push_back(stages ? Table::fmt(cell.t_stage, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_crc, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_io, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_drain, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_kernel, 4) : "-");
       row.push_back(cell.status == SweepCellResult::Status::kOk ? "ok" : "FAIL:verify");
     }
     table.add_row(std::move(row));

@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,6 +44,8 @@
 #include "core/scenario.hpp"
 
 namespace adcc::core {
+
+class TraceSink;
 
 /// One expanded sweep dimension: an option key and the literal values the
 /// deck's cross product iterates over it.
@@ -87,6 +90,12 @@ struct SweepConfig {
   /// temp-dir default); cell N uses scratch_root/cellN so parallel cells never
   /// share checkpoint slot files.
   std::filesystem::path scratch_root;
+  /// Collect per-cell stage timers (the t_stage..t_kernel columns). Baseline
+  /// runs stay unbound either way, so memoized-baseline sharing is unaffected.
+  bool telemetry = false;
+  /// Optional shared trace sink: every telemetry-bound cell also records
+  /// Chrome trace events onto per-cell/per-thread tracks. Implies telemetry.
+  std::shared_ptr<TraceSink> trace;
 };
 
 /// One deck cell's outcome: its axis assignment, the scenario measurement,
@@ -103,6 +112,16 @@ struct SweepCellResult {
   std::string error;        ///< kError: what the cell threw.
   ScenarioResult result;
   double native_seconds = 0.0;
+  /// Stage breakdown of the last timed repetition (seconds), harvested when
+  /// SweepConfig::telemetry is on: serialize memcpy, chunk CRC, device
+  /// queue+write, async drain wall (overlaps the others by design), and the
+  /// summed kernel/* compute stages.
+  bool telemetry = false;
+  double t_stage = 0.0;
+  double t_crc = 0.0;
+  double t_io = 0.0;
+  double t_drain = 0.0;
+  double t_kernel = 0.0;
 };
 
 /// A fully executed deck: every cell result in deck order plus the table

@@ -1,0 +1,260 @@
+#include "core/telemetry.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/timer.hpp"
+
+namespace adcc::core {
+
+namespace {
+
+// The thread's ambient binding. Function-local so cross-TU initialization
+// order never matters; track is resolved once at bind time so the StageTimer
+// hot path never touches the sink's track table.
+struct ThreadBinding {
+  Telemetry* telemetry = nullptr;
+  int track = -1;
+  std::string label;
+};
+
+ThreadBinding& tls_binding() {
+  thread_local ThreadBinding binding;
+  return binding;
+}
+
+// Minimal JSON string escaping for trace event names / track labels.
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+             << "0123456789abcdef"[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceSink
+
+TraceSink::TraceSink() : epoch_(adcc::now_seconds()) {}
+
+int TraceSink::track(const std::string& label) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == label) return static_cast<int>(i);
+  }
+  tracks_.push_back(label);
+  return static_cast<int>(tracks_.size() - 1);
+}
+
+void TraceSink::complete(int track, std::string_view name, double start, double end) {
+  Event ev;
+  ev.name.assign(name);
+  ev.ts_us = (start - epoch_) * 1e6;
+  ev.dur_us = (end - start) * 1e6;
+  ev.track = track;
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::instant(int track, std::string_view name, double at) {
+  Event ev;
+  ev.name.assign(name);
+  ev.ts_us = (at - epoch_) * 1e6;
+  ev.dur_us = -1.0;
+  ev.track = track;
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t TraceSink::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSink::write_chrome_trace(std::ostream& os) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  // thread_name metadata gives each track a human label in the viewer.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << i
+       << ",\"args\":{\"name\":";
+    write_json_string(os, tracks_[i]);
+    os << "}}";
+  }
+  os.precision(3);
+  os << std::fixed;
+  for (const Event& ev : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    write_json_string(os, ev.name);
+    os << ",\"pid\":1,\"tid\":" << ev.track << ",\"ts\":" << ev.ts_us;
+    if (ev.dur_us < 0) {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    } else {
+      os << ",\"ph\":\"X\",\"dur\":" << ev.dur_us;
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+
+Telemetry::Stage& Telemetry::stage(std::string_view path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = stages_.find(path);
+  if (it == stages_.end()) {
+    it = stages_.try_emplace(std::string(path)).first;
+  }
+  return it->second;
+}
+
+void Telemetry::count(std::string_view path, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(path);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(path)).first;
+  }
+  it->second.fetch_add(delta, std::memory_order_relaxed);
+}
+
+double Telemetry::seconds(std::string_view path) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stages_.find(path);
+  if (it == stages_.end()) return 0.0;
+  return static_cast<double>(it->second.ns.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+std::uint64_t Telemetry::calls(std::string_view path) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = stages_.find(path);
+  if (it == stages_.end()) return 0;
+  return it->second.count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Telemetry::counter(std::string_view path) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(path);
+  if (it == counters_.end()) return 0;
+  return it->second.load(std::memory_order_relaxed);
+}
+
+double Telemetry::prefix_seconds(std::string_view prefix) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (auto it = stages_.lower_bound(prefix); it != stages_.end(); ++it) {
+    const std::string& path = it->first;
+    if (path.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second.ns.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(total) * 1e-9;
+}
+
+void Telemetry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, st] : stages_) {
+    st.ns.store(0, std::memory_order_relaxed);
+    st.count.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [path, ctr] : counters_) {
+    ctr.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<Telemetry::Sample> Telemetry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(stages_.size());
+  for (const auto& [path, st] : stages_) {
+    Sample s;
+    s.path = path;
+    s.seconds = static_cast<double>(st.ns.load(std::memory_order_relaxed)) * 1e-9;
+    s.count = st.count.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Telemetry::instant(std::string_view name) {
+  const ThreadBinding& binding = tls_binding();
+  if (binding.telemetry != this || !sink_) return;
+  sink_->instant(binding.track, name, adcc::now_seconds());
+}
+
+Telemetry* Telemetry::current() { return tls_binding().telemetry; }
+
+TelemetryBinding Telemetry::current_binding() {
+  const ThreadBinding& binding = tls_binding();
+  return TelemetryBinding{binding.telemetry, binding.label};
+}
+
+void Telemetry::record(const char* path, double start, double end, int track) {
+  const double elapsed = end - start;
+  const auto ns = static_cast<std::uint64_t>(elapsed > 0 ? std::llround(elapsed * 1e9) : 0);
+  Stage& st = stage(path);
+  st.ns.fetch_add(ns, std::memory_order_relaxed);
+  st.count.fetch_add(1, std::memory_order_relaxed);
+  if (sink_) sink_->complete(track, path, start, end);
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryBind
+
+TelemetryBind::TelemetryBind(Telemetry* telemetry, std::string label) {
+  ThreadBinding& binding = tls_binding();
+  saved_telemetry_ = binding.telemetry;
+  saved_track_ = binding.track;
+  saved_label_ = std::move(binding.label);
+  binding.telemetry = telemetry;
+  binding.label = std::move(label);
+  TraceSink* sink = telemetry ? telemetry->trace() : nullptr;
+  binding.track = sink ? sink->track(binding.label) : -1;
+}
+
+TelemetryBind::TelemetryBind(const TelemetryBinding& parent, const std::string& suffix)
+    : TelemetryBind(parent.telemetry, parent.label + suffix) {}
+
+TelemetryBind::~TelemetryBind() {
+  ThreadBinding& binding = tls_binding();
+  binding.telemetry = saved_telemetry_;
+  binding.track = saved_track_;
+  binding.label = std::move(saved_label_);
+}
+
+// ---------------------------------------------------------------------------
+// StageTimer
+
+StageTimer::StageTimer(const char* path) {
+  const ThreadBinding& binding = tls_binding();
+  if (binding.telemetry == nullptr) return;  // telemetry off: no clock read
+  telemetry_ = binding.telemetry;
+  path_ = path;
+  track_ = binding.track;
+  start_ = adcc::now_seconds();
+}
+
+StageTimer::~StageTimer() {
+  if (telemetry_ == nullptr) return;
+  telemetry_->record(path_, start_, adcc::now_seconds(), track_);
+}
+
+}  // namespace adcc::core

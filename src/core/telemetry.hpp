@@ -1,0 +1,218 @@
+// Telemetry — the stage-level observability layer: named stage timers and
+// monotonic counters behind RAII scopes, with optional Chrome trace_event
+// export.
+//
+// The design goal is a *runtime* enable flag with no compile-time fork and no
+// cost on the native path. Instrumentation sites construct a StageTimer with a
+// hierarchical stage path ("ckpt/crc", "kernel/spmv", ...); the timer resolves
+// the thread's ambient TelemetryBind. When no Telemetry is bound — the native
+// baseline runs, the verify pass, any code path the harness did not opt in —
+// the constructor is a thread-local load plus one branch: no clock read, no
+// lock, no allocation. When bound, each scope reads the monotonic clock twice
+// and merges its elapsed time into the stage's atomic accumulator exactly once
+// at scope exit (per-thread accumulation, merged when the scope closes), so a
+// pipeline of workers hammering the same stage contends on one relaxed
+// fetch_add per chunk, not per sample.
+//
+// Stage paths are hierarchical by convention ('/'-separated); the taxonomy the
+// engine emits is documented in docs/OBSERVABILITY.md:
+//
+//   ckpt/stage  ckpt/crc  ckpt/queue  ckpt/commit  ckpt/drain
+//   coord/join  coord/commit  shard/halo
+//   kernel/spmv  kernel/gemm  kernel/xs
+//
+// Thread propagation: TelemetryBind installs a Telemetry on the *current*
+// thread; engines that spawn workers (the checkpoint WritePipeline, the async
+// drain thread) capture the caller's binding with Telemetry::current_binding()
+// and re-install it — with a "/drain" / "/wN" label suffix — inside the child
+// thread, so stage totals merge into the owning cell's registry and each
+// thread gets its own trace track.
+//
+// Tracing: attach a TraceSink (shared across cells) and every bound stage
+// scope additionally records a Chrome trace_event "complete" event on the
+// binding's track; Telemetry::instant() marks crash/recovery moments. The sink
+// serializes to the chrome://tracing / Perfetto JSON array format.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adcc::core {
+
+/// Process-wide trace event collector, shareable across every cell of a sweep
+/// deck. Tracks are registered by label ("cell3", "cell3/drain"); events carry
+/// microsecond timestamps relative to the sink's construction. Thread-safe.
+class TraceSink {
+ public:
+  TraceSink();
+
+  /// Returns the track id for `label`, registering it on first use. Stable
+  /// for the sink's lifetime.
+  int track(const std::string& label);
+
+  /// Records a "complete" (ph:"X") event: a stage scope [start, end) in
+  /// seconds on the sink's own monotonic clock (now_seconds()).
+  void complete(int track, std::string_view name, double start, double end);
+
+  /// Records an "instant" (ph:"i") event at `at` seconds (crash, recovery).
+  void instant(int track, std::string_view name, double at);
+
+  /// Seconds since the monotonic epoch at the sink's construction — event
+  /// timestamps are taken relative to this.
+  double epoch() const { return epoch_; }
+
+  std::size_t event_count() const;
+
+  /// Serializes {"traceEvents": [...]} — thread_name metadata per track, then
+  /// every recorded event — viewable in chrome://tracing or Perfetto.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  /// One recorded trace event; dur_us < 0 marks an instant event.
+  struct Event {
+    std::string name;
+    double ts_us = 0.0;
+    double dur_us = -1.0;
+    int track = 0;
+  };
+
+  double epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::string> tracks_;
+  std::vector<Event> events_;
+};
+
+class Telemetry;
+
+/// A captured thread binding (see Telemetry::current_binding): which Telemetry
+/// the thread reports into and the trace-track label it reports under. Engines
+/// hand this into the threads they spawn.
+struct TelemetryBinding {
+  Telemetry* telemetry = nullptr;
+  std::string label;
+};
+
+/// The per-cell registry of stage timers and monotonic counters. All methods
+/// are thread-safe; accumulation is wait-free after a stage's first use.
+class Telemetry {
+ public:
+  /// One stage's accumulated totals: merged nanoseconds and scope count.
+  struct Stage {
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Finds or registers the stage at `path`. The reference is stable for the
+  /// Telemetry's lifetime (node-based storage).
+  Stage& stage(std::string_view path);
+
+  /// Adds `delta` to the monotonic counter at `path`.
+  void count(std::string_view path, std::uint64_t delta);
+
+  /// Accumulated seconds of `path` (0.0 when never recorded).
+  double seconds(std::string_view path) const;
+
+  /// Times `path` was scoped or counted (0 when never recorded).
+  std::uint64_t calls(std::string_view path) const;
+
+  /// Counter value at `path` (0 when never counted).
+  std::uint64_t counter(std::string_view path) const;
+
+  /// Sum of seconds over every stage whose path starts with `prefix`
+  /// ("kernel/" aggregates the per-kernel timers into one column).
+  double prefix_seconds(std::string_view prefix) const;
+
+  /// Zeroes every accumulator and counter (registrations persist). The
+  /// scenario runner resets before each timed repetition so the final totals
+  /// describe the last rep — the one whose recovery accounting is reported.
+  void reset();
+
+  /// Stage totals in path order: (path, seconds, scope count).
+  struct Sample {
+    std::string path;
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Sample> snapshot() const;
+
+  /// Attaches (or detaches, with nullptr) the trace sink. Must not race
+  /// running stage scopes; the sweep engine attaches before the cell runs.
+  void set_trace(std::shared_ptr<TraceSink> sink) { sink_ = std::move(sink); }
+  TraceSink* trace() const { return sink_.get(); }
+
+  /// Records an instant trace event (crash / recovery markers) on the calling
+  /// thread's track. No-op without a sink or when this Telemetry is not the
+  /// thread's current binding.
+  void instant(std::string_view name);
+
+  /// The Telemetry bound to the calling thread (nullptr = telemetry off — the
+  /// zero-cost path every instrumentation site takes by default).
+  static Telemetry* current();
+
+  /// The calling thread's full binding, for propagation into spawned threads.
+  static TelemetryBinding current_binding();
+
+ private:
+  friend class TelemetryBind;
+  friend class StageTimer;
+
+  /// Merges one closed scope and emits its trace event.
+  void record(const char* path, double start, double end, int track);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Stage, std::less<>> stages_;
+  std::map<std::string, std::atomic<std::uint64_t>, std::less<>> counters_;
+  std::shared_ptr<TraceSink> sink_;
+};
+
+/// RAII thread binding: installs `telemetry` as the calling thread's current
+/// Telemetry for the scope's duration and restores the previous binding on
+/// exit (bindings nest). The label names the thread's trace track; the
+/// suffix-form constructor derives a child label from a captured parent
+/// binding ("cell3" -> "cell3/drain").
+class TelemetryBind {
+ public:
+  TelemetryBind(Telemetry* telemetry, std::string label);
+  TelemetryBind(const TelemetryBinding& parent, const std::string& suffix);
+  ~TelemetryBind();
+
+  TelemetryBind(const TelemetryBind&) = delete;
+  TelemetryBind& operator=(const TelemetryBind&) = delete;
+
+ private:
+  Telemetry* saved_telemetry_;
+  int saved_track_;
+  std::string saved_label_;
+};
+
+/// RAII stage scope: accumulates [construction, destruction) into the bound
+/// Telemetry's stage at `path` and records a trace event when a sink is
+/// attached. `path` must outlive the scope (pass string literals). When the
+/// thread has no binding the constructor does nothing — no clock read.
+class StageTimer {
+ public:
+  explicit StageTimer(const char* path);
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Telemetry* telemetry_ = nullptr;
+  const char* path_ = nullptr;
+  int track_ = -1;
+  double start_ = 0.0;
+};
+
+}  // namespace adcc::core

@@ -1,6 +1,7 @@
 #include "linalg/gemm.hpp"
 
 #include "common/check.hpp"
+#include "core/telemetry.hpp"
 
 namespace adcc::linalg {
 
@@ -10,6 +11,7 @@ void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b
   ADCC_CHECK(br0 + k <= b.rows(), "panel exceeds B rows");
   const std::size_t m = a.rows();
   const std::size_t n = b.cols();
+  const core::StageTimer timer("kernel/gemm");
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < m; ++i) {
     double* ci = c + i * n;
@@ -32,6 +34,7 @@ void gemm_panel_tile(const Matrix& a, std::size_t ac0, std::size_t k, const Matr
   ADCC_CHECK(r0 <= r1 && r1 <= a.rows(), "tile rows exceed A");
   ADCC_CHECK(c0 <= c1 && c1 <= b.cols(), "tile columns exceed B");
   const std::size_t tn = c1 - c0;
+  const core::StageTimer timer("kernel/gemm");
 #pragma omp parallel for schedule(static)
   for (std::size_t i = r0; i < r1; ++i) {
     double* ti = tile + (i - r0) * tn;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "core/telemetry.hpp"
 #include "mc/xs_kernel.hpp"
 
 namespace adcc::mc {
@@ -39,6 +40,7 @@ class McShardPart final : public core::ShardPart {
     const std::uint64_t se = gb + (ge - gb) * (index_ + 1) / count_;
     // Tick-before-mutate: the whole slice's access estimate up front.
     fault_.tick((se - sb) * kLookupAccessEstimate);
+    const core::StageTimer timer("kernel/xs");
     run_xs_range(plan_.data(), plan_.rng(), sb, se, macro_.data(), counters_.data(),
                  &scalars_.lookups_done);
   }

@@ -6,6 +6,7 @@
 #include "common/align.hpp"
 #include "common/check.hpp"
 #include "core/shard.hpp"
+#include "core/telemetry.hpp"
 #include "mc/mc_shard.hpp"
 #include "mc/xs_cc.hpp"
 
@@ -106,6 +107,8 @@ bool McWorkload::run_step() {
   // All engines accumulate into the volatile working copy, one lookup at a
   // time with a fault-surface site after each (Fig. 9's per-lookup "end of
   // statement" granularity); make_durable publishes the interval boundary.
+  // Timed around the interval, not per lookup: each lookup is ~100ns.
+  const core::StageTimer timer("kernel/xs");
   for (std::uint64_t i = begin; i < end; ++i) {
     run_xs_range(data_, rng_, i, i + 1, macro_.data(), counters_.data(), &scratch_index_);
     fault_.tick(kLookupAccessEstimate);

@@ -263,6 +263,38 @@ TEST(RunSweep, CkptThreadsAndChunkSizeAreFirstClassAxes) {
   }
 }
 
+TEST(RunSweep, TelemetryColumnsBlankWithoutTimingAndStayByteStable) {
+  // The t_stage..t_kernel columns are wall-clock-derived: populated on a
+  // telemetry deck under timing, "-" under table(false) — so smoke.sh's
+  // serial-vs-parallel byte-diff and the memoized-baseline key never see them.
+  const SweepSpec spec = parse_ok("workload=cg,mode=native+ckpt-nvm,crash=none");
+  SweepConfig cfg = tiny_config(1);
+  cfg.telemetry = true;
+  const SweepResult deck = run_sweep(spec, cfg);
+  ASSERT_EQ(deck.cells.size(), 2u);
+  EXPECT_TRUE(deck.all_ok());
+
+  const std::string timed = deck.table(true).render(TableFormat::kCsv);
+  for (const char* col : {"t_stage", "t_crc", "t_io", "t_drain", "t_kernel"}) {
+    EXPECT_NE(timed.find(col), std::string::npos) << col;
+  }
+  // The ckpt-nvm cell measured real checkpoint CRC work and kernel time; the
+  // native cell ran no checkpoint stages at all.
+  const SweepCellResult& native = deck.cells[0];
+  const SweepCellResult& ckpt = deck.cells[1];
+  ASSERT_TRUE(native.telemetry);
+  ASSERT_TRUE(ckpt.telemetry);
+  EXPECT_EQ(native.t_crc, 0.0);
+  EXPECT_GT(ckpt.t_crc, 0.0);
+  EXPECT_GT(ckpt.t_kernel, 0.0);
+
+  // table(false) blanks every stage column even on a telemetry deck, and is
+  // byte-identical to a deck that never collected telemetry.
+  const std::string untimed = deck.table(false).render(TableFormat::kCsv);
+  const SweepResult plain = run_sweep(spec, tiny_config(1));
+  EXPECT_EQ(untimed, plain.table(false).render(TableFormat::kCsv));
+}
+
 TEST(RunSweep, FuzzSeedAxisSharesOneProbe) {
   // crash=fuzz:A+fuzz:B cells of one shape share a single probe repetition;
   // the shared plan must reproduce what the inline per-runner probe picks.
