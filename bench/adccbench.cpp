@@ -36,6 +36,7 @@
 #include "core/report.hpp"
 #include "core/sweep.hpp"
 #include "core/telemetry.hpp"
+#include "kernels/backend.hpp"
 
 namespace {
 
@@ -65,7 +66,7 @@ int main(int argc, char** argv) try {
            "none")
       .doc("sweep",
            "axis grid: key=v1+v2,key=lo:hi[:step|:xF],... (axes: workload, mode, "
-           "crash, policy, and any workload option key)")
+           "crash, policy, backend, and any workload option key)")
       .doc("sweep_jobs", "worker threads executing deck cells", "1")
       .doc("matrix", "run every registered workload x every mode (skips *-sim)", "off")
       .doc("list", "list registered workloads and exit")
@@ -85,7 +86,11 @@ int main(int argc, char** argv) try {
       .doc("nz", "cg: nonzeros per row", "15")
       .doc("iters", "cg: iteration count", "15")
       .doc("rank", "mm: panel rank k")
-      .doc("threads", "OpenMP threads per cell (sweepable axis)")
+      .doc("backend",
+           "kernel backend per cell: serial | omp (sweepable axis; omp needs a "
+           "-DADCC_OPENMP=ON build, see docs/BACKENDS.md)",
+           "serial")
+      .doc("threads", "kernel threads per cell for --backend=omp (sweepable axis)")
       .doc("lookups", "mc: total lookups (suffixes: K/M/G)")
       .doc("interval", "mc: lookups per durability unit")
       .doc("nuclides", "mc: nuclide count")
@@ -117,6 +122,19 @@ int main(int argc, char** argv) try {
   const auto format = core::parse_table_format(opts.get("format", "table"));
   if (!format) {
     std::fprintf(stderr, "adccbench: bad --format (want table | csv | json)\n");
+    return 2;
+  }
+
+  // Fail the scalar --backend up front (a sweep backend axis is validated by
+  // make_axis); cells read it per-cell, but a typo should kill the deck here.
+  if (opts.has("backend") &&
+      core::find_kernel_backend(opts.get("backend", "serial")) == nullptr) {
+    std::string built;
+    for (const auto& name : core::kernel_backend_names()) {
+      built += built.empty() ? name : ", " + name;
+    }
+    std::fprintf(stderr, "adccbench: unknown --backend '%s' (built: %s)\n",
+                 opts.get("backend", "serial").c_str(), built.c_str());
     return 2;
   }
 

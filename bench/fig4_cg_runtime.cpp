@@ -6,9 +6,10 @@
 // Paper numbers: disk checkpoint +60.4 %, NVM-only checkpoint +4.2 %,
 // NVM/DRAM checkpoint +43.6 %, PMEM +329 %, algorithm-directed < 3 %.
 //
-// CG runs single-threaded by default: the paper's compute/durability balance
-// comes from a 2.13 GHz 2009 Xeon, and a 24-core SpMV would make every fixed
-// durability cost look relatively larger. Pass --threads=0 to use all cores.
+// CG runs on the serial kernel backend by default: the paper's
+// compute/durability balance comes from a 2.13 GHz 2009 Xeon, and a 24-core
+// SpMV would make every fixed durability cost look relatively larger. Pass
+// --backend=omp --threads=N (needs -DADCC_OPENMP=ON) for parallel kernels.
 // Substrate setup (arenas, backends) is excluded from the timed region.
 //
 // Ported to the ScenarioRunner: the per-scheme driver code is now the mode
@@ -18,13 +19,13 @@
 // including the native baseline, so only the iteration loop + durability +
 // recovery are timed. Ratios stay apples-to-apples; absolute seconds are
 // slightly lower than the old binary's.
-#include <omp.h>
-
 #include <cstdio>
 
 #include "cg/cg_workload.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "kernels/backend.hpp"
+#include "kernels/threads.hpp"
 
 int main(int argc, char** argv) {
   using namespace adcc;
@@ -34,7 +35,8 @@ int main(int argc, char** argv) {
       .doc("iters", "CG iterations", "15")
       .doc("reps", "timed repetitions", "3 (quick: 1)")
       .doc("disk_mbps", "ckpt-disk throttle, MB/s", "150")
-      .doc("threads", "OpenMP threads (0 = all cores)", "1")
+      .doc("threads", "kernel threads for --backend=omp (0 = ambient)", "1")
+      .doc("backend", "kernel backend (serial|omp, omp needs -DADCC_OPENMP=ON)", "serial")
       .doc("quick", "CI-sized run");
   if (opts.maybe_print_help("fig4_cg_runtime")) return 0;
   const bool quick = opts.get_bool("quick");
@@ -45,7 +47,8 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(opts.get_int("reps", quick ? 1 : 3));
   const double disk_mbps = opts.get_double("disk_mbps", 150.0);
   const int threads = static_cast<int>(opts.get_int("threads", 1));
-  if (threads > 0) omp_set_num_threads(threads);
+  const core::ScopedOmpThreads thread_scope(threads);
+  const core::KernelBackend& backend = core::kernel_backend(opts.get("backend", "serial"));
 
   cg::CgWorkload workload(wc);
 
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   base.env.disk_throttle_bytes_per_s = disk_mbps * 1e6;
   base.env.scratch_dir = std::filesystem::temp_directory_path() / "adcc_fig4";
   base.reps = reps;
+  base.backend = &backend;
 
   auto scenario = [&](core::Mode m, int mode_reps, bool warmup) {
     core::ScenarioConfig cfg = base;

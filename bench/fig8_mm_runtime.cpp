@@ -7,8 +7,9 @@
 // ≥ 21.8 % at rank 200; PMEM ≈ 5.5×.
 // The matrix is scaled (default n = 1000) and the ranks are scaled by the same
 // n ratio so the panels-per-product counts match the paper's sweep; GEMM runs
-// single-threaded by default to approximate the paper's compute/durability
-// balance (pass --threads=0 for all cores).
+// on the serial kernel backend by default to approximate the paper's
+// compute/durability balance (pass --backend=omp --threads=N for parallel
+// kernels; needs -DADCC_OPENMP=ON).
 //
 // Ported to the ScenarioRunner: one MmWorkload per rank, the scheme sweep is a
 // mode list, and the native(abft) baseline is the same workload in kNative
@@ -16,13 +17,13 @@
 // Workload::prepare (input encoding, accumulator allocation/zeroing, heap
 // construction) is excluded from the timed region for every scheme including
 // the baseline — only the panel loop + durability are timed.
-#include <omp.h>
-
 #include <cstdio>
 #include <sstream>
 
 #include "core/report.hpp"
 #include "core/scenario.hpp"
+#include "kernels/backend.hpp"
+#include "kernels/threads.hpp"
 #include "mm/mm_workload.hpp"
 
 int main(int argc, char** argv) {
@@ -32,7 +33,8 @@ int main(int argc, char** argv) {
       .doc("ranks", "comma-separated panel ranks", "25,50,125 (quick: 25,125)")
       .doc("reps", "timed repetitions", "2 (quick: 1)")
       .doc("disk_mbps", "ckpt-disk throttle, MB/s", "150")
-      .doc("threads", "OpenMP threads (0 = all cores)", "1")
+      .doc("threads", "kernel threads for --backend=omp (0 = ambient)", "1")
+      .doc("backend", "kernel backend (serial|omp, omp needs -DADCC_OPENMP=ON)", "serial")
       .doc("quick", "CI-sized run");
   if (opts.maybe_print_help("fig8_mm_runtime")) return 0;
   const bool quick = opts.get_bool("quick");
@@ -47,7 +49,8 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(opts.get_int("reps", quick ? 1 : 2));
   const double disk_mbps = opts.get_double("disk_mbps", 150.0);
   const int threads = static_cast<int>(opts.get_int("threads", 1));
-  if (threads > 0) omp_set_num_threads(threads);
+  const core::ScopedOmpThreads thread_scope(threads);
+  const core::KernelBackend& backend = core::kernel_backend(opts.get("backend", "serial"));
 
   core::print_banner("Fig. 8", "ABFT-MM runtime, 7 schemes, n=" + std::to_string(n) +
                                    " (paper: 8000 with ranks x8000/" + std::to_string(n) + ")");
@@ -63,6 +66,7 @@ int main(int argc, char** argv) {
     core::ScenarioConfig base;
     base.env.disk_throttle_bytes_per_s = disk_mbps * 1e6;
     base.env.scratch_dir = std::filesystem::temp_directory_path() / "adcc_fig8";
+    base.backend = &backend;
     auto scenario = [&](core::Mode m, int mode_reps, bool warmup) {
       core::ScenarioConfig cfg = base;
       cfg.mode = m;

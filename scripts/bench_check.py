@@ -22,6 +22,15 @@ Checks, in order:
      axis, seconds[axis=--speedup-to] must beat seconds[axis=--speedup-from]
      by at least --speedup-min (the "parallel durability must actually win"
      acceptance gate — self-relative, so it holds on any machine).
+     --speedup-filter KEY=VALUE (repeatable) restricts the gate to matching
+     rows — e.g. `--speedup-filter backend=omp` gates the omp rows of a
+     backend-crossed threads deck without demanding a serial "speedup".
+     --speedup-procs N declares how many CPUs the gate's threshold assumes:
+     when the runner has fewer (os.sched_getaffinity), a parallel win is
+     physically impossible, so the gate degrades to --speedup-degraded-min
+     (a no-regression bound, default 0.90) and its metrics are ratcheted
+     under a separate ":degraded" name so starved runs never poison the
+     full-width history.
   5. With --overhead-axis: within each cell group that differs only in that
      axis, the *normalized overhead* (normalized - 1, i.e. the durability
      scheme's cost over native) at axis=--overhead-to must be at most
@@ -56,8 +65,11 @@ import json
 import os
 import sys
 
-# Telemetry stage columns (sweep table): seconds of the last timed rep.
-STAGE_COLS = ("t_stage", "t_crc", "t_io", "t_drain", "t_kernel")
+# Telemetry stage columns (sweep table): seconds of the last timed rep. The
+# t_spmv/t_gemm/t_xs columns are per-kernel slices of t_kernel (docs/
+# OBSERVABILITY.md); like t_kernel they are compute, not checkpoint time.
+STAGE_COLS = ("t_stage", "t_crc", "t_io", "t_drain", "t_kernel",
+              "t_spmv", "t_gemm", "t_xs")
 # The stage-budget denominator: the synchronous checkpoint wall time. t_drain
 # overlaps these by design and t_kernel is compute, so neither belongs in it.
 STAGE_DENOM_COLS = ("t_stage", "t_crc", "t_io")
@@ -108,6 +120,17 @@ def main():
     ap.add_argument("--speedup-from", default="1")
     ap.add_argument("--speedup-to", default="4")
     ap.add_argument("--speedup-min", type=float, default=1.05)
+    ap.add_argument("--speedup-filter", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="repeatable: only rows with row[KEY] == VALUE feed "
+                         "the speedup gate (e.g. backend=omp)")
+    ap.add_argument("--speedup-procs", type=int, default=0,
+                    metavar="N",
+                    help="CPUs the --speedup-min threshold assumes; with fewer "
+                         "available the gate degrades to --speedup-degraded-min")
+    ap.add_argument("--speedup-degraded-min", type=float, default=0.90,
+                    help="no-regression bound used when the runner has fewer "
+                         "than --speedup-procs CPUs (default 0.90)")
     ap.add_argument("--overhead-axis", default=None,
                     help="axis column for the normalized-overhead ratio gate")
     ap.add_argument("--overhead-from", default="0")
@@ -171,13 +194,33 @@ def main():
 
     if args.speedup_axis:
         axis = args.speedup_axis
+        filters = {}
+        for spec in args.speedup_filter:
+            key, sep, value = spec.partition("=")
+            if not sep or not key:
+                sys.exit(f"bench_check: bad --speedup-filter {spec!r} (want KEY=VALUE)")
+            filters[key] = value
+        # Degrade to a no-regression bound when the machine cannot possibly
+        # show the full-width parallel win (CI runners vary; a 1-CPU box
+        # cannot make 4 threads beat 1).
+        speedup_min, metric_suffix = args.speedup_min, ""
+        if args.speedup_procs > 0:
+            avail = len(os.sched_getaffinity(0))
+            if avail < args.speedup_procs:
+                speedup_min, metric_suffix = args.speedup_degraded_min, ":degraded"
+                print(f"bench_check: speedup gate degraded: {avail} CPU(s) "
+                      f"available, threshold assumes {args.speedup_procs}; "
+                      f"gating no-regression >= {speedup_min:.2f}x instead")
         groups = {}
         for row in current:
             if axis not in row:
                 continue
+            if any(row.get(k) != v for k, v in filters.items()):
+                continue
             groups.setdefault(cell_key(row, axis_excluded=(axis,)), {})[row[axis]] = row
         if not groups:
-            failures.append(f"speedup gate: no cells carry axis '{axis}'")
+            failures.append(f"speedup gate: no cells carry axis '{axis}'"
+                            + (f" and match {filters}" if filters else ""))
         for gkey, by_axis in sorted(groups.items()):
             lo = by_axis.get(args.speedup_from)
             hi = by_axis.get(args.speedup_to)
@@ -192,13 +235,14 @@ def main():
                 continue
             speedup = lo_s / hi_s
             gname = ";".join(f"{k}={v}" for k, v in gkey)
-            metrics[f"speedup:{axis}:{args.speedup_from}->{args.speedup_to}:{gname}"] = (
+            metrics[f"speedup{metric_suffix}:{axis}:"
+                    f"{args.speedup_from}->{args.speedup_to}:{gname}"] = (
                 speedup, "higher")
-            verdict = "ok" if speedup >= args.speedup_min else "FAIL"
+            verdict = "ok" if speedup >= speedup_min else "FAIL"
             print(f"bench_check: {axis} {args.speedup_from}->{args.speedup_to} "
-                  f"speedup {speedup:.2f}x (need >= {args.speedup_min:.2f}x) "
+                  f"speedup {speedup:.2f}x (need >= {speedup_min:.2f}x) "
                   f"[{verdict}] {dict(gkey)}")
-            if speedup < args.speedup_min:
+            if speedup < speedup_min:
                 failures.append(
                     f"{axis}={args.speedup_to} does not beat ={args.speedup_from}: "
                     f"{lo_s:.4f}s -> {hi_s:.4f}s ({speedup:.2f}x) in {dict(gkey)}")
@@ -366,8 +410,15 @@ def self_test():
             "resume/unit": "-", "victims": "0", "epochs_rb": "0",
             "replayed": "0", "halo_kb": "0.0", "t_stage": t_stage,
             "t_crc": t_crc, "t_io": t_io, "t_drain": "-",
-            "t_kernel": "0.4000", "status": "ok",
+            "t_kernel": "0.4000", "t_spmv": "0.3500", "t_gemm": "0.0000",
+            "t_xs": "0.0000", "status": "ok",
         }
+
+    def speedup_row(cell, backend, threads, seconds):
+        row = stage_row("native", "-", "-", "-")
+        row.update({"cell": cell, "backend": backend, "threads": threads,
+                    "seconds": seconds})
+        return row
 
     # A native cell (blank stage columns, must be skipped) plus a ckpt cell
     # where t_crc is 10% of the 0.20s checkpoint wall time.
@@ -402,6 +453,56 @@ def self_test():
            1, "bad --stage-budget")
     expect("budget-bad-stage", run(lean, lean, "--stage-budget", "seconds=0.5"),
            1, "bad --stage-budget")
+
+    # Speedup gate with a backend filter: omp scales 2.0x, serial stays flat
+    # (as it must — the serial rows never see the threads axis). Unfiltered,
+    # the serial group fails the 1.3x bar; filtered to backend=omp it passes.
+    threads_deck = deck("threads.json", [
+        speedup_row("0", "serial", "1", "0.4000"),
+        speedup_row("1", "serial", "4", "0.4000"),
+        speedup_row("2", "omp", "1", "0.4000"),
+        speedup_row("3", "omp", "4", "0.2000"),
+    ])
+    speedup_args = ("--speedup-axis", "threads", "--speedup-from", "1",
+                    "--speedup-to", "4", "--speedup-min", "1.3")
+    expect("speedup-unfiltered-fail", run(threads_deck, threads_deck, *speedup_args),
+           1, "threads=4 does not beat =1")
+    expect("speedup-filtered-pass",
+           run(threads_deck, threads_deck, *speedup_args,
+               "--speedup-filter", "backend=omp"),
+           0, "speedup 2.00x")
+    expect("speedup-filter-empty",
+           run(threads_deck, threads_deck, *speedup_args,
+               "--speedup-filter", "backend=cuda"),
+           1, "no cells carry axis")
+    expect("speedup-bad-filter",
+           run(threads_deck, threads_deck, *speedup_args, "--speedup-filter", "omp"),
+           1, "bad --speedup-filter")
+    # Degraded mode: demanding more CPUs than any machine has must drop the
+    # bar to the no-regression bound, which a flat serial group clears.
+    expect("speedup-degraded",
+           run(threads_deck, threads_deck, *speedup_args,
+               "--speedup-procs", "100000"),
+           0, "speedup gate degraded")
+    # But an actual slowdown still fails even degraded.
+    slow_deck = deck("slow.json", [
+        speedup_row("0", "omp", "1", "0.2000"),
+        speedup_row("1", "omp", "4", "0.4000"),
+    ])
+    expect("speedup-degraded-regression",
+           run(slow_deck, slow_deck, *speedup_args, "--speedup-procs", "100000"),
+           1, "does not beat")
+    # Degraded metrics ratchet under their own name, leaving full-width
+    # history untouched.
+    dhist = os.path.join(tmp, "dhist.jsonl")
+    proc = run(threads_deck, threads_deck, *speedup_args,
+               "--speedup-filter", "backend=omp", "--speedup-procs", "100000",
+               "--history", dhist)
+    expect("speedup-degraded-history", proc, 0)
+    with open(dhist) as f:
+        drec = [json.loads(l) for l in f if l.strip()][-1]
+    if not any(name.startswith("speedup:degraded:") for name in drec["metrics"]):
+        problems.append(f"degraded metric name missing: {drec['metrics']}")
 
     # Corrupt history: line 3 (after a valid record and a skipped blank) must
     # be named file:3 in the error.

@@ -19,6 +19,12 @@
 #                           normalized against the single-rank native
 #                           baseline — bench_check.py gates the 4-shard
 #                           normalized overhead against the single-shard one
+#   BENCH_threads.json      the kernel-backend scaling deck: the CG SpMV
+#                           shape crossed over backend=serial+omp x
+#                           threads=1:8:x2 — bench_check.py gates the omp
+#                           4-thread cell beating its 1-thread cell
+#                           (requires an -DADCC_OPENMP=ON build; the default
+#                           build directory is configured with the flag)
 #
 #   scripts/bench_matrix.sh                 # build + decks -> BENCH_*.json
 #   scripts/bench_matrix.sh --out /tmp/b.json --bin ./build/adccbench --no-build
@@ -34,6 +40,7 @@ OUT="BENCH_sweep.json"
 OUT_CKPT="BENCH_ckpt_threads.json"
 OUT_ASYNC="BENCH_ckpt_async.json"
 OUT_SHARDS="BENCH_shards.json"
+OUT_THREADS="BENCH_threads.json"
 BUILD=1
 
 while [[ $# -gt 0 ]]; do
@@ -43,6 +50,7 @@ while [[ $# -gt 0 ]]; do
     --out-ckpt) OUT_CKPT="$2"; shift 2 ;;
     --out-async) OUT_ASYNC="$2"; shift 2 ;;
     --out-shards) OUT_SHARDS="$2"; shift 2 ;;
+    --out-threads) OUT_THREADS="$2"; shift 2 ;;
     --no-build) BUILD=0; shift ;;
     *) echo "bench_matrix.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
@@ -50,7 +58,7 @@ done
 
 if [[ -z "$BIN" ]]; then
   if [[ "$BUILD" -eq 1 ]]; then
-    cmake -B build -S . >/dev/null
+    cmake -B build -S . -DADCC_OPENMP=ON >/dev/null
     cmake --build build -j "$(nproc)" --target adccbench >/dev/null
   fi
   BIN=./build/adccbench
@@ -96,3 +104,20 @@ echo "bench_matrix OK -> $OUT_ASYNC ($(grep -c '"workload"' "$OUT_ASYNC") cells)
   --format=json --out="$OUT_SHARDS" >/dev/null
 
 echo "bench_matrix OK -> $OUT_SHARDS ($(grep -c '"workload"' "$OUT_SHARDS") cells)"
+
+# Kernel-backend scaling deck: the SpMV-dominated CG shape (n=2.8M, nz=8, no
+# durability work — mode=native isolates the compute win) crossed over
+# backend=serial+omp x threads=1:8:x2. Only meaningful from an
+# -DADCC_OPENMP=ON binary; skipped with a warning otherwise so the non-OMP
+# decks still pin. bench_check.py gates the omp rows with
+# --speedup-filter backend=omp (serial rows ignore the threads axis by
+# construction) and --speedup-procs 4 (degrades to a no-regression bound on
+# starved runners).
+if "$BIN" --list --backend=omp >/dev/null 2>&1; then
+  "$BIN" --workload=cg --mode=native --sweep="backend=serial+omp,threads=1:8:x2" \
+    --n=2800000 --nz=8 --iters=3 --reps=3 --no_baseline --verify=off \
+    --format=json --out="$OUT_THREADS" >/dev/null
+  echo "bench_matrix OK -> $OUT_THREADS ($(grep -c '"workload"' "$OUT_THREADS") cells)"
+else
+  echo "bench_matrix: $BIN lacks the omp backend (build with -DADCC_OPENMP=ON); skipping $OUT_THREADS" >&2
+fi

@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""Documentation lint: the docs/ tree must exist and the public headers must
-carry doc comments.
+"""Documentation lint: the docs/ tree must exist, cross-link soundly, and the
+public headers must carry doc comments.
 
-Two checks, run from anywhere (the repo root is derived from this file):
+Three checks, run from anywhere (the repo root is derived from this file):
 
-  1. docs/ tree: ARCHITECTURE.md, CRASH_GRAMMAR.md and SWEEP.md exist,
-     are non-trivial, and README.md links into docs/.
-  2. Public-header docs: every top-level `struct X {` / `class X {`
+  1. docs/ tree: ARCHITECTURE.md, CRASH_GRAMMAR.md, SWEEP.md,
+     OBSERVABILITY.md and BACKENDS.md exist, are non-trivial, and README.md
+     links into docs/.
+  2. Intra-docs links: every relative markdown link in README.md and the
+     docs/ tree (the `[text](path)` form, optionally with a `#fragment`)
+     must resolve to a file that exists — the docs cross-link heavily
+     (README -> docs/*, BACKENDS <-> OBSERVABILITY <-> SWEEP), and a renamed
+     file must not leave dangling references. External (scheme://) and
+     pure-fragment links are out of scope.
+  3. Public-header docs: every top-level `struct X {` / `class X {`
      definition in the PUBLIC_HEADERS list is immediately preceded by a
      comment line (`///` or `//`), so the API surface cannot silently grow
      undocumented types. Forward declarations (`class X;`) are exempt.
@@ -25,7 +32,11 @@ REQUIRED_DOCS = [
     "docs/CRASH_GRAMMAR.md",
     "docs/SWEEP.md",
     "docs/OBSERVABILITY.md",
+    "docs/BACKENDS.md",
 ]
+
+# The files whose relative markdown links must resolve.
+LINKED_DOCS = ["README.md", *REQUIRED_DOCS]
 
 # The public API surface held to the struct/class doc-comment rule.
 PUBLIC_HEADERS = [
@@ -40,9 +51,15 @@ PUBLIC_HEADERS = [
     "src/checkpoint/backend.hpp",
     "src/checkpoint/chunk.hpp",
     "src/checkpoint/checkpoint_set.hpp",
+    "src/kernels/backend.hpp",
+    "src/kernels/threads.hpp",
 ]
 
 DECL = re.compile(r"^(?:struct|class)\s+(\w+)")
+
+# Markdown inline links; images share the form (the leading '!' is irrelevant
+# to resolution). Reference-style links are not used in this docs tree.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
 def check_docs_tree(failures):
@@ -57,6 +74,19 @@ def check_docs_tree(failures):
         failures.append("README.md: missing")
     elif "docs/" not in readme.read_text():
         failures.append("README.md: does not link into docs/")
+
+
+def check_links(rel, failures):
+    path = ROOT / rel
+    if not path.is_file():
+        return  # check_docs_tree already reported it.
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        for target in MD_LINK.findall(line):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            resolved = (path.parent / target.partition("#")[0]).resolve()
+            if not resolved.exists():
+                failures.append(f"{rel}:{lineno}: dangling link '{target}'")
 
 
 def check_header(rel, failures):
@@ -83,6 +113,8 @@ def check_header(rel, failures):
 def main():
     failures = []
     check_docs_tree(failures)
+    for rel in LINKED_DOCS:
+        check_links(rel, failures)
     for rel in PUBLIC_HEADERS:
         check_header(rel, failures)
     if failures:

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
-#include "core/telemetry.hpp"
+#include "kernels/backend.hpp"
 #include "linalg/spgen.hpp"
 #include "linalg/vec_ops.hpp"
 
@@ -58,15 +58,9 @@ class CgShardPart final : public core::ShardPart {
       case 1: {  // Local SpMV over the assembled direction + partial p.q.
         fault_.tick(nnz_ + 2 * len());
         assemble_p(unit, ex);
-        const linalg::CsrMatrix& a = plan_.matrix();
         // Rows are independent and each row's sum is sequential, so the
-        // result — and the checkpoint image — is thread-count invariant.
-        // (Timed around the loop, not per row: spmv_row is too hot to scope.)
-        {
-          const core::StageTimer timer("kernel/spmv");
-#pragma omp parallel for schedule(static)
-          for (std::size_t i = r0_; i < r1_; ++i) q_[i - r0_] = a.spmv_row(i, p_full_);
-        }
+        // result — and the checkpoint image — is backend/thread invariant.
+        core::active_kernel_backend().spmv_rows(plan_.matrix(), r0_, r1_, p_full_, q_);
         ex.publish(unit, "pq", index_, {seq_dot(p_, q_)});
         break;
       }

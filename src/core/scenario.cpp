@@ -10,6 +10,7 @@
 #include "common/timer.hpp"
 #include "core/fault.hpp"
 #include "core/telemetry.hpp"
+#include "kernels/backend.hpp"
 #include "memsim/crash.hpp"
 
 namespace adcc::core {
@@ -443,9 +444,12 @@ WorkloadRecovery ScenarioRunner::recover_with_chain(ScenarioResult& result,
 }
 
 double ScenarioRunner::run_once(ScenarioResult& result) {
-  // Bind telemetry for this repetition (RAII, restores on every exit path);
-  // engine threads propagate the binding themselves.
+  // Bind telemetry and the kernel backend for this repetition (RAII, restores
+  // on every exit path); engine threads propagate the bindings themselves.
+  // Verify runs after run_once returns — outside the bind — so reference
+  // recomputation is always serial.
   const TelemetryBind telemetry_bind(cfg_.telemetry, cfg_.telemetry_label);
+  const KernelBackendBind backend_bind(cfg_.backend);
   ensure_env();
   workload_.prepare(*env_);
 

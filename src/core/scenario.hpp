@@ -64,6 +64,7 @@
 
 namespace adcc::core {
 
+class KernelBackend;
 class Telemetry;
 
 /// A parsed crash plan: when (and how often) the emulated power failure
@@ -138,6 +139,11 @@ struct ScenarioConfig {
   /// resets it before each rep so the totals describe the last one.
   Telemetry* telemetry = nullptr;
   std::string telemetry_label;  ///< Trace-track label ("cellN" in sweeps).
+  /// Kernel backend bound (per thread, RAII) around every repetition; null =
+  /// the serial default. Verify passes run outside the bind and always
+  /// recompute serially, which is what makes serial-vs-omp equivalence checks
+  /// meaningful.
+  const KernelBackend* backend = nullptr;
 };
 
 /// One scenario's aggregated measurement: median wall time, normalization,

@@ -1,6 +1,5 @@
 #include "core/sweep.hpp"
 
-#include <omp.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,6 +15,8 @@
 #include "common/check.hpp"
 #include "core/registry.hpp"
 #include "core/telemetry.hpp"
+#include "kernels/backend.hpp"
+#include "kernels/threads.hpp"
 
 namespace adcc::core {
 
@@ -51,7 +52,8 @@ std::vector<std::string_view> split(std::string_view s, char sep) {
 /// The axes whose values are names, not numbers: never range-expanded, and the
 /// crash axis may contain ':' freely (point:cg:p_updated:15).
 bool is_string_axis(std::string_view key) {
-  return key == "workload" || key == "mode" || key == "crash" || key == "policy";
+  return key == "workload" || key == "mode" || key == "crash" || key == "policy" ||
+         key == "backend";
 }
 
 bool expand_string_token(std::string_view key, std::string_view tok,
@@ -95,6 +97,19 @@ bool expand_string_token(std::string_view key, std::string_view tok,
                              "point:NAME[:K] | fuzz:SEED)");
     }
     out.push_back(crash_name(*crash));
+    return true;
+  }
+  if (key == "backend") {
+    // Eager validation against the registry: requesting a backend this build
+    // did not compile (omp without -DADCC_OPENMP=ON) is a deck parse error,
+    // not UB at run time.
+    if (find_kernel_backend(token) == nullptr) {
+      std::string built;
+      for (const std::string& name : kernel_backend_names()) built += " " + name;
+      return fail(error,
+                  "axis 'backend': unknown kernel backend '" + token + "' (built:" + built + ")");
+    }
+    out.push_back(token);
     return true;
   }
   // policy
@@ -385,14 +400,17 @@ ScenarioConfig cell_config(const Workload& workload, Mode mode, const CrashScena
 /// ckpt_async overhead ratio) free of native-measurement noise between cells.
 /// The shard axes also drop out: the native baseline of a sharded cell is the
 /// single-rank run of the same problem, so "shards=4 overhead" is measured
-/// against the same denominator as "shards=1 overhead".
+/// against the same denominator as "shards=1 overhead". Likewise the compute
+/// axes (backend/threads): baselines always run on the serial backend, so a
+/// backend=serial+omp,threads=1:8:x2 deck shares ONE native baseline per shape
+/// and every speedup/overhead ratio uses the same denominator.
 std::string baseline_key(const std::string& workload,
                          const std::vector<std::pair<std::string, std::string>>& assignment) {
   std::string key = workload;
   for (const auto& [k, v] : assignment) {
     if (k == "mode" || k == "crash" || k == "policy" || k == "ckpt_threads" ||
         k == "ckpt_chunk_kb" || k == "ckpt_async" || k == "disk_mbps" || k == "shards" ||
-        k == "shard_stagger") {
+        k == "shard_stagger" || k == "backend" || k == "threads") {
       continue;
     }
     key += '\x1f' + k + '=' + v;
@@ -421,17 +439,22 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
     cell.mode_label = mode_name(*mode);
     cell.crash_label = crash_name(*crash);
 
-    // Per-worker OpenMP team sizing: omp_set_num_threads sets the calling
-    // thread's ICV, so concurrent workers sweeping a `threads` axis don't
-    // stomp each other.
-    if (opts.has("threads")) {
-      omp_set_num_threads(std::max(1, static_cast<int>(opts.get_int("threads", 1))));
-    }
+    // Per-worker OpenMP team sizing: the scope sets the calling thread's ICV
+    // (so concurrent workers sweeping a `threads` axis don't stomp each other)
+    // and restores the previous value when the cell ends — a threads axis
+    // can't leak into later cells or whatever runs after the deck.
+    const ScopedOmpThreads thread_scope(
+        opts.has("threads") ? std::max(1, static_cast<int>(opts.get_int("threads", 1))) : 0);
 
     auto& registry = WorkloadRegistry::instance();
     const auto workload = registry.create(cell.workload, opts);
     const std::filesystem::path scratch = scratch_root / ("cell" + std::to_string(index));
     ScenarioConfig sc = cell_config(*workload, *mode, *crash, opts, scratch);
+    // Only the main scenario gets the cell's backend: cell_config is shared
+    // with the baseline and fuzz-probe configs below, which must stay serial
+    // (null = the serial default) so backends share one native baseline.
+    const std::string backend_name = opts.get("backend", "serial");
+    sc.backend = &kernel_backend(backend_name);
 
     // Per-cell stage-timer registry (the baseline and fuzz-probe runs below
     // use their own ScenarioConfigs and stay unbound, so the memoized native
@@ -452,9 +475,13 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
     // the SINGLE-RANK native run (shards is not part of the baseline key), so
     // a shards=4 native measurement under the shards-agnostic key would skew
     // every sibling's overhead column.
+    // ... and only a SERIAL-backend cell may self-seed: backend/threads drop
+    // out of the baseline key (one native baseline per shape), so an omp
+    // native measurement under the backend-agnostic key would skew every
+    // sibling's speedup/overhead column.
     const bool self_baseline = want_baseline && *mode == Mode::kNative &&
                                crash->kind == CrashScenario::Kind::kNone &&
-                               opts.get_size("shards", 1) <= 1;
+                               opts.get_size("shards", 1) <= 1 && backend_name == "serial";
     const std::string shape = baseline_key(cell.workload, cell.assignment);
     if (want_baseline && !self_baseline) {
       cell.native_seconds = baselines.get_or_compute(shape, [&] {
@@ -497,6 +524,9 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
       cell.t_io = telemetry->seconds("ckpt/queue");
       cell.t_drain = telemetry->seconds("ckpt/drain");
       cell.t_kernel = telemetry->prefix_seconds("kernel/");
+      cell.t_spmv = telemetry->seconds("kernel/spmv");
+      cell.t_gemm = telemetry->seconds("kernel/gemm");
+      cell.t_xs = telemetry->seconds("kernel/xs");
     }
     if (self_baseline) {
       cell.native_seconds = baselines.put_or_get(shape, cell.result.seconds);
@@ -580,7 +610,7 @@ Table SweepResult::table(bool timing) const {
   for (const char* h : {"units", "seconds", "normalized", "overhead", "lost", "partial",
                         "corrected", "torn", "overlap", "detect/unit", "resume/unit",
                         "victims", "epochs_rb", "replayed", "halo_kb", "t_stage", "t_crc",
-                        "t_io", "t_drain", "t_kernel", "status"}) {
+                        "t_io", "t_drain", "t_kernel", "t_spmv", "t_gemm", "t_xs", "status"}) {
     headers.emplace_back(h);
   }
 
@@ -596,7 +626,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::move(value));
     }
     if (cell.status == SweepCellResult::Status::kError) {
-      for (int i = 0; i < 20; ++i) row.emplace_back("-");
+      for (int i = 0; i < 23; ++i) row.emplace_back("-");
       row.push_back("ERROR: " + cell.error);
     } else {
       const ScenarioResult& res = cell.result;
@@ -629,6 +659,9 @@ Table SweepResult::table(bool timing) const {
       row.push_back(stages ? Table::fmt(cell.t_io, 4) : "-");
       row.push_back(stages ? Table::fmt(cell.t_drain, 4) : "-");
       row.push_back(stages ? Table::fmt(cell.t_kernel, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_spmv, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_gemm, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_xs, 4) : "-");
       row.push_back(cell.status == SweepCellResult::Status::kOk ? "ok" : "FAIL:verify");
     }
     table.add_row(std::move(row));

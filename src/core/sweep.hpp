@@ -13,13 +13,17 @@
 //   lo:hi:STEP   inclusive range, additive step   n=1000:5000:1000
 //   lo:hi:xF     geometric range, factor F ≥ 2    cache_mb=4:64:x2
 //
-// Four axes are string-valued and never range-expanded: `workload` (registry
+// Five axes are string-valued and never range-expanded: `workload` (registry
 // names; `all` = every non-*-sim workload), `mode` (mode names or `all` = the
 // paper's seven), `crash` (any parse_crash plan — plans contain ':' freely),
-// and `policy`. Every other key is a generic per-cell option override handed
-// to the workload factory (n, nz, iters, rank, lookups, interval, nuclides,
-// gridpoints, cache_mb, threads, reps, seed, arena, slot, ...), so any knob a
-// workload reads from Options is sweepable without engine changes.
+// `policy`, and `backend` (kernel-backend registry names, validated eagerly —
+// `omp` in a build without -DADCC_OPENMP=ON is a parse error). Every other key
+// is a generic per-cell option override handed to the workload factory (n, nz,
+// iters, rank, lookups, interval, nuclides, gridpoints, cache_mb, threads,
+// reps, seed, arena, slot, ...), so any knob a workload reads from Options is
+// sweepable without engine changes. `backend`/`threads` select the compute
+// kernels per cell (docs/BACKENDS.md); native baselines always run serially,
+// so every backend/thread cell of a shape shares one baseline.
 //
 // The deck is the cross product of all axes, expanded in spec order with the
 // first axis slowest-varying. run_sweep executes every cell through
@@ -122,6 +126,11 @@ struct SweepCellResult {
   double t_io = 0.0;
   double t_drain = 0.0;
   double t_kernel = 0.0;
+  /// Per-kernel slices of t_kernel (kernel/spmv, kernel/gemm, kernel/xs); the
+  /// remainder is kernel/blas1 and any future stages under the prefix.
+  double t_spmv = 0.0;
+  double t_gemm = 0.0;
+  double t_xs = 0.0;
 };
 
 /// A fully executed deck: every cell result in deck order plus the table

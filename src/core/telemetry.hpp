@@ -19,7 +19,7 @@
 //
 //   ckpt/stage  ckpt/crc  ckpt/queue  ckpt/commit  ckpt/drain
 //   coord/join  coord/commit  shard/halo
-//   kernel/spmv  kernel/gemm  kernel/xs
+//   kernel/spmv  kernel/gemm  kernel/xs  kernel/blas1
 //
 // Thread propagation: TelemetryBind installs a Telemetry on the *current*
 // thread; engines that spawn workers (the checkpoint WritePipeline, the async

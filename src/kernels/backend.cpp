@@ -1,0 +1,79 @@
+#include "kernels/backend.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace adcc::core {
+
+namespace {
+
+/// Process-wide backend table. Meyers singleton whose constructor seeds the
+/// serial backend, so `serial` is always present and always first; omp's
+/// registrar appends during static init (order vs. this table is safe because
+/// every path reaches it through registry() first).
+struct Registry {
+  std::vector<const KernelBackend*> backends;
+
+  Registry() { backends.push_back(&serial_kernel_backend()); }
+
+  const KernelBackend* find(std::string_view name) const {
+    for (const KernelBackend* b : backends) {
+      if (b->name() == name) return b;
+    }
+    return nullptr;
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// The calling thread's binding; nullptr = serial default. Thread-local for
+/// the same reason TelemetryBind is: parallel sweep workers bind different
+/// backends concurrently.
+thread_local const KernelBackend* t_active = nullptr;
+
+}  // namespace
+
+const KernelBackend* find_kernel_backend(std::string_view name) {
+  return registry().find(name);
+}
+
+const KernelBackend& kernel_backend(std::string_view name) {
+  if (const KernelBackend* b = registry().find(name)) return *b;
+  std::ostringstream msg;
+  msg << "unknown kernel backend '" << name << "' (built: ";
+  const auto& all = registry().backends;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i != 0) msg << ", ";
+    msg << all[i]->name();
+  }
+  msg << ")";
+  throw std::runtime_error(msg.str());
+}
+
+std::vector<std::string> kernel_backend_names() {
+  std::vector<std::string> names;
+  for (const KernelBackend* b : registry().backends) names.push_back(b->name());
+  return names;
+}
+
+const KernelBackend& active_kernel_backend() {
+  return t_active != nullptr ? *t_active : serial_kernel_backend();
+}
+
+KernelBackendBind::KernelBackendBind(const KernelBackend* backend) : saved_(t_active) {
+  t_active = backend;
+}
+
+KernelBackendBind::~KernelBackendBind() { t_active = saved_; }
+
+KernelBackendRegistrar::KernelBackendRegistrar(const KernelBackend& backend) {
+  ADCC_CHECK(registry().find(backend.name()) == nullptr, "duplicate kernel backend name");
+  registry().backends.push_back(&backend);
+}
+
+}  // namespace adcc::core

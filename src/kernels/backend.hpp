@@ -1,0 +1,225 @@
+// KernelBackend — the pluggable compute layer (ROADMAP: "pluggable compute
+// backends + per-kernel timing").
+//
+// Every hot loop the workloads execute (CG's SpMV and BLAS-1 updates, MM's
+// panel/tile GEMM and panel reduction, MC's xs-lookup batch) is a virtual on
+// this interface, with one implementation per backend subdirectory:
+//
+//   src/kernels/serial/   — the default: today's loop bodies, no threading,
+//                           always registered, bit-identical to the pre-backend
+//                           code paths on any build
+//   src/kernels/omp/      — OpenMP: parallel SpMV, tiled scratch-buffer GEMM,
+//                           batched parallel xs-lookup; compiled and registered
+//                           only under -DADCC_OPENMP=ON
+//
+// Selection is by name (`--backend=serial|omp`, a sweepable string axis): the
+// sweep engine resolves the cell's backend once and ScenarioRunner binds it to
+// the scenario's thread (RAII, like TelemetryBind), so every linalg/mc
+// dispatch site picks it up through active_kernel_backend() without plumbing a
+// pointer through the workload layer. Unbound threads — verify passes, native
+// baseline runs, unit tests — always compute on the serial backend.
+//
+// Timing: the public entry points are non-virtual wrappers that open the PR 7
+// telemetry stage (kernel/spmv, kernel/gemm, kernel/blas1) around the protected
+// do_* virtual, so every backend is timed identically at every call site and
+// the sweep's t_spmv/t_gemm columns need no per-backend instrumentation.
+// xs_range is the exception: its callers invoke it per durability interval —
+// sometimes one lookup at a time under mid-unit fault injection — so the
+// kernel/xs stage stays at the call sites (mc_workload, mc_shard) where one
+// scope covers many dispatches.
+//
+// Determinism contract (docs/BACKENDS.md):
+//   * spmv / spmv_rows / gemm_tile / panel_sum / axpy / xpay / scale keep each
+//     output element's accumulation order identical to the serial loops, so
+//     their results are bitwise independent of backend and thread count.
+//   * xs_range must preserve the serial macro-accumulation + tally order
+//     exactly (the MC tally stream is history-dependent); the omp backend
+//     parallelizes only the pure per-lookup work and drains sequentially.
+//   * sum / dot may re-associate the reduction: results differ across
+//     backends/threads within the workloads' verify tolerances. Code that
+//     needs bit-stable scalars (cg_shard's seq_dot) must not dispatch here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/telemetry.hpp"
+
+namespace adcc {
+class CounterRng;
+namespace linalg {
+class CsrMatrix;
+}
+namespace mc {
+class XsDataHost;
+}
+}  // namespace adcc
+
+namespace adcc::core {
+
+/// Abstract compute backend: one virtual per hot kernel, timed uniformly by
+/// the non-virtual public wrappers (NVI). Implementations are stateless and
+/// thread-safe; one shared instance per backend lives in the registry.
+class KernelBackend {
+ public:
+  explicit KernelBackend(std::string name) : name_(std::move(name)) {}
+  virtual ~KernelBackend() = default;
+
+  KernelBackend(const KernelBackend&) = delete;
+  KernelBackend& operator=(const KernelBackend&) = delete;
+
+  /// Registry name (`--backend=` spelling).
+  const std::string& name() const { return name_; }
+
+  /// y ← A·x. [kernel/spmv]
+  void spmv(const linalg::CsrMatrix& a, std::span<const double> x, std::span<double> y) const {
+    const StageTimer timer("kernel/spmv");
+    do_spmv(a, x, y);
+  }
+
+  /// y[i-r0] ← (A·x)[i] for rows [r0, r1) — the shard-owned row slice.
+  /// [kernel/spmv]
+  void spmv_rows(const linalg::CsrMatrix& a, std::size_t r0, std::size_t r1,
+                 std::span<const double> x, std::span<double> y) const {
+    const StageTimer timer("kernel/spmv");
+    do_spmv_rows(a, r0, r1, x, y);
+  }
+
+  /// Σ x_i. Reduction order is backend-defined (verify-tolerance rule).
+  /// [kernel/blas1]
+  double sum(std::span<const double> x) const {
+    const StageTimer timer("kernel/blas1");
+    return do_sum(x);
+  }
+
+  /// xᵀ·y. Reduction order is backend-defined (verify-tolerance rule).
+  /// [kernel/blas1]
+  double dot(std::span<const double> x, std::span<const double> y) const {
+    const StageTimer timer("kernel/blas1");
+    return do_dot(x, y);
+  }
+
+  /// y ← a·x + y. [kernel/blas1]
+  void axpy(double a, std::span<const double> x, std::span<double> y) const {
+    const StageTimer timer("kernel/blas1");
+    do_axpy(a, x, y);
+  }
+
+  /// z ← x + a·y (out-of-place). [kernel/blas1]
+  void xpay(std::span<const double> x, double a, std::span<const double> y,
+            std::span<double> z) const {
+    const StageTimer timer("kernel/blas1");
+    do_xpay(x, a, y, z);
+  }
+
+  /// x ← a·x. [kernel/blas1]
+  void scale(double a, std::span<double> x) const {
+    const StageTimer timer("kernel/blas1");
+    do_scale(a, x);
+  }
+
+  /// C (+)= A×B for raw row-major panels: A is rows×k with leading dimension
+  /// lda, B is k×cols with leading dimension ldb, C is rows×cols with leading
+  /// dimension ldc. The i-k-j streaming order (per-element k-ascending sums)
+  /// is part of the contract: results are bitwise backend-independent. Callers
+  /// pre-offset the pointers to the panel/tile origin, which is how one kernel
+  /// serves Matrix panels, NVM-arena accumulators and shard tiles alike.
+  /// [kernel/gemm]
+  void gemm_tile(const double* a, std::size_t lda, const double* b, std::size_t ldb,
+                 std::size_t rows, std::size_t cols, std::size_t k, double* c, std::size_t ldc,
+                 bool accumulate) const {
+    const StageTimer timer("kernel/gemm");
+    do_gemm_tile(a, lda, b, ldb, rows, cols, k, c, ldc, accumulate);
+  }
+
+  /// out ← Σ_s panels[s], a rows×cols region per panel with shared leading
+  /// dimension ld (out uses ldo). Per-element panel order is s-ascending:
+  /// bitwise backend-independent (the MM "addition loop"). [kernel/gemm]
+  void panel_sum(const double* const* panels, std::size_t count, std::size_t rows,
+                 std::size_t cols, std::size_t ld, double* out, std::size_t ldo) const {
+    const StageTimer timer("kernel/gemm");
+    do_panel_sum(panels, count, rows, cols, ld, out, ldo);
+  }
+
+  /// Executes xs lookups [begin, end) of stream `rng`, accumulating into
+  /// macro[kChannels]/counters[kChannels] and mirroring the running lookup in
+  /// *index. Must reproduce the serial accumulation + tally order bit-exactly
+  /// (tally_select reads the running macro accumulator). Untimed here — the
+  /// kernel/xs stage lives at the interval-level call sites.
+  void xs_range(const mc::XsDataHost& data, const CounterRng& rng, std::uint64_t begin,
+                std::uint64_t end, double* macro, std::uint64_t* counters,
+                std::uint64_t* index) const {
+    do_xs_range(data, rng, begin, end, macro, counters, index);
+  }
+
+ protected:
+  virtual void do_spmv(const linalg::CsrMatrix& a, std::span<const double> x,
+                       std::span<double> y) const = 0;
+  virtual void do_spmv_rows(const linalg::CsrMatrix& a, std::size_t r0, std::size_t r1,
+                            std::span<const double> x, std::span<double> y) const = 0;
+  virtual double do_sum(std::span<const double> x) const = 0;
+  virtual double do_dot(std::span<const double> x, std::span<const double> y) const = 0;
+  virtual void do_axpy(double a, std::span<const double> x, std::span<double> y) const = 0;
+  virtual void do_xpay(std::span<const double> x, double a, std::span<const double> y,
+                       std::span<double> z) const = 0;
+  virtual void do_scale(double a, std::span<double> x) const = 0;
+  virtual void do_gemm_tile(const double* a, std::size_t lda, const double* b, std::size_t ldb,
+                            std::size_t rows, std::size_t cols, std::size_t k, double* c,
+                            std::size_t ldc, bool accumulate) const = 0;
+  virtual void do_panel_sum(const double* const* panels, std::size_t count, std::size_t rows,
+                            std::size_t cols, std::size_t ld, double* out,
+                            std::size_t ldo) const = 0;
+  virtual void do_xs_range(const mc::XsDataHost& data, const CounterRng& rng,
+                           std::uint64_t begin, std::uint64_t end, double* macro,
+                           std::uint64_t* counters, std::uint64_t* index) const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// The always-available serial backend (the process default: any thread with
+/// no KernelBackendBind computes here).
+const KernelBackend& serial_kernel_backend();
+
+/// Registry lookup by `--backend=` name; nullptr when the backend is not
+/// registered (e.g. `omp` in a build without -DADCC_OPENMP=ON).
+const KernelBackend* find_kernel_backend(std::string_view name);
+
+/// Like find_kernel_backend but throws a std::runtime_error naming the built
+/// backends on an unknown name — the clean failure path for CLI/deck input.
+const KernelBackend& kernel_backend(std::string_view name);
+
+/// Registered backend names, in registration order (serial first).
+std::vector<std::string> kernel_backend_names();
+
+/// The calling thread's bound backend, or the serial default when unbound.
+const KernelBackend& active_kernel_backend();
+
+/// RAII thread binding, mirroring TelemetryBind: installs `backend` (nullptr =
+/// the serial default) as the calling thread's active backend and restores the
+/// previous binding on exit. Bindings nest; ScenarioRunner installs the
+/// scenario's backend around each repetition, so verify passes and baseline
+/// runs outside the bind always compute serially.
+class KernelBackendBind {
+ public:
+  explicit KernelBackendBind(const KernelBackend* backend);
+  ~KernelBackendBind();
+
+  KernelBackendBind(const KernelBackendBind&) = delete;
+  KernelBackendBind& operator=(const KernelBackendBind&) = delete;
+
+ private:
+  const KernelBackend* saved_;
+};
+
+/// Registers a backend instance under its name() for the process lifetime;
+/// define one static registrar per backend translation unit (the OBJECT
+/// library keeps it alive in every binary, like ADCC_REGISTER_WORKLOAD).
+struct KernelBackendRegistrar {
+  explicit KernelBackendRegistrar(const KernelBackend& backend);
+};
+
+}  // namespace adcc::core

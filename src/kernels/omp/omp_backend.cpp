@@ -1,0 +1,202 @@
+// The OpenMP backend (registered only under -DADCC_OPENMP=ON; this file is
+// excluded from the build otherwise). Parallelization never changes what a
+// sweep measures relative to serial beyond timing:
+//
+//   * spmv / spmv_rows / gemm_tile / panel_sum / axpy / xpay / scale keep each
+//     output element's accumulation order serial-identical (threads split
+//     whole rows / whole elements), so results are bitwise equal to the
+//     serial backend at any thread count.
+//   * sum / dot use an OpenMP reduction — re-associated, covered by the
+//     workloads' verify tolerances.
+//   * xs_range splits each span into batches: the pure per-lookup work
+//     (sample + grid search + interpolation) runs in parallel into a scratch
+//     table, then one sequential drain replays the order-dependent part
+//     (macro accumulation, CDF tally, counter update) exactly as serial.
+//
+// Thresholds mirror the pre-backend pragmas: spmv parallelizes from 4096 rows,
+// BLAS-1 from 1<<14 elements, xs batching from 64 lookups — below them the
+// serial loop wins and fault-injection call sites (single-lookup spans) skip
+// the batch machinery entirely.
+#include <omp.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "kernels/backend.hpp"
+#include "linalg/csr.hpp"
+#include "mc/xs_kernel.hpp"
+
+namespace adcc::core {
+
+namespace {
+
+constexpr std::size_t kBlas1Threshold = 1u << 14;
+constexpr std::size_t kSpmvThreshold = 4096;
+constexpr std::size_t kGemmTile = 256;       ///< C-row scratch tile width (doubles).
+constexpr std::uint64_t kXsBatch = 512;      ///< Lookups precomputed per drain.
+constexpr std::uint64_t kXsThreshold = 64;   ///< Below this, plain serial loop.
+
+class OmpBackend final : public KernelBackend {
+ public:
+  OmpBackend() : KernelBackend("omp") {}
+
+ protected:
+  void do_spmv(const linalg::CsrMatrix& a, std::span<const double> x,
+               std::span<double> y) const override {
+    const auto row_ptr = a.row_ptr();
+    const auto col_idx = a.col_idx();
+    const auto values = a.values();
+    const std::size_t n = a.rows();
+#pragma omp parallel for schedule(static) if (n >= kSpmvThreshold)
+    for (std::size_t r = 0; r < n; ++r) {
+      double acc = 0.0;
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        acc += values[k] * x[col_idx[k]];
+      }
+      y[r] = acc;
+    }
+  }
+
+  void do_spmv_rows(const linalg::CsrMatrix& a, std::size_t r0, std::size_t r1,
+                    std::span<const double> x, std::span<double> y) const override {
+    const auto row_ptr = a.row_ptr();
+    const auto col_idx = a.col_idx();
+    const auto values = a.values();
+#pragma omp parallel for schedule(static) if (r1 - r0 >= kSpmvThreshold)
+    for (std::size_t r = r0; r < r1; ++r) {
+      double acc = 0.0;
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        acc += values[k] * x[col_idx[k]];
+      }
+      y[r - r0] = acc;
+    }
+  }
+
+  double do_sum(std::span<const double> x) const override {
+    double s = 0.0;
+    const std::size_t n = x.size();
+#pragma omp parallel for reduction(+ : s) if (n >= kBlas1Threshold)
+    for (std::size_t i = 0; i < n; ++i) s += x[i];
+    return s;
+  }
+
+  double do_dot(std::span<const double> x, std::span<const double> y) const override {
+    double s = 0.0;
+    const std::size_t n = x.size();
+#pragma omp parallel for reduction(+ : s) if (n >= kBlas1Threshold)
+    for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+    return s;
+  }
+
+  void do_axpy(double a, std::span<const double> x, std::span<double> y) const override {
+    const std::size_t n = x.size();
+#pragma omp parallel for if (n >= kBlas1Threshold)
+    for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+  }
+
+  void do_xpay(std::span<const double> x, double a, std::span<const double> y,
+               std::span<double> z) const override {
+    const std::size_t n = x.size();
+#pragma omp parallel for if (n >= kBlas1Threshold)
+    for (std::size_t i = 0; i < n; ++i) z[i] = x[i] + a * y[i];
+  }
+
+  void do_scale(double a, std::span<double> x) const override {
+    const std::size_t n = x.size();
+#pragma omp parallel for if (n >= kBlas1Threshold)
+    for (std::size_t i = 0; i < n; ++i) x[i] *= a;
+  }
+
+  void do_gemm_tile(const double* a, std::size_t lda, const double* b, std::size_t ldb,
+                    std::size_t rows, std::size_t cols, std::size_t k, double* c, std::size_t ldc,
+                    bool accumulate) const override {
+    // Parallel over C rows; per row, j-tiles accumulate in a stack scratch so
+    // the hot inner loop streams one cache-resident strip of C. Per element
+    // the kk order is serial-identical (ascending), so output is bitwise
+    // equal to the serial backend.
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* ai = a + i * lda;
+      double* ci = c + i * ldc;
+      double scratch[kGemmTile];
+      for (std::size_t j0 = 0; j0 < cols; j0 += kGemmTile) {
+        const std::size_t jn = cols - j0 < kGemmTile ? cols - j0 : kGemmTile;
+        if (accumulate) {
+          std::memcpy(scratch, ci + j0, jn * sizeof(double));
+        } else {
+          std::memset(scratch, 0, jn * sizeof(double));
+        }
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double aik = ai[kk];
+          const double* brow = b + kk * ldb + j0;
+          for (std::size_t j = 0; j < jn; ++j) scratch[j] += aik * brow[j];
+        }
+        std::memcpy(ci + j0, scratch, jn * sizeof(double));
+      }
+    }
+  }
+
+  void do_panel_sum(const double* const* panels, std::size_t count, std::size_t rows,
+                    std::size_t cols, std::size_t ld, double* out, std::size_t ldo) const override {
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < rows; ++i) {
+      double* oi = out + i * ldo;
+      for (std::size_t j = 0; j < cols; ++j) oi[j] = 0.0;
+      for (std::size_t s = 0; s < count; ++s) {
+        const double* pi = panels[s] + i * ld;
+        for (std::size_t j = 0; j < cols; ++j) oi[j] += pi[j];
+      }
+    }
+  }
+
+  void do_xs_range(const mc::XsDataHost& data, const CounterRng& rng, std::uint64_t begin,
+                   std::uint64_t end, double* macro, std::uint64_t* counters,
+                   std::uint64_t* index) const override {
+    if (end - begin < kXsThreshold) {
+      serial_xs(data, rng, begin, end, macro, counters, index);
+      return;
+    }
+    std::vector<double> locals(kXsBatch * mc::kChannels);
+    for (std::uint64_t b0 = begin; b0 < end; b0 += kXsBatch) {
+      const std::uint64_t bn = end - b0 < kXsBatch ? end - b0 : kXsBatch;
+      // Pure phase: every lookup's per-channel contribution, in parallel.
+#pragma omp parallel for schedule(static)
+      for (std::uint64_t o = 0; o < bn; ++o) {
+        const mc::LookupSample s = mc::sample_lookup(rng, b0 + o, data);
+        mc::macro_lookup(data, s.energy, s.material, locals.data() + o * mc::kChannels);
+      }
+      // Order-dependent phase: drain sequentially — tally_select reads the
+      // running macro accumulator, so this must replay serial order exactly.
+      for (std::uint64_t o = 0; o < bn; ++o) {
+        *index = b0 + o;
+        const double* local = locals.data() + o * mc::kChannels;
+        for (int c = 0; c < mc::kChannels; ++c) macro[c] += local[c];
+        const int type = mc::tally_select(macro, rng.uniform(b0 + o, /*lane=*/2));
+        counters[static_cast<std::size_t>(type)] += 1;
+      }
+    }
+  }
+
+ private:
+  static void serial_xs(const mc::XsDataHost& data, const CounterRng& rng, std::uint64_t begin,
+                        std::uint64_t end, double* macro, std::uint64_t* counters,
+                        std::uint64_t* index) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      *index = i;
+      const mc::LookupSample s = mc::sample_lookup(rng, i, data);
+      double local[mc::kChannels];
+      mc::macro_lookup(data, s.energy, s.material, local);
+      for (int c = 0; c < mc::kChannels; ++c) macro[c] += local[c];
+      const int type = mc::tally_select(macro, rng.uniform(i, /*lane=*/2));
+      counters[static_cast<std::size_t>(type)] += 1;
+    }
+  }
+};
+
+const OmpBackend omp_backend;
+const KernelBackendRegistrar omp_registrar(omp_backend);
+
+}  // namespace
+
+}  // namespace adcc::core

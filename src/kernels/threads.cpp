@@ -1,0 +1,33 @@
+#include "kernels/threads.hpp"
+
+#ifdef ADCC_OPENMP
+#include <omp.h>
+#endif
+
+namespace adcc::core {
+
+namespace {
+thread_local int t_requested = 0;
+}  // namespace
+
+int requested_kernel_threads() { return t_requested; }
+
+ScopedOmpThreads::ScopedOmpThreads(int threads)
+    : saved_request_(t_requested), saved_omp_max_(0), active_(threads > 0) {
+  if (!active_) return;
+  t_requested = threads;
+#ifdef ADCC_OPENMP
+  saved_omp_max_ = omp_get_max_threads();
+  omp_set_num_threads(threads);
+#endif
+}
+
+ScopedOmpThreads::~ScopedOmpThreads() {
+  if (!active_) return;
+  t_requested = saved_request_;
+#ifdef ADCC_OPENMP
+  omp_set_num_threads(saved_omp_max_);
+#endif
+}
+
+}  // namespace adcc::core

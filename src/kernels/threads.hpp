@@ -1,0 +1,40 @@
+// Scoped OpenMP thread-count control for sweep cells and benchmarks.
+//
+// The sweep's `threads` axis must not leak: a deck like `threads=8+1` sets the
+// OpenMP runtime's max-threads level per cell, and anything that follows the
+// deck (verify replays, later decks in the same process, the CLI's final
+// single run) must see the value that was in effect before. ScopedOmpThreads
+// is the only sanctioned way to apply a thread request — construction applies,
+// destruction restores, scopes nest.
+//
+// Builds without -DADCC_OPENMP=ON have no OpenMP runtime; the scope then only
+// maintains requested_kernel_threads() (the observable used by tests), so the
+// `threads` axis parses and sweeps everywhere but changes compute nowhere.
+#pragma once
+
+namespace adcc::core {
+
+/// The innermost ScopedOmpThreads request on this thread, or 0 when no scope
+/// is active (i.e. the ambient/default thread count applies). Observable in
+/// every build; the regression tests assert restore-on-exit through it.
+int requested_kernel_threads();
+
+/// RAII thread-count overlay: applies `threads` to the OpenMP runtime (when
+/// built with ADCC_OPENMP) and to requested_kernel_threads(), restoring both
+/// on destruction. `threads <= 0` means "no request" — the scope is inert and
+/// the ambient value stays in effect.
+class ScopedOmpThreads {
+ public:
+  explicit ScopedOmpThreads(int threads);
+  ~ScopedOmpThreads();
+
+  ScopedOmpThreads(const ScopedOmpThreads&) = delete;
+  ScopedOmpThreads& operator=(const ScopedOmpThreads&) = delete;
+
+ private:
+  int saved_request_;
+  int saved_omp_max_;  ///< omp_get_max_threads at entry (unused without OMP).
+  bool active_;
+};
+
+}  // namespace adcc::core

@@ -4,7 +4,7 @@
 #include <map>
 
 #include "common/check.hpp"
-#include "core/telemetry.hpp"
+#include "kernels/backend.hpp"
 
 namespace adcc::linalg {
 
@@ -18,15 +18,7 @@ CsrMatrix::CsrMatrix(std::size_t n, std::vector<std::size_t> row_ptr,
 
 void CsrMatrix::spmv(std::span<const double> x, std::span<double> y) const {
   ADCC_DCHECK(x.size() == n_ && y.size() == n_, "dimension mismatch");
-  const core::StageTimer timer("kernel/spmv");
-#pragma omp parallel for schedule(static) if (n_ >= 4096)
-  for (std::size_t r = 0; r < n_; ++r) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
-    }
-    y[r] = acc;
-  }
+  core::active_kernel_backend().spmv(*this, x, y);
 }
 
 double CsrMatrix::spmv_row(std::size_t row, std::span<const double> x) const {

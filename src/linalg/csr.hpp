@@ -22,7 +22,8 @@ class CsrMatrix {
   std::span<const std::uint32_t> col_idx() const { return col_idx_; }
   std::span<const double> values() const { return values_; }
 
-  /// y ← A·x (OpenMP over rows).
+  /// y ← A·x, dispatched to the thread's active kernel backend (serial when
+  /// unbound); bitwise backend-independent.
   void spmv(std::span<const double> x, std::span<double> y) const;
 
   /// y ← A·x for a single row (used by instrumented kernels).

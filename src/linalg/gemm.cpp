@@ -1,7 +1,7 @@
 #include "linalg/gemm.hpp"
 
 #include "common/check.hpp"
-#include "core/telemetry.hpp"
+#include "kernels/backend.hpp"
 
 namespace adcc::linalg {
 
@@ -9,21 +9,9 @@ void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b
                 double* c, bool accumulate) {
   ADCC_CHECK(ac0 + k <= a.cols(), "panel exceeds A columns");
   ADCC_CHECK(br0 + k <= b.rows(), "panel exceeds B rows");
-  const std::size_t m = a.rows();
-  const std::size_t n = b.cols();
-  const core::StageTimer timer("kernel/gemm");
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    double* ci = c + i * n;
-    if (!accumulate) {
-      for (std::size_t j = 0; j < n; ++j) ci[j] = 0.0;
-    }
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = a(i, ac0 + kk);
-      const double* brow = b.row(br0 + kk).data();
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aik * brow[j];
-    }
-  }
+  core::active_kernel_backend().gemm_tile(a.data() + ac0, a.cols(), b.data() + br0 * b.cols(),
+                                          b.cols(), a.rows(), b.cols(), k, c, b.cols(),
+                                          accumulate);
 }
 
 void gemm_panel_tile(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b,
@@ -33,20 +21,9 @@ void gemm_panel_tile(const Matrix& a, std::size_t ac0, std::size_t k, const Matr
   ADCC_CHECK(br0 + k <= b.rows(), "panel exceeds B rows");
   ADCC_CHECK(r0 <= r1 && r1 <= a.rows(), "tile rows exceed A");
   ADCC_CHECK(c0 <= c1 && c1 <= b.cols(), "tile columns exceed B");
-  const std::size_t tn = c1 - c0;
-  const core::StageTimer timer("kernel/gemm");
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = r0; i < r1; ++i) {
-    double* ti = tile + (i - r0) * tn;
-    if (!accumulate) {
-      for (std::size_t j = 0; j < tn; ++j) ti[j] = 0.0;
-    }
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = a(i, ac0 + kk);
-      const double* brow = b.row(br0 + kk).data() + c0;
-      for (std::size_t j = 0; j < tn; ++j) ti[j] += aik * brow[j];
-    }
-  }
+  core::active_kernel_backend().gemm_tile(a.data() + r0 * a.cols() + ac0, a.cols(),
+                                          b.data() + br0 * b.cols() + c0, b.cols(), r1 - r0,
+                                          c1 - c0, k, tile, c1 - c0, accumulate);
 }
 
 void gemm_panel(const Matrix& a, std::size_t ac0, std::size_t k, const Matrix& b, std::size_t br0,

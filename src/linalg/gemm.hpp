@@ -3,7 +3,9 @@
 // gemm_panel is the building block of the ABFT rank-k update (paper Figs. 5/6):
 // C (+)= A[:, ac0:ac0+k] × B[br0:br0+k, :]. The i-k-j loop order streams B rows
 // and C rows — the "streaming-like" access pattern the paper's §III-C analysis
-// relies on — and parallelizes over C rows with OpenMP.
+// relies on. Both entry points dispatch to the thread's active kernel backend
+// (core::KernelBackend::gemm_tile), whose per-element k-ascending contract
+// keeps results bitwise independent of backend and thread count.
 #pragma once
 
 #include "linalg/dense.hpp"

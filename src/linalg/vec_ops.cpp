@@ -5,56 +5,35 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "kernels/backend.hpp"
 
 namespace adcc::linalg {
-
-namespace {
-constexpr std::size_t kParallelThreshold = 1u << 14;
-}
 
 void copy(std::span<const double> x, std::span<double> y) {
   ADCC_DCHECK(x.size() == y.size(), "size mismatch");
   std::memcpy(y.data(), x.data(), x.size_bytes());
 }
 
-double sum(std::span<const double> x) {
-  double s = 0.0;
-  const std::size_t n = x.size();
-#pragma omp parallel for reduction(+ : s) if (n >= kParallelThreshold)
-  for (std::size_t i = 0; i < n; ++i) s += x[i];
-  return s;
-}
+double sum(std::span<const double> x) { return core::active_kernel_backend().sum(x); }
 
 double dot(std::span<const double> x, std::span<const double> y) {
   ADCC_DCHECK(x.size() == y.size(), "size mismatch");
-  double s = 0.0;
-  const std::size_t n = x.size();
-#pragma omp parallel for reduction(+ : s) if (n >= kParallelThreshold)
-  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
-  return s;
+  return core::active_kernel_backend().dot(x, y);
 }
 
 double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
   ADCC_DCHECK(x.size() == y.size(), "size mismatch");
-  const std::size_t n = x.size();
-#pragma omp parallel for if (n >= kParallelThreshold)
-  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+  core::active_kernel_backend().axpy(a, x, y);
 }
 
 void xpay(std::span<const double> x, double a, std::span<const double> y, std::span<double> z) {
   ADCC_DCHECK(x.size() == y.size() && x.size() == z.size(), "size mismatch");
-  const std::size_t n = x.size();
-#pragma omp parallel for if (n >= kParallelThreshold)
-  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] + a * y[i];
+  core::active_kernel_backend().xpay(x, a, y, z);
 }
 
-void scale(double a, std::span<double> x) {
-  const std::size_t n = x.size();
-#pragma omp parallel for if (n >= kParallelThreshold)
-  for (std::size_t i = 0; i < n; ++i) x[i] *= a;
-}
+void scale(double a, std::span<double> x) { core::active_kernel_backend().scale(a, x); }
 
 void zero(std::span<double> x) { std::memset(x.data(), 0, x.size_bytes()); }
 

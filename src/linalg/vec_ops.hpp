@@ -1,4 +1,7 @@
-// Dense vector kernels (OpenMP) used by CG and the ABFT checksum machinery.
+// Dense vector kernels used by CG and the ABFT checksum machinery. sum/dot/
+// axpy/xpay/scale dispatch to the thread's active kernel backend (timed as
+// kernel/blas1); sum and dot may re-associate across backends/threads, the
+// element-wise updates are bitwise backend-independent.
 #pragma once
 
 #include <cstddef>

@@ -4,21 +4,17 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "kernels/backend.hpp"
 
 namespace adcc::mc {
 
 void run_xs_range(const XsDataHost& data, const CounterRng& rng, std::uint64_t begin,
                   std::uint64_t end, double* macro, std::uint64_t* counters,
                   std::uint64_t* index) {
-  for (std::uint64_t i = begin; i < end; ++i) {
-    *index = i;
-    const LookupSample s = sample_lookup(rng, i, data);
-    double local[kChannels];
-    macro_lookup(data, s.energy, s.material, local);
-    for (int c = 0; c < kChannels; ++c) macro[c] += local[c];
-    const int type = tally_select(macro, rng.uniform(i, /*lane=*/2));
-    counters[static_cast<std::size_t>(type)] += 1;
-  }
+  // Dispatches to the thread's active kernel backend; every backend must
+  // reproduce the serial accumulation + tally order bit-exactly (tally_select
+  // reads the running macro accumulator), so tallies are backend-invariant.
+  core::active_kernel_backend().xs_range(data, rng, begin, end, macro, counters, index);
 }
 
 namespace {

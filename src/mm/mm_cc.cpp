@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "kernels/backend.hpp"
 #include "linalg/gemm.hpp"
 
 namespace adcc::mm {
@@ -68,17 +69,9 @@ void MmCrashConsistent::multiply_panel(std::size_t s) {
   constexpr std::size_t kRowBlock = 64;
   for (std::size_t i0 = 0; i0 < nc_; i0 += kRowBlock) {
     const std::size_t i1 = std::min(nc_, i0 + kRowBlock);
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = i0; i < i1; ++i) {
-      double* ci = out + i * nc_;
-      for (std::size_t j = 0; j < nc_; ++j) ci[j] = 0.0;
-      const double* ai = acd + i * cfg_.n + c0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double aik = ai[kk];
-        const double* brow = brd + (c0 + kk) * nc_;
-        for (std::size_t j = 0; j < nc_; ++j) ci[j] += aik * brow[j];
-      }
-    }
+    core::active_kernel_backend().gemm_tile(acd + i0 * cfg_.n + c0, cfg_.n, brd + c0 * nc_, nc_,
+                                            i1 - i0, nc_, k, out + i0 * nc_, nc_,
+                                            /*accumulate=*/false);
     // Announce the block's traffic: Ac slices, the streamed Br panel (resident
     // across row blocks on a real cache; re-touching keeps it MRU), and the
     // freshly produced Ctemp_s rows.
@@ -102,15 +95,10 @@ void MmCrashConsistent::add_block(std::size_t blk) {
   const std::size_t r1 = std::min(nc_, r0 + cfg_.rank_k);
   double* out = ctemp_.data();
 
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = r0; i < r1; ++i) {
-    double* ci = out + i * nc_;
-    for (std::size_t j = 0; j < nc_; ++j) ci[j] = 0.0;
-    for (std::size_t s = 0; s < panels_; ++s) {
-      const double* ts = ctemp_s_[s]->data() + i * nc_;
-      for (std::size_t j = 0; j < nc_; ++j) ci[j] += ts[j];
-    }
-  }
+  std::vector<const double*> panels(panels_);
+  for (std::size_t s = 0; s < panels_; ++s) panels[s] = ctemp_s_[s]->data() + r0 * nc_;
+  core::active_kernel_backend().panel_sum(panels.data(), panels_, r1 - r0, nc_, nc_,
+                                          out + r0 * nc_, nc_);
   for (std::size_t s = 0; s < panels_; ++s) ctemp_s_[s]->touch_read(r0 * nc_, (r1 - r0) * nc_);
   ctemp_.touch_write(r0 * nc_, (r1 - r0) * nc_);
 
@@ -307,16 +295,8 @@ MmCcNativeResult run_mm_cc_native(const Matrix& a, const Matrix& b, std::size_t 
     const std::size_t c0 = s * rank_k;
     const std::size_t k = std::min(rank_k, n - c0);
     double* outp = ctemp_s[s].data();
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < nc; ++i) {
-      double* ci = outp + i * nc;
-      for (std::size_t j = 0; j < nc; ++j) ci[j] = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double aik = ac(i, c0 + kk);
-        const double* brow = br.row(c0 + kk).data();
-        for (std::size_t j = 0; j < nc; ++j) ci[j] += aik * brow[j];
-      }
-    }
+    core::active_kernel_backend().gemm_tile(ac.data() + c0, ac.cols(), br.data() + c0 * nc, nc,
+                                            nc, nc, k, outp, nc, /*accumulate=*/false);
     // Persist checksum row + column.
     region.persist(outp + (nc - 1) * nc, nc * sizeof(double));
     for (std::size_t i = 0; i < nc; ++i) {
@@ -328,18 +308,13 @@ MmCcNativeResult run_mm_cc_native(const Matrix& a, const Matrix& b, std::size_t 
 
   // Loop 2: submatrix additions with row-checksum flushes.
   const std::size_t blocks = (nc + rank_k - 1) / rank_k;
+  std::vector<const double*> panel_ptrs(panels);
   for (std::size_t blk = 0; blk < blocks; ++blk) {
     const std::size_t r0 = blk * rank_k;
     const std::size_t r1 = std::min(nc, r0 + rank_k);
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = r0; i < r1; ++i) {
-      double* ci = ctemp.data() + i * nc;
-      for (std::size_t j = 0; j < nc; ++j) ci[j] = 0.0;
-      for (std::size_t s = 0; s < panels; ++s) {
-        const double* ts = ctemp_s[s].data() + i * nc;
-        for (std::size_t j = 0; j < nc; ++j) ci[j] += ts[j];
-      }
-    }
+    for (std::size_t s = 0; s < panels; ++s) panel_ptrs[s] = ctemp_s[s].data() + r0 * nc;
+    core::active_kernel_backend().panel_sum(panel_ptrs.data(), panels, r1 - r0, nc, nc,
+                                            ctemp.data() + r0 * nc, nc);
     for (std::size_t i = r0; i < r1; ++i) {
       region.persist(ctemp.data() + i * nc + (nc - 1), sizeof(double));
     }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "kernels/backend.hpp"
 #include "linalg/gemm.hpp"
 
 namespace adcc::mm {
@@ -37,15 +38,8 @@ MmTxResult run_mm_tx(const Matrix& a, const Matrix& b, std::size_t rank_k,
     const std::size_t k = std::min(rank_k, n - s);
     pmemtx::Transaction tx(log);
     tx.add(cf);  // Snapshot the whole accumulator (undo log).
-#pragma omp parallel for schedule(static)
-    for (std::size_t i = 0; i < nc; ++i) {
-      double* ci = cf.data() + i * nc;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const double aik = ac(i, s + kk);
-        const double* brow = br.row(s + kk).data();
-        for (std::size_t j = 0; j < nc; ++j) ci[j] += aik * brow[j];
-      }
-    }
+    core::active_kernel_backend().gemm_tile(ac.data() + s, ac.cols(), br.data() + s * nc, nc, nc,
+                                            nc, k, cf.data(), nc, /*accumulate=*/true);
     tx.commit();
   }
 

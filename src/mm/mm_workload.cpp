@@ -6,6 +6,7 @@
 #include "common/align.hpp"
 #include "common/check.hpp"
 #include "core/shard.hpp"
+#include "kernels/backend.hpp"
 #include "linalg/gemm.hpp"
 #include "mm/mm_cc.hpp"
 #include "mm/mm_shard.hpp"
@@ -121,16 +122,10 @@ void MmWorkload::multiply_panel_into(std::size_t s, double* out, bool accumulate
 void MmWorkload::alg_add_block(std::size_t blk) {
   const std::size_t r0 = (blk - 1) * cfg_.rank_k;
   const std::size_t r1 = std::min(nc_, r0 + cfg_.rank_k);
-  const std::size_t nc = nc_;
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = r0; i < r1; ++i) {
-    double* ci = ctemp_.data() + i * nc;
-    for (std::size_t j = 0; j < nc; ++j) ci[j] = 0.0;
-    for (std::size_t s = 0; s < panels_; ++s) {
-      const double* ts = ctemp_s_[s].data() + i * nc;
-      for (std::size_t j = 0; j < nc; ++j) ci[j] += ts[j];
-    }
-  }
+  std::vector<const double*> panels(panels_);
+  for (std::size_t s = 0; s < panels_; ++s) panels[s] = ctemp_s_[s].data() + r0 * nc_;
+  core::active_kernel_backend().panel_sum(panels.data(), panels_, r1 - r0, nc_, nc_,
+                                          ctemp_.data() + r0 * nc_, nc_);
 }
 
 bool MmWorkload::run_step() {

@@ -8,6 +8,7 @@
 
 #include "core/registry.hpp"
 #include "core/sweep.hpp"
+#include "kernels/threads.hpp"
 
 namespace adcc::core {
 namespace {
@@ -114,6 +115,7 @@ TEST(ParseSweep, BadGrammar) {
   parse_err("workload=nosuch");        // Unknown workload.
   parse_err("crash=atstep:3");         // Malformed crash plan.
   parse_err("policy=sometimes");       // Unknown policy.
+  parse_err("backend=cuda");           // Unknown kernel backend.
   parse_err("n=10:1");                 // Empty range.
   parse_err("n=1:10:0");               // Zero step.
   parse_err("n=1:10:x1");              // Geometric factor < 2.
@@ -314,6 +316,23 @@ TEST(RunSweep, FuzzSeedAxisSharesOneProbe) {
   solo->tune_env(sc.mode, sc.env);
   const ScenarioResult inline_probe = run_scenario(*solo, sc);
   EXPECT_EQ(deck.cells[0].result.crash_access, inline_probe.crash_access);
+}
+
+TEST(RunSweep, ThreadsAxisDoesNotLeakPastTheDeck) {
+  // Regression: run_cell used to omp_set_num_threads per cell and never
+  // restore, so a threads=8+1 deck left whatever cell ran last as the
+  // process-wide OpenMP max. The ScopedOmpThreads overlay must unwind to the
+  // ambient value — observable in every build via requested_kernel_threads().
+  ASSERT_EQ(requested_kernel_threads(), 0);
+  {
+    const ScopedOmpThreads ambient(5);
+    const SweepSpec spec = parse_ok("workload=cg,mode=native,threads=8+1");
+    const SweepResult deck = run_sweep(spec, tiny_config(1));
+    ASSERT_EQ(deck.cells.size(), 2u);
+    EXPECT_TRUE(deck.all_ok());
+    EXPECT_EQ(requested_kernel_threads(), 5);  // Deck unwound to ambient.
+  }
+  EXPECT_EQ(requested_kernel_threads(), 0);
 }
 
 }  // namespace
