@@ -35,6 +35,7 @@
 #include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/sweep.hpp"
+#include "checkpoint/codec.hpp"
 #include "core/telemetry.hpp"
 #include "kernels/backend.hpp"
 
@@ -107,6 +108,19 @@ int main(int argc, char** argv) try {
            "asynchronous checkpointing: save stages + drains in the background, the "
            "next unit overlaps the device window (sweepable axis)",
            "off")
+      .doc("ckpt_compress",
+           "per-chunk checkpoint payload codec: none | lz | lz:LEVEL (1..9, "
+           "lz = lz:2; sweepable axis)",
+           "none")
+      .doc("ckpt_async_depth",
+           "staging-arena ring depth for --ckpt_async: saves admit until N "
+           "checkpoints are in flight before blocking (sweepable axis)",
+           "1")
+      .doc("ckpt_dirty_commit",
+           "mostly-clean images rewrite only dirty chunks in place, epoch-"
+           "stamping the clean ones; restore salvages torn-consistent slots "
+           "(sweepable axis; rejected with --shards > 1)",
+           "off")
       .doc("disk_mbps", "ckpt-disk device model bandwidth, MB/s (0 = real device)", "150")
       .doc("shards",
            "cg/mm/mc: split the run across N in-process shards with coordinated "
@@ -136,6 +150,18 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr, "adccbench: unknown --backend '%s' (built: %s)\n",
                  opts.get("backend", "serial").c_str(), built.c_str());
     return 2;
+  }
+
+  // Same eager treatment for the scalar --ckpt_compress spelling (a sweep
+  // ckpt_compress axis validates per-token in expand_string_token).
+  if (opts.has("ckpt_compress")) {
+    checkpoint::CodecSpec spec;
+    std::string codec_err;
+    if (!checkpoint::parse_codec(opts.get("ckpt_compress", "none"), &spec, &codec_err)) {
+      std::fprintf(stderr, "adccbench: bad --ckpt_compress '%s': %s\n",
+                   opts.get("ckpt_compress", "none").c_str(), codec_err.c_str());
+      return 2;
+    }
   }
 
   auto& registry = core::WorkloadRegistry::instance();

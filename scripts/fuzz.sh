@@ -85,19 +85,25 @@ for workload in $WORKLOADS; do
   # skip this deck): a mid-unit fuzz crash landing while a drain may be in
   # flight (the abort-the-drain-then-classify-the-torn-slot path), a crash
   # inside the background drain itself (ckpt_drain — surfaces at the join),
-  # and a crash between stage and drain start (ckpt_stage — must leave the
-  # previous checkpoint untouched). All three are crash-free no-ops outside
-  # checkpoint modes, which must also stay green.
+  # a crash between stage and drain start (ckpt_stage — must leave the
+  # previous checkpoint untouched), a crash inside the per-chunk codec pass
+  # (ckpt_compress — fires on the pipeline workers, mid-slot), and a crash at
+  # ring admission (ring_stage — fires once per save when the staging ring is
+  # deeper than one). The deck arms the whole v3 write path: compression on,
+  # a depth-2 staging ring, and dirty-chunk commit with its salvage-capable
+  # restore. All sites are crash-free no-ops outside checkpoint modes, which
+  # must also stay green.
   if [[ "$workload" != *-sim ]]; then
     for ((seed = START; seed < START + SEEDS; ++seed)); do
-      crash="fuzz:$seed+point:ckpt_drain:$((seed % 7 + 1))+point:ckpt_stage:$((seed % 5 + 1))"
+      crash="fuzz:$seed+point:ckpt_drain:$((seed % 7 + 1))+point:ckpt_stage:$((seed % 5 + 1))+point:ckpt_compress:$((seed % 6 + 1))+point:ring_stage:$((seed % 3 + 1))"
       echo "fuzz: workload=$workload seed=$seed (ckpt_async)"
       rc=0
-      "$BIN" --workload="$workload" --mode="$mode" --ckpt_async=1 --sweep="crash=$crash" \
+      "$BIN" --workload="$workload" --mode="$mode" --ckpt_async=1 --ckpt_compress=lz \
+        --ckpt_async_depth=2 --ckpt_dirty_commit=1 --sweep="crash=$crash" \
         --sweep_jobs="$JOBS" --no_baseline $QUICK >/dev/null || rc=$?
       if [[ "$rc" -ne 0 ]]; then
         echo "fuzz.sh: FAILED at workload=$workload seed=$seed ckpt_async=1 (exit $rc); reproduce with:" >&2
-        echo "  $BIN --workload=$workload --mode=$mode --ckpt_async=1 --sweep='crash=$crash' --no_baseline $QUICK" >&2
+        echo "  $BIN --workload=$workload --mode=$mode --ckpt_async=1 --ckpt_compress=lz --ckpt_async_depth=2 --ckpt_dirty_commit=1 --sweep='crash=$crash' --no_baseline $QUICK" >&2
         exit "$rc"
       fi
       runs=$((runs + 1))

@@ -306,6 +306,7 @@ core::WorkloadRecovery CgWorkload::recover() {
       const auto& rs = ckpt_->last_restore();
       rec.candidates_checked += rs.chunks_probed;
       rec.torn_chunks = rs.torn_chunks;
+      rec.salvaged_chunks = rs.salvaged_chunks;
       if (ver != 0) {
         state_.rho = ckpt_scalars_.rho;
         state_.iter = static_cast<std::size_t>(ckpt_scalars_.iter);

@@ -11,22 +11,30 @@
 //
 // save()/load() are now NON-virtual: the base class owns the chunk engine
 // (layout, CRC32 integrity headers, the WritePipeline fan-out across
-// --ckpt_threads workers, dirty-chunk filtering, and the commit order), and a
-// medium implements only the span primitives below — "persist this chunk
-// span", "read this span", "commit the (slot, version) marker".
+// --ckpt_threads workers, per-chunk compression ahead of the device queue,
+// dirty-chunk filtering, and the commit order), and a medium implements only
+// the span primitives below — "persist this chunk span", "read this span",
+// "commit the (slot, version) marker".
 //
 // All backends remain double-buffer safe: CheckpointSet alternates slots and
 // the version marker is committed last, so a crash mid-checkpoint leaves the
 // previous checkpoint intact — and, new with the chunk format, the *torn*
 // slot is detectable (mixed chunk versions / CRC mismatches) instead of being
-// silent garbage.
+// silent garbage. Since format 2, a torn slot that is in fact COMPLETE
+// (every chunk CRC-valid and epoch-coherent at the interrupted save's
+// version — the crash landed between the last chunk and the commit) is also
+// *salvageable*: load_salvage() recovers the interrupted save instead of
+// falling back a full slot.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -74,7 +82,20 @@ inline constexpr const char* kPointChunkLoaded = "ckpt_restore";
 inline constexpr const char* kPointChunkStaged = "ckpt_stage";
 inline constexpr const char* kPointChunkDrained = "ckpt_drain";
 
-/// Optional per-chunk callbacks threaded through save()/load().
+/// Per chunk compressed on a pipeline worker (point:ckpt_compress[:K], fired
+/// only when --ckpt_compress is active) — a crash here dies before the
+/// chunk's device write, torn-slot evidence one chunk earlier than ckpt_chunk.
+inline constexpr const char* kPointChunkCompressed = "ckpt_compress";
+
+/// Per save admitted into a ring of staging arenas deeper than one
+/// (point:ring_stage[:K], fired by CheckpointSet::save_async when
+/// --ckpt_async_depth > 1): a crash here loses the newly staged image while
+/// older ring entries are still draining — the burst-crash window unique to
+/// depth > 1.
+inline constexpr const char* kPointRingStaged = "ring_stage";
+
+/// Optional per-chunk callbacks (and per-save options) threaded through
+/// save()/load().
 struct ChunkHooks {
   /// Fired once per chunk persisted (save, kPointChunkSaved) or verified and
   /// copied back (load, kPointChunkLoaded). May throw — the fault surface's
@@ -85,26 +106,50 @@ struct ChunkHooks {
   /// save() only: restrict the save to a chunk subset (dirty hints).
   /// Unselected chunks are neither checksummed nor written.
   std::function<bool(std::size_t chunk)> select;
-  /// save() only: veto writing a selected chunk whose payload CRC is `crc` —
-  /// CheckpointSet's per-slot CRC cache skips unchanged chunks with this.
-  std::function<bool(std::size_t chunk, std::uint32_t crc)> should_write;
+  /// save() only: the caller's per-slot payload-CRC cache (nullopt = unknown).
+  /// The engine both CONSULTS it (a selected chunk whose fresh CRC matches is
+  /// clean — skipped, or epoch-stamped under in_place) and UPDATES it in
+  /// place as chunks land on media, so queued ring drains always filter
+  /// against the true slot state, not a stale snapshot. Entries are touched
+  /// only from the save's executing threads (disjoint per chunk); FIFO drain
+  /// order serializes cross-save access.
+  std::shared_ptr<std::vector<std::optional<std::uint32_t>>> crc_cache;
+  /// save() only: dirty-chunk double-buffered commit (--ckpt_dirty_commit).
+  /// The save targets the slot holding the committed image; clean chunks get
+  /// a header-only epoch stamp instead of being skipped, dirty chunks are
+  /// rewritten in place, and the marker still commits last. A crash mid-save
+  /// tears the committed image — recovery salvages the interrupted save or
+  /// falls back to the (aged) other slot.
+  bool in_place = false;
 };
 
-/// What one save() did, chunk by chunk (CheckpointSet feeds its CRC cache and
-/// the incremental stats from this).
+/// What one save() did, chunk by chunk (CheckpointSet feeds its incremental
+/// stats from this; the CRC cache is updated in place via ChunkHooks).
 struct SaveReceipt {
-  enum class Chunk : unsigned char { kUnselected, kClean, kWritten };
+  enum class Chunk : unsigned char { kUnselected, kClean, kWritten, kStamped };
   std::vector<Chunk> chunks;
   std::vector<std::uint32_t> crcs;  ///< Valid where chunks[i] != kUnselected.
   std::size_t written = 0;
   std::size_t skipped = 0;          ///< Selected but unchanged (kClean).
-  std::size_t payload_bytes = 0;    ///< Payload bytes actually written.
+  std::size_t stamped = 0;          ///< Clean, epoch-stamped in place (in_place).
+  std::size_t payload_bytes = 0;    ///< Raw payload bytes of written chunks.
+  std::size_t stored_bytes = 0;     ///< Post-codec bytes through the device queue.
 };
 
 /// Result of the cheap torn-save classifier (chunk-header scan, no payloads).
+/// Besides counting torn evidence, the scan sizes up the salvage candidate:
+/// the newest epoch any chunk reached, and whether EVERY chunk holds a
+/// header-valid copy whose [version, epoch] interval covers it.
 struct TornProbe {
   std::size_t chunks_probed = 0;
   std::size_t torn_chunks = 0;  ///< Chunks of an interrupted newer save.
+  std::uint64_t base = 0;       ///< The slot's own committed header version.
+  std::uint64_t salvage_version = 0;  ///< Max epoch across valid chunk headers.
+  std::size_t salvage_chunks = 0;     ///< Chunks written AT salvage_version.
+  /// True when every chunk's header is CRC-valid with
+  /// version <= salvage_version <= epoch — the interrupted save finished its
+  /// chunk writes, so load_salvage() can recover it (payload CRCs pending).
+  bool salvage_ready = false;
   bool torn() const { return torn_chunks > 0; }
 };
 
@@ -113,82 +158,132 @@ struct TornProbe {
 struct BackendStats {
   std::uint64_t saves = 0;
   std::uint64_t loads = 0;
-  std::uint64_t bytes_saved = 0;     ///< Payload bytes written (headers excluded).
+  std::uint64_t bytes_saved = 0;     ///< Raw payload bytes written (headers excluded).
+  std::uint64_t bytes_stored = 0;    ///< Post-codec bytes through the device queue.
   std::uint64_t bytes_loaded = 0;
   std::uint64_t chunks_written = 0;
   std::uint64_t chunks_skipped = 0;  ///< Dirty-filtered (clean) chunks.
+  std::uint64_t chunks_stamped = 0;  ///< Epoch-stamped in place (dirty commit).
   std::uint64_t chunks_loaded = 0;
 };
 
+/// One completed (or failed / skipped) entry of the asynchronous drain ring,
+/// consumed strictly FIFO via take_drain_outcome().
+struct DrainOutcome {
+  int slot = 0;
+  std::uint64_t version = 0;
+  std::optional<SaveReceipt> receipt;  ///< Engaged: the save committed.
+  std::exception_ptr error;            ///< Engaged: the save failed mid-flight.
+  /// True when the job never ran: it was queued behind a failed drain (its
+  /// slot is untouched) — the ring stops at the first failure.
+  bool skipped = false;
+};
+
 /// The chunk engine: non-virtual save/load/probe over the per-medium span
-/// primitives below. Owns layout, CRC32 integrity headers, the WritePipeline
-/// fan-out, dirty-chunk filtering, the commit order, and the asynchronous
-/// drain thread; a medium implements only "persist/read this span" and the
-/// (slot, version) marker.
+/// primitives below. Owns layout, CRC32 integrity headers, per-chunk
+/// compression, the WritePipeline fan-out, dirty-chunk filtering, the commit
+/// order, and the asynchronous drain ring; a medium implements only
+/// "persist/read this span" and the (slot, version) marker.
 class Backend {
  public:
+  /// Out of line (with the destructor): the drain ring member is an
+  /// incomplete type here.
+  Backend();
   /// Backstop only: cancels and joins a still-pending drain so a subclass
   /// that forgot teardown_drain() hits abort_drain()'s bounded race instead
   /// of std::thread's guaranteed std::terminate. By this point the derived
   /// span primitives are already destroyed, so every subclass destructor must
-  /// STILL call teardown_drain() first (see below).
-  virtual ~Backend() { abort_drain(); }
+  /// STILL call teardown_drain() first (see below). Defined out of line: the
+  /// drain ring is an incomplete type here.
+  virtual ~Backend();
 
-  /// Chunk size / pipeline width for subsequent saves (--ckpt_chunk_kb,
-  /// --ckpt_threads).
+  /// Chunk size / pipeline width / codec for subsequent saves
+  /// (--ckpt_chunk_kb, --ckpt_threads, --ckpt_compress, ...).
   void configure_chunks(const ChunkConfig& cfg);
   const ChunkConfig& chunk_config() const { return chunks_; }
 
   /// Durably stores the objects as `slot` and then durably records
-  /// (slot, version) as the newest checkpoint. Chunks are serialized on the
-  /// configured pipeline workers at deterministic image offsets (images are
-  /// byte-identical across worker counts); the marker commit stays last.
-  /// `layout`, when given, must be ChunkLayout::make(objs, chunk_bytes) —
-  /// CheckpointSet passes its memoized copy so per-unit saves skip the
-  /// rebuild.
+  /// (slot, version) as the newest checkpoint. Chunks are serialized (and,
+  /// with a codec configured, compressed) on the configured pipeline workers
+  /// at deterministic image offsets (images are byte-identical across worker
+  /// counts); the marker commit stays last. `layout`, when given, must be
+  /// ChunkLayout::make(objs, chunk_bytes) — CheckpointSet passes its memoized
+  /// copy so per-unit saves skip the rebuild.
   SaveReceipt save(int slot, std::uint64_t version, std::span<const ObjectView> objs,
                    const ChunkHooks& hooks = {}, const ChunkLayout* layout = nullptr);
 
-  /// Begins an asynchronous save with the same contract as save(), returning
-  /// as soon as the background drain thread is launched. The drain pushes
-  /// chunk spans through the same per-medium primitives (and device-bandwidth
-  /// queue); the (slot, version) marker still commits only after every chunk
-  /// landed, so crash semantics are unchanged. `objs` must point at memory
-  /// that is stable for the drain's lifetime (CheckpointSet's staging arena —
-  /// `keepalive` owns it so the caller may be destroyed mid-drain); hook
-  /// callbacks fire on the drain thread with kPointChunkSaved rewritten to
-  /// kPointChunkDrained. At most one drain may be in flight: callers join
-  /// (or abort) the previous one first.
+  /// Enqueues an asynchronous save with the same contract as save(),
+  /// returning as soon as the job is queued on the drain ring. One worker
+  /// thread processes jobs strictly FIFO — save K fully commits (chunks,
+  /// header, marker) before save K+1 touches media, so crash semantics are
+  /// those of back-to-back synchronous saves with at most one save mid-flight
+  /// on the medium. `objs` must point at memory that is stable for the
+  /// drain's lifetime (CheckpointSet's staging arenas — `keepalive` owns it
+  /// so the caller may be destroyed mid-drain); hook callbacks fire on the
+  /// drain thread with kPointChunkSaved rewritten to kPointChunkDrained.
+  /// Callers bound the ring depth themselves by consuming outcomes.
   void save_async(int slot, std::uint64_t version, std::vector<ObjectView> objs,
                   ChunkHooks hooks = {}, std::shared_ptr<const ChunkLayout> layout = nullptr,
                   std::shared_ptr<const void> keepalive = nullptr);
 
-  /// True while an asynchronous save is still draining.
-  bool drain_pending() const;
+  /// Queued + running + completed-but-unconsumed drain jobs.
+  std::size_t drains_pending() const;
 
-  /// Joins the in-flight drain and returns its receipt (nullopt when none was
-  /// pending). Whatever the drain thread threw — a crash point's
-  /// CrashException, a medium failure — is rethrown here on the calling
-  /// thread, with the slot torn and the marker uncommitted.
+  /// True while any asynchronous save is still in the ring.
+  bool drain_pending() const { return drains_pending() > 0; }
+
+  /// Blocks for the OLDEST ring entry's outcome and consumes it. After a
+  /// failed job, the jobs queued behind it are returned as `skipped` (they
+  /// never touched their slots). Must not be called with an empty ring.
+  DrainOutcome take_drain_outcome();
+
+  /// Re-arms the ring after a failure has been fully consumed. Between a
+  /// job's failure and this call every enqueued job is skipped, even ones
+  /// that arrive after the failure (the enqueuer raced the error) — the
+  /// stop-at-first-failure contract covers the whole failure window.
+  void acknowledge_drain_failure();
+
+  /// Drains the whole ring: consumes every outcome, returns the last receipt
+  /// (nullopt when the ring was empty or nothing committed) and rethrows the
+  /// FIRST error — with that job's slot torn and its marker uncommitted.
   std::optional<SaveReceipt> join_drain();
 
-  /// Power-failure emulation: cooperatively cancels an in-flight drain (the
-  /// remaining chunks are never written; the slot stays torn with the marker
-  /// uncommitted) and joins it, swallowing the drain's outcome. No-op when
-  /// nothing is draining. Never throws.
+  /// Power-failure emulation: cooperatively cancels the in-flight drain job
+  /// (the remaining chunks are never written; the slot stays torn with the
+  /// marker uncommitted), discards the queued jobs and any unconsumed
+  /// outcomes, and joins the worker. No-op when the ring is empty. Never
+  /// throws.
   void abort_drain() noexcept;
 
-  /// Verifies and loads the slot image back into the object pointers.
-  /// Throws LayoutMismatch when the saved object table does not match `objs`
-  /// (no object is modified), and TornCheckpoint on any integrity failure
-  /// (objects already verified may have been copied). Returns the version
-  /// stored with the slot.
+  /// Verifies, decompresses and loads the slot image back into the object
+  /// pointers. Throws LayoutMismatch when the saved object table does not
+  /// match `objs` (no object is modified), and TornCheckpoint on any
+  /// integrity failure (objects already verified may have been copied).
+  /// Returns the version stored with the slot.
   std::uint64_t load(int slot, std::span<const ObjectView> objs, const ChunkHooks& hooks = {});
 
+  /// Torn-slot salvage: loads the slot at the interrupted-but-complete
+  /// version `want` a probe_torn() scan reported salvage-ready (chunks are
+  /// accepted when their [version, epoch] interval covers `want`; both the
+  /// stored CRC and the post-decompression payload CRC must verify). The
+  /// caller re-commits the marker afterwards (recommit) to make the salvage
+  /// durable. Throws TornCheckpoint when a payload fails verification.
+  std::uint64_t load_salvage(int slot, std::uint64_t want, std::span<const ObjectView> objs,
+                             const ChunkHooks& hooks = {});
+
+  /// Re-commits the (slot, version) marker outside a save — the restore-side
+  /// commit that makes a successful salvage (or a dirty-commit fallback to
+  /// the aged slot) the newest checkpoint.
+  void recommit(int slot, std::uint64_t version) { commit_marker(slot, version); }
+
   /// Chunk-header scan classifying whether `slot` holds pieces of a save that
-  /// never committed (version > the slot's own committed image). Payloads are
-  /// not read; missing/blank slots probe clean.
-  TornProbe probe_torn(int slot, std::span<const ObjectView> objs);
+  /// never committed, and whether that save is complete enough to salvage
+  /// (see TornProbe). Payloads are not read; missing/blank slots probe clean.
+  /// Torn evidence is counted against the slot's own committed header version
+  /// unless `base_override` is given (dirty-commit restores pass the marker
+  /// version: the slot's header may itself belong to the interrupted save).
+  TornProbe probe_torn(int slot, std::span<const ObjectView> objs,
+                       std::optional<std::uint64_t> base_override = std::nullopt);
 
   /// Newest committed (slot, version); version 0 means "no checkpoint yet".
   virtual std::pair<int, std::uint64_t> latest() const = 0;
@@ -236,19 +331,16 @@ class Backend {
   SaveReceipt do_save(int slot, std::uint64_t version, std::span<const ObjectView> objs,
                       const ChunkHooks& hooks, const ChunkLayout* memo,
                       const char* point_name, const std::atomic<bool>* cancel);
+  std::uint64_t do_load(int slot, std::span<const ObjectView> objs, const ChunkHooks& hooks,
+                        std::optional<std::uint64_t> salvage);
 
-  // ---- Async drain state (one drain in flight at most) -------------------
-  struct Drain {
-    std::thread thread;
-    std::atomic<bool> cancel{false};
-    // Written by the drain thread before it exits; read after join only.
-    std::optional<SaveReceipt> receipt;
-    std::exception_ptr error;
-    std::vector<ObjectView> objs;                 ///< Staged views (stable).
-    std::shared_ptr<const ChunkLayout> layout;
-    std::shared_ptr<const void> keepalive;        ///< Owns the staging arena.
-  };
-  std::unique_ptr<Drain> drain_;
+  // ---- Async drain ring (one worker, strict FIFO) ------------------------
+  struct DrainJob;
+  struct Ring;
+  void drain_worker();
+  void ensure_worker();
+
+  std::unique_ptr<Ring> ring_;
 };
 
 }  // namespace adcc::checkpoint

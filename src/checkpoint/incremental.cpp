@@ -18,7 +18,9 @@ void IncrementalCheckpointSet::freeze() {
   for (const Pending& p : pending_) objs.push_back({p.name, p.data, p.bytes});
   backend_ = std::make_unique<NvmBackend>(region_, checkpoint_image_bytes(objs, kBlock),
                                           /*slots=*/1);
-  backend_->configure_chunks({kBlock, /*threads=*/1});
+  ChunkConfig cc;
+  cc.chunk_bytes = kBlock;
+  backend_->configure_chunks(cc);
   set_ = std::make_unique<CheckpointSet>(*backend_);
   for (Pending& p : pending_) set_->add(std::move(p.name), p.data, p.bytes);
   pending_.clear();

@@ -19,7 +19,7 @@ void WritePipeline::run(std::size_t count, const ChunkFn& fn) {
   const int workers =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_), count));
   if (workers == 1) {
-    std::vector<std::byte> scratch;
+    ChunkScratch scratch;
     for (std::size_t i = 0; i < count; ++i) fn(i, scratch);
     return;
   }
@@ -30,7 +30,7 @@ void WritePipeline::run(std::size_t count, const ChunkFn& fn) {
   std::mutex error_mu;
 
   const auto worker = [&] {
-    std::vector<std::byte> scratch;
+    ChunkScratch scratch;
     for (std::size_t i; (i = next.fetch_add(1)) < count;) {
       if (abort.load(std::memory_order_relaxed)) break;
       try {

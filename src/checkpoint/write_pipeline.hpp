@@ -3,8 +3,8 @@
 // run(count, fn) executes fn(chunk_index, scratch) for every chunk index in
 // [0, count), dynamically balanced across the configured worker count (the
 // calling thread is worker 0, so one-worker pipelines add no thread at all).
-// Each worker owns a reusable scratch buffer for [ChunkHeader][payload]
-// serialization.
+// Each worker owns a reusable ChunkScratch: a buffer for [ChunkHeader][payload]
+// serialization plus a second one the per-chunk codec compresses into.
 //
 // Exception semantics mirror a power failure: the first exception aborts the
 // remaining chunks (workers drain without starting new ones) and is rethrown
@@ -24,9 +24,17 @@
 
 namespace adcc::checkpoint {
 
+/// Per-worker reusable buffers: `raw` holds the serialized
+/// [ChunkHeader][raw payload] image, `packed` the codec's output.
+struct ChunkScratch {
+  std::vector<std::byte> raw;
+  std::vector<std::byte> packed;
+};
+
+/// The worker pool serializing checkpoint chunks (see the file comment).
 class WritePipeline {
  public:
-  using ChunkFn = std::function<void(std::size_t index, std::vector<std::byte>& scratch)>;
+  using ChunkFn = std::function<void(std::size_t index, ChunkScratch& scratch)>;
 
   /// Workers are clamped to [1, count] at run() time.
   explicit WritePipeline(int threads);

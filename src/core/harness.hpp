@@ -39,6 +39,9 @@ struct RecomputationBreakdown {
   std::size_t torn_chunks = 0;     ///< Detected torn-checkpoint chunks (a save
                                    ///< the crash interrupted, caught by the
                                    ///< chunk CRC/version headers in recovery).
+  std::size_t salvaged_chunks = 0; ///< Torn-consistent chunks recovered forward
+                                   ///< from an interrupted save instead of
+                                   ///< rolling back to the prior version.
   double overlap_seconds = 0.0;    ///< Work-unit execution time spent while an
                                    ///< async checkpoint drain was in flight —
                                    ///< the device window hidden behind compute.

@@ -106,7 +106,14 @@ ModeEnv make_env(Mode mode, const ModeEnvConfig& cfg) {
       break;  // Tx and algorithm modes build workload-specific state on the arena.
   }
   if (env.backend) {
-    env.backend->configure_chunks({cfg.ckpt_chunk_bytes, cfg.ckpt_threads, cfg.ckpt_async});
+    checkpoint::ChunkConfig cc;
+    cc.chunk_bytes = cfg.ckpt_chunk_bytes;
+    cc.threads = cfg.ckpt_threads;
+    cc.async = cfg.ckpt_async;
+    cc.compress = cfg.ckpt_compress;
+    cc.async_depth = cfg.ckpt_async_depth;
+    cc.dirty_commit = cfg.ckpt_dirty_commit;
+    env.backend->configure_chunks(cc);
   }
   return env;
 }

@@ -594,6 +594,7 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     result.recomputation.units_lost += rec.units_lost;
     result.recomputation.units_corrected += rec.units_corrected;
     result.recomputation.torn_chunks += rec.torn_chunks;
+    result.recomputation.salvaged_chunks += rec.salvaged_chunks;
     result.recomputation.shards_restored += rec.shards_restored;
     result.recomputation.epochs_rolled_back += rec.epochs_rolled_back;
     result.recomputation.units_replayed += rec.units_replayed;

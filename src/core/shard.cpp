@@ -128,7 +128,9 @@ void ShardGroup::prepare(ModeEnv& env) {
     // The main env hosts only the coordinator's marker; force it synchronous
     // (the marker save IS the global commit point) and single-threaded — it
     // is a few dozen bytes.
-    env.backend->configure_chunks({env.cfg.ckpt_chunk_bytes, 1, false});
+    checkpoint::ChunkConfig marker_cc;
+    marker_cc.chunk_bytes = env.cfg.ckpt_chunk_bytes;
+    env.backend->configure_chunks(marker_cc);
     const std::filesystem::path base =
         env.cfg.scratch_dir.empty()
             ? std::filesystem::temp_directory_path() / "adcc_ckpt"
@@ -325,6 +327,7 @@ WorkloadRecovery ShardGroup::recover() {
         ckpts_[v]->restore_version(marker.versions[v]);
         rec.candidates_checked += ckpts_[v]->last_restore().chunks_probed;
         rec.torn_chunks += ckpts_[v]->last_restore().torn_chunks;
+        rec.salvaged_chunks += ckpts_[v]->last_restore().salvaged_chunks;
         saved_version_[v] = marker.versions[v];
         last_saved_epoch_[v] = epoch;
         parts_[v]->restored(epoch);
@@ -362,6 +365,7 @@ WorkloadRecovery ShardGroup::recover() {
         ckpts_[i]->restore_version(epoch == 0 ? 0 : marker.versions[i]);
         rec.candidates_checked += ckpts_[i]->last_restore().chunks_probed;
         rec.torn_chunks += ckpts_[i]->last_restore().torn_chunks;
+        rec.salvaged_chunks += ckpts_[i]->last_restore().salvaged_chunks;
         saved_version_[i] = marker.versions[i];
         last_saved_epoch_[i] = epoch;
         parts_[i]->restored(epoch);

@@ -50,10 +50,11 @@ std::vector<std::string_view> split(std::string_view s, char sep) {
 }
 
 /// The axes whose values are names, not numbers: never range-expanded, and the
-/// crash axis may contain ':' freely (point:cg:p_updated:15).
+/// crash axis may contain ':' freely (point:cg:p_updated:15). ckpt_compress is
+/// here because "lz:2" would otherwise parse as a numeric range.
 bool is_string_axis(std::string_view key) {
   return key == "workload" || key == "mode" || key == "crash" || key == "policy" ||
-         key == "backend";
+         key == "backend" || key == "ckpt_compress";
 }
 
 bool expand_string_token(std::string_view key, std::string_view tok,
@@ -108,6 +109,17 @@ bool expand_string_token(std::string_view key, std::string_view tok,
       for (const std::string& name : kernel_backend_names()) built += " " + name;
       return fail(error,
                   "axis 'backend': unknown kernel backend '" + token + "' (built:" + built + ")");
+    }
+    out.push_back(token);
+    return true;
+  }
+  if (key == "ckpt_compress") {
+    // Eager codec validation: a typo'd codec spec is a deck parse error, not
+    // a per-cell failure row.
+    checkpoint::CodecSpec spec;
+    std::string why;
+    if (!checkpoint::parse_codec(token, &spec, &why)) {
+      return fail(error, "axis 'ckpt_compress': " + why);
     }
     out.push_back(token);
     return true;
@@ -382,6 +394,17 @@ ScenarioConfig cell_config(const Workload& workload, Mode mode, const CrashScena
   sc.env.ckpt_chunk_bytes =
       std::max<std::size_t>(1u << 10, opts.get_size("ckpt_chunk_kb", 256) << 10);
   sc.env.ckpt_async = opts.get_bool("ckpt_async");
+  if (opts.has("ckpt_compress")) {
+    std::string why;
+    ADCC_CHECK(checkpoint::parse_codec(opts.get("ckpt_compress", "none"),
+                                       &sc.env.ckpt_compress, &why),
+               ("bad --ckpt_compress: " + why).c_str());
+  }
+  sc.env.ckpt_async_depth = std::max(1, static_cast<int>(opts.get_int("ckpt_async_depth", 1)));
+  sc.env.ckpt_dirty_commit = opts.get_bool("ckpt_dirty_commit");
+  ADCC_CHECK(!sc.env.ckpt_dirty_commit || opts.get_size("shards", 1) <= 1,
+             "--ckpt_dirty_commit is incompatible with shards > 1 (coordinated "
+             "rollback needs exactly-committed slot versions)");
   workload.tune_env(mode, sc.env);
   if (opts.has("arena")) sc.env.arena_bytes = opts.get_size("arena", sc.env.arena_bytes);
   if (opts.has("slot")) sc.env.slot_bytes = opts.get_size("slot", sc.env.slot_bytes);
@@ -409,8 +432,9 @@ std::string baseline_key(const std::string& workload,
   std::string key = workload;
   for (const auto& [k, v] : assignment) {
     if (k == "mode" || k == "crash" || k == "policy" || k == "ckpt_threads" ||
-        k == "ckpt_chunk_kb" || k == "ckpt_async" || k == "disk_mbps" || k == "shards" ||
-        k == "shard_stagger" || k == "backend" || k == "threads") {
+        k == "ckpt_chunk_kb" || k == "ckpt_async" || k == "ckpt_compress" ||
+        k == "ckpt_async_depth" || k == "ckpt_dirty_commit" || k == "disk_mbps" ||
+        k == "shards" || k == "shard_stagger" || k == "backend" || k == "threads") {
       continue;
     }
     key += '\x1f' + k + '=' + v;
@@ -521,6 +545,7 @@ SweepCellResult run_cell(const SweepSpec& spec, const SweepConfig& cfg, std::siz
       cell.telemetry = true;
       cell.t_stage = telemetry->seconds("ckpt/stage");
       cell.t_crc = telemetry->seconds("ckpt/crc");
+      cell.t_comp = telemetry->seconds("ckpt/compress");
       cell.t_io = telemetry->seconds("ckpt/queue");
       cell.t_drain = telemetry->seconds("ckpt/drain");
       cell.t_kernel = telemetry->prefix_seconds("kernel/");
@@ -608,9 +633,10 @@ Table SweepResult::table(bool timing) const {
     }
   }
   for (const char* h : {"units", "seconds", "normalized", "overhead", "lost", "partial",
-                        "corrected", "torn", "overlap", "detect/unit", "resume/unit",
-                        "victims", "epochs_rb", "replayed", "halo_kb", "t_stage", "t_crc",
-                        "t_io", "t_drain", "t_kernel", "t_spmv", "t_gemm", "t_xs", "status"}) {
+                        "corrected", "torn", "salvaged", "overlap", "detect/unit",
+                        "resume/unit", "victims", "epochs_rb", "replayed", "halo_kb",
+                        "t_stage", "t_crc", "t_comp", "t_io", "t_drain", "t_kernel", "t_spmv",
+                        "t_gemm", "t_xs", "status"}) {
     headers.emplace_back(h);
   }
 
@@ -626,7 +652,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::move(value));
     }
     if (cell.status == SweepCellResult::Status::kError) {
-      for (int i = 0; i < 23; ++i) row.emplace_back("-");
+      for (int i = 0; i < 25; ++i) row.emplace_back("-");
       row.push_back("ERROR: " + cell.error);
     } else {
       const ScenarioResult& res = cell.result;
@@ -640,6 +666,7 @@ Table SweepResult::table(bool timing) const {
       row.push_back(std::to_string(rb.partial_units));
       row.push_back(std::to_string(rb.units_corrected));
       row.push_back(std::to_string(rb.torn_chunks));
+      row.push_back(std::to_string(rb.salvaged_chunks));
       // Wall-clock-derived like seconds: blanked under --no_timing so serial
       // and parallel decks stay byte-identical.
       row.push_back(timing && rb.overlap_seconds > 0 ? Table::fmt(rb.overlap_seconds, 4) : "-");
@@ -656,6 +683,7 @@ Table SweepResult::table(bool timing) const {
       const bool stages = timing && cell.telemetry;
       row.push_back(stages ? Table::fmt(cell.t_stage, 4) : "-");
       row.push_back(stages ? Table::fmt(cell.t_crc, 4) : "-");
+      row.push_back(stages ? Table::fmt(cell.t_comp, 4) : "-");
       row.push_back(stages ? Table::fmt(cell.t_io, 4) : "-");
       row.push_back(stages ? Table::fmt(cell.t_drain, 4) : "-");
       row.push_back(stages ? Table::fmt(cell.t_kernel, 4) : "-");

@@ -186,6 +186,7 @@ core::WorkloadRecovery McWorkload::recover() {
       const auto& rs = ckpt_->last_restore();
       rec.candidates_checked += rs.chunks_probed;
       rec.torn_chunks = rs.torn_chunks;
+      rec.salvaged_chunks = rs.salvaged_chunks;
       if (ver != 0) {
         done_ = static_cast<std::size_t>(durable_units_);
       } else {

@@ -284,6 +284,7 @@ core::WorkloadRecovery MmWorkload::recover() {
       const auto& rs = ckpt_->last_restore();
       rec.candidates_checked += rs.chunks_probed;
       rec.torn_chunks = rs.torn_chunks;
+      rec.salvaged_chunks = rs.salvaged_chunks;
       if (ver != 0) {
         done_ = static_cast<std::size_t>(ckpt_step_);
       } else {

@@ -63,6 +63,15 @@ BackendBundle make_backend(Kind kind, double throttle = 0.0) {
   return b;
 }
 
+/// ChunkConfig with every non-positional knob (async, codec, ring depth,
+/// dirty commit) at its default — the tests below flip those explicitly.
+ChunkConfig chunk_cfg(std::size_t chunk_bytes, int threads) {
+  ChunkConfig cc;
+  cc.chunk_bytes = chunk_bytes;
+  cc.threads = threads;
+  return cc;
+}
+
 class BackendTest : public ::testing::TestWithParam<Kind> {};
 
 TEST_P(BackendTest, SaveLoadRoundtrip) {
@@ -231,7 +240,7 @@ TEST_P(BackendTest, ZeroByteObjectsRoundtrip) {
 
 TEST_P(BackendTest, PayloadSmallerThanOneChunkRoundtrips) {
   auto b = make_backend(GetParam());
-  b.backend->configure_chunks({1u << 20, 1});  // 1 MB chunks, 11-byte payload.
+  b.backend->configure_chunks(chunk_cfg(1u << 20, 1));  // 1 MB chunks, 11-byte payload.
   char small[11] = "0123456789";
   std::vector<ObjectView> objs = {{"small", small, sizeof(small)}};
   b.backend->save(0, 1, objs);
@@ -242,7 +251,7 @@ TEST_P(BackendTest, PayloadSmallerThanOneChunkRoundtrips) {
 
 TEST_P(BackendTest, MoreThreadsThanChunksRoundtrips) {
   auto b = make_backend(GetParam());
-  b.backend->configure_chunks({64u << 10, 8});  // 8 workers, 1-chunk payload.
+  b.backend->configure_chunks(chunk_cfg(64u << 10, 8));  // 8 workers, 1-chunk payload.
   std::vector<double> x(64, 4.5);
   std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8}};
   b.backend->save(0, 7, objs);
@@ -264,7 +273,7 @@ TEST_P(BackendTest, SlotImagesAreByteIdenticalAcrossThreadCounts) {
   std::vector<std::byte> serial(image), parallel(image);
   for (int threads : {1, 8}) {
     auto b = make_backend(GetParam());
-    b.backend->configure_chunks({4096, threads});  // 10 chunks across 2 objects.
+    b.backend->configure_chunks(chunk_cfg(4096, threads));  // 10 chunks across 2 objects.
     b.backend->save(1, 3, objs);
     auto& out = threads == 1 ? serial : parallel;
     ASSERT_EQ(b.backend->read_image(1, out), image);
@@ -274,7 +283,7 @@ TEST_P(BackendTest, SlotImagesAreByteIdenticalAcrossThreadCounts) {
 
 TEST_P(BackendTest, UnchangedChunksAreSkippedPerSlot) {
   auto b = make_backend(GetParam());
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(4 * 4096 / 8, 1.0);  // 4 chunks.
   CheckpointSet set(*b.backend);
   set.add("x", x.data(), x.size() * 8);
@@ -295,7 +304,7 @@ TEST_P(BackendTest, UnchangedChunksAreSkippedPerSlot) {
 
 TEST_P(BackendTest, InterruptedSaveLeavesPreviousCheckpointAndIsDetected) {
   auto b = make_backend(GetParam());
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(4 * 4096 / 8, 1.0);
   InterruptibleSet is(*b.backend);
   is.set.add("x", x.data(), x.size() * 8);
@@ -374,7 +383,7 @@ TEST(CheckpointSet, HintedSaveIntoFreshSlotWritesTheFullImage) {
   // The first save landing in a slot is implicitly full: dirty hints may not
   // punch never-written holes into a committed image.
   auto b = make_backend(Kind::kNvm);
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(4 * 4096 / 8, 1.0);
   CheckpointSet set(*b.backend);
   set.add("x", x.data(), x.size() * 8);
@@ -393,7 +402,7 @@ TEST(HeteroBackend, InterruptedSaveDebrisDoesNotTearTheNextSave) {
   // Chunks staged by an interrupted save must not be drained by a later
   // save's epilogue into the other slot's committed image.
   auto b = make_backend(Kind::kHetero);
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(4 * 4096 / 8, 1.0);
   InterruptibleSet is(*b.backend);
   is.set.add("x", x.data(), x.size() * 8);
@@ -414,7 +423,7 @@ TEST(HeteroBackend, InterruptedSaveDebrisDoesNotTearTheNextSave) {
 
 TEST(CheckpointSet, FailedSaveRollsBackTheVersionSoRetriesSpareTheCommittedSlot) {
   auto b = make_backend(Kind::kNvm);
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(2 * 4096 / 8, 1.0);
   InterruptibleSet is(*b.backend);
   is.set.add("x", x.data(), x.size() * 8);
@@ -544,7 +553,7 @@ TEST_P(BackendTest, AsyncSlotImagesMatchSyncByteForByte) {
 TEST_P(BackendTest, AsyncDirtyChunkFilterSkipsUnchangedChunks) {
   auto b = make_backend(GetParam());
   std::vector<double> x(3 * 4096, 7.0);
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   CheckpointSet set(*b.backend);
   set.add("x", x.data(), x.size() * 8);
   set.save_async();  // v1 -> slot 1.
@@ -572,7 +581,7 @@ struct AsyncInterruptibleSet {
 
 TEST_P(BackendTest, CrashBetweenStageAndDrainLeavesBackendUntouched) {
   auto b = make_backend(GetParam());
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(4 * 4096 / 8, 1.0);
   AsyncInterruptibleSet is(*b.backend, kPointChunkStaged);
   is.set.add("x", x.data(), x.size() * 8);
@@ -593,7 +602,7 @@ TEST_P(BackendTest, CrashBetweenStageAndDrainLeavesBackendUntouched) {
 
 TEST_P(BackendTest, CrashMidDrainSurfacesAtJoinAndClassifiesLikeSyncMidSave) {
   auto b = make_backend(GetParam());
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(4 * 4096 / 8, 1.0);
   AsyncInterruptibleSet is(*b.backend, kPointChunkDrained);
   is.set.add("x", x.data(), x.size() * 8);
@@ -627,7 +636,7 @@ TEST_P(BackendTest, AbortAsyncEmulatesPowerFailureAndRecoversConsistently) {
   // point); whatever it cut off, restore must land on a committed version
   // whose payload matches it exactly.
   auto b = make_backend(GetParam());
-  b.backend->configure_chunks({4096, 1});
+  b.backend->configure_chunks(chunk_cfg(4096, 1));
   std::vector<double> x(8 * 4096 / 8, 1.0);
   CheckpointSet set(*b.backend);
   set.add("x", x.data(), x.size() * 8);
@@ -666,6 +675,262 @@ TEST_P(BackendTest, ConfiguredAsyncDispatchesPlainSave) {
   std::fill(x.begin(), x.end(), 0.0);
   EXPECT_EQ(set.restore(), 1u);
   EXPECT_DOUBLE_EQ(x[0], 6.5);
+}
+
+// ------------------------------------------------- per-chunk compression --
+
+CodecSpec lz_spec() {
+  CodecSpec cs;
+  EXPECT_TRUE(parse_codec("lz", &cs));
+  return cs;
+}
+
+TEST_P(BackendTest, CompressedSaveShrinksStoredBytesAndRestoresExactly) {
+  auto b = make_backend(GetParam());
+  ChunkConfig cc = chunk_cfg(4096, 1);
+  cc.compress = lz_spec();
+  b.backend->configure_chunks(cc);
+  // Smoothly varying doubles: constant exponent planes, slow mantissa drift —
+  // the payload shape the byte-plane codec exists for.
+  std::vector<double> x(8 * 4096 / 8);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1e6 + 0.125 * static_cast<double>(i);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  EXPECT_EQ(set.save(), 1u);
+  EXPECT_LT(b.backend->stats().bytes_stored, b.backend->stats().bytes_saved);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(set.restore(), 1u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_DOUBLE_EQ(x[i], 1e6 + 0.125 * static_cast<double>(i)) << "i=" << i;
+  }
+}
+
+TEST_P(BackendTest, CompressedSlotImagesAreByteIdenticalAcrossThreadCounts) {
+  // The codec is a pure function of the payload bytes: with compression on,
+  // serial and 8-worker saves must still produce bit-identical slot images.
+  std::vector<double> x(4096), y(777);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1e6 + 0.125 * static_cast<double>(i);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = -static_cast<double>(i);
+  std::vector<ObjectView> objs = {{"x", x.data(), x.size() * 8},
+                                  {"y", y.data(), y.size() * 8}};
+  const std::size_t image = checkpoint_image_bytes(objs, 4096);
+  std::vector<std::byte> serial(image), parallel(image);
+  std::size_t serial_bytes = 0, parallel_bytes = 0;
+  for (int threads : {1, 8}) {
+    auto b = make_backend(GetParam());
+    ChunkConfig cc = chunk_cfg(4096, threads);
+    cc.compress = lz_spec();
+    b.backend->configure_chunks(cc);
+    b.backend->save(1, 3, objs);
+    EXPECT_LT(b.backend->stats().bytes_stored, b.backend->stats().bytes_saved);
+    auto& out = threads == 1 ? serial : parallel;
+    (threads == 1 ? serial_bytes : parallel_bytes) = b.backend->read_image(1, out);
+  }
+  EXPECT_EQ(serial_bytes, parallel_bytes);
+  EXPECT_EQ(serial, parallel);
+}
+
+// ------------------------------------------------------ ring depth crashes --
+
+TEST_P(BackendTest, RingDepthCrashMatrixRecoversACommittedConsistentState) {
+  // Every async crash site (staging pass, background drain, ring admission)
+  // at every supported ring depth: whatever the cut lost, restore must land
+  // on a version whose payload matches it exactly, and the set must accept
+  // (and durably commit) new saves afterwards.
+  for (int depth : {1, 2, 4}) {
+    for (const char* at : {kPointChunkStaged, kPointChunkDrained, kPointRingStaged}) {
+      if (depth == 1 && std::string_view(at) == kPointRingStaged) {
+        continue;  // ring_stage only fires for rings deeper than one.
+      }
+      SCOPED_TRACE(::testing::Message() << "depth=" << depth << " point=" << at);
+      auto b = make_backend(GetParam());
+      ChunkConfig cc = chunk_cfg(4096, 1);
+      cc.async_depth = depth;
+      b.backend->configure_chunks(cc);
+      std::vector<double> x(4 * 4096 / 8, 0.0);
+      AsyncInterruptibleSet is(*b.backend, at);
+      is.set.add("x", x.data(), x.size() * 8);
+      for (std::uint64_t v = 1; v <= 2; ++v) {  // Two committed baselines.
+        std::fill(x.begin(), x.end(), static_cast<double>(v));
+        is.set.save_async();
+        ASSERT_EQ(is.set.wait_durable(), v);
+      }
+      is.arm_after = 2;
+      bool cut = false;
+      try {
+        // Overfill the ring so the crash can land with saves queued behind it.
+        for (std::uint64_t v = 3; v <= 3 + static_cast<std::uint64_t>(depth); ++v) {
+          std::fill(x.begin(), x.end(), static_cast<double>(v));
+          is.set.save_async();
+        }
+        is.set.wait_durable();
+      } catch (const TestPowerFailure&) {
+        cut = true;
+      }
+      EXPECT_TRUE(cut);
+      is.arm_after = 0;
+      // Power-loss epilogue, as the workloads' inject_crash does it.
+      is.set.abort_async();
+      if (b.dram) b.dram->discard();
+      std::fill(x.begin(), x.end(), 0.0);
+      const std::uint64_t restored = is.set.restore();
+      EXPECT_GE(restored, 2u);  // Never behind the pre-burst commits.
+      EXPECT_LE(restored, 3 + static_cast<std::uint64_t>(depth));
+      EXPECT_DOUBLE_EQ(x[0], static_cast<double>(restored));
+      EXPECT_DOUBLE_EQ(x.back(), static_cast<double>(restored));
+      // Life goes on: the next save commits durably past the crash.
+      std::fill(x.begin(), x.end(), 9.0);
+      EXPECT_EQ(is.set.save(), restored + 1);
+      EXPECT_EQ(b.backend->latest().second, restored + 1);
+    }
+  }
+}
+
+TEST_P(BackendTest, DrainFailureSkipsQueuedRingSavesAndRetryRecommits) {
+  auto b = make_backend(GetParam());
+  ChunkConfig cc = chunk_cfg(4096, 1);
+  cc.async_depth = 4;
+  b.backend->configure_chunks(cc);
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  AsyncInterruptibleSet is(*b.backend, kPointChunkDrained);
+  is.set.add("x", x.data(), x.size() * 8);
+  is.set.save_async();
+  ASSERT_EQ(is.set.wait_durable(), 1u);  // v1 committed.
+  is.arm_after = 1;  // The next drained chunk — v2's first — dies.
+  std::fill(x.begin(), x.end(), 2.0);
+  is.set.save_async();  // v2: its drain will fail.
+  std::fill(x.begin(), x.end(), 3.0);
+  is.set.save_async();  // v3, queued behind the failure: must never run.
+  std::fill(x.begin(), x.end(), 4.0);
+  is.set.save_async();  // v4, possibly enqueued only after the failure hit.
+  EXPECT_THROW(is.set.wait_durable(), TestPowerFailure);
+  EXPECT_EQ(is.set.version(), 1u);       // Rolled back to before the failed save.
+  EXPECT_FALSE(is.set.async_pending());  // The queued saves were dropped.
+  // v1 is still the restorable truth...
+  if (b.dram) b.dram->discard();
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(is.set.restore(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  // ...and the ring accepts (and commits) new work: the skip latch covering
+  // the failure window must not leak into the retry.
+  is.arm_after = 0;
+  std::fill(x.begin(), x.end(), 5.0);
+  EXPECT_EQ(is.set.save_async(), 2u);
+  EXPECT_EQ(is.set.wait_durable(), 2u);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(is.set.restore(), 2u);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+}
+
+// -------------------------------------- dirty-chunk commit and salvage --
+
+TEST_P(BackendTest, DirtyCommitStampsCleanChunksAndReusesTheCommittedSlot) {
+  auto b = make_backend(GetParam());
+  ChunkConfig cc = chunk_cfg(4096, 1);
+  cc.dirty_commit = true;
+  b.backend->configure_chunks(cc);
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  CheckpointSet set(*b.backend);
+  set.add("x", x.data(), x.size() * 8);
+  set.save();  // v1: no committed image anywhere yet — classic alternation.
+  const int slot_v1 = b.backend->latest().first;
+  set.save();  // v2: the OTHER slot holds no fallback yet — still alternates.
+  const int slot_v2 = b.backend->latest().first;
+  EXPECT_EQ(slot_v2, 1 - slot_v1);
+  x[0] = 2.0;  // One dirty chunk.
+  set.save();  // v3: both slots committed — in-place dirty commit engages.
+  EXPECT_EQ(b.backend->latest().first, slot_v2);  // Same slot re-committed.
+  EXPECT_EQ(b.backend->latest().second, 3u);
+  EXPECT_EQ(set.last_save().chunks_written, 1u);
+  EXPECT_EQ(set.last_save().chunks_stamped, 3u);
+  EXPECT_EQ(set.last_save().chunks_skipped, 0u);
+  std::fill(x.begin(), x.end(), 0.0);
+  EXPECT_EQ(set.restore(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 2.0);
+  EXPECT_DOUBLE_EQ(x[512], 1.0);  // Stamped chunk intact.
+}
+
+TEST_P(BackendTest, TornInPlaceSaveFallsBackToTheAgedSlot) {
+  auto b = make_backend(GetParam());
+  ChunkConfig cc = chunk_cfg(4096, 1);
+  cc.dirty_commit = true;
+  b.backend->configure_chunks(cc);
+  std::vector<double> x(4 * 4096 / 8, 1.0);
+  InterruptibleSet is(*b.backend);
+  is.set.add("x", x.data(), x.size() * 8);
+  is.set.save();  // v1.
+  std::fill(x.begin(), x.end(), 2.0);
+  is.set.save();  // v2 — the slot the in-place save will now rewrite.
+  std::fill(x.begin(), x.end(), 3.0);  // Every chunk dirty.
+  is.arm_after_chunks = 2;  // Power fails two chunks into the in-place save.
+  EXPECT_THROW(is.set.save(), TestPowerFailure);
+  EXPECT_EQ(is.set.version(), 2u);  // Rolled back.
+  if (b.dram) b.dram->discard();
+  std::fill(x.begin(), x.end(), 0.0);
+  const std::uint64_t restored = is.set.restore();
+  if (GetParam() == Kind::kHetero) {
+    // The interrupted chunks died in volatile DRAM staging: the in-place
+    // image is intact and the marker's checkpoint survives untorn.
+    EXPECT_EQ(restored, 2u);
+    EXPECT_DOUBLE_EQ(x[0], 2.0);
+    EXPECT_EQ(is.set.last_restore().torn_chunks, 0u);
+  } else {
+    // The committed image itself is torn (half v3, half v2, epochs
+    // incoherent): restore falls back to the aged other slot and re-commits
+    // it — the documented dirty-commit recovery trade.
+    EXPECT_EQ(restored, 1u);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_GE(is.set.last_restore().torn_chunks, 1u);
+  }
+  // Life goes on from whatever was recovered.
+  is.arm_after_chunks = 0;
+  std::fill(x.begin(), x.end(), 7.0);
+  EXPECT_EQ(is.set.save(), restored + 1);
+  EXPECT_EQ(b.backend->latest().second, restored + 1);
+}
+
+TEST_P(BackendTest, TornSlotSalvageRecoversACompletedSaveAndRollsBackShortOfOne) {
+  // The salvage boundary, one chunk apart: a crash AFTER the last chunk write
+  // (before the slot header + marker) leaves a salvage-ready slot — restore
+  // recovers the interrupted save past the committed marker. One chunk
+  // earlier, salvage is impossible and restore rolls back to the marker.
+  for (const std::size_t cut : {std::size_t{4}, std::size_t{3}}) {
+    SCOPED_TRACE(::testing::Message() << "cut after chunk " << cut);
+    auto b = make_backend(GetParam());
+    b.backend->configure_chunks(chunk_cfg(4096, 1));
+    std::vector<double> x(4 * 4096 / 8, 1.0);
+    InterruptibleSet is(*b.backend);
+    is.set.add("x", x.data(), x.size() * 8);
+    is.set.save();  // v1.
+    std::fill(x.begin(), x.end(), 2.0);
+    is.set.save();  // v2.
+    std::fill(x.begin(), x.end(), 3.0);  // Every chunk dirty for v3.
+    is.arm_after_chunks = cut;
+    EXPECT_THROW(is.set.save(), TestPowerFailure);
+    if (b.dram) b.dram->discard();
+    std::fill(x.begin(), x.end(), 0.0);
+    const std::uint64_t restored = is.set.restore();
+    if (GetParam() == Kind::kHetero) {
+      // Nothing drained before the crash: no salvage candidate on media,
+      // clean rollback to the marker either way.
+      EXPECT_EQ(restored, 2u);
+      EXPECT_DOUBLE_EQ(x[0], 2.0);
+      EXPECT_EQ(is.set.last_restore().salvaged_chunks, 0u);
+    } else if (cut == 4) {
+      // All four chunks of v3 landed: salvage recovers it and re-commits.
+      EXPECT_EQ(restored, 3u);
+      EXPECT_DOUBLE_EQ(x[0], 3.0);
+      EXPECT_EQ(is.set.last_restore().salvaged_chunks, 4u);
+      EXPECT_EQ(is.set.last_restore().torn_chunks, 0u);  // Recovered, not lost.
+      EXPECT_EQ(b.backend->latest().second, 3u);  // Salvage committed durably.
+    } else {
+      // Chunk 4 never landed: the slot is torn beyond salvage — rollback.
+      EXPECT_EQ(restored, 2u);
+      EXPECT_DOUBLE_EQ(x[0], 2.0);
+      EXPECT_EQ(is.set.last_restore().salvaged_chunks, 0u);
+      EXPECT_GE(is.set.last_restore().torn_chunks, 1u);
+    }
+  }
 }
 
 }  // namespace
