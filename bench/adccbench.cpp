@@ -59,7 +59,9 @@ int main(int argc, char** argv) try {
       .doc("mode", "durability mode, or 'all' for the paper's seven", "all")
       .doc("crash",
            "crash plan: none | step:K | random[:SEED] | repeat:N | access:N | "
-           "point:NAME[:K] | fuzz:SEED, chainable with ^ for crash-during-"
+           "point:NAME[:K] | fuzz:SEED | flip:SEED[:BITS] (silent seeded "
+           "bit-flip; detection comes from the workload's checksums/invariants "
+           "or is reported as an honest miss), chainable with ^ for crash-during-"
            "recovery double faults (e.g. step:2^point:ckpt_restore:1); scope "
            "prefixes shard:I: (kill shard I), shards:K:SEED: (kill a seeded "
            "random k-of-N) and coord: (kill the group coordinator) target the "

@@ -43,6 +43,7 @@ PUBLIC_HEADERS = [
     "src/core/workload.hpp",
     "src/core/sweep.hpp",
     "src/core/scenario.hpp",
+    "src/core/fault.hpp",
     "src/core/harness.hpp",
     "src/core/modes.hpp",
     "src/core/shard.hpp",

@@ -80,6 +80,31 @@ for workload in $WORKLOADS; do
     runs=$((runs + 1))
   done
 
+  # Silent-corruption deck (flip:SEED[:BITS], non-sim workloads — the *-sim
+  # adapters expose no corrupt() sites, so a flip would be a guaranteed
+  # no-op): each seed lands one seeded bit-flip WITHOUT raising, a multi-bit
+  # variant stresses the bit-position stream, and a flip^ckpt_chunk chain
+  # composes the silent head with a fail-stop tail killing the next
+  # checkpoint save. Every outcome the classifier knows — detected and
+  # corrected in place, detected and rolled back, honest silent miss — counts
+  # as ok; only a detected-and-rolled-back run that still fails verify (a
+  # broken recovery path) or an ERROR cell fails the deck.
+  if [[ "$workload" != *-sim ]]; then
+    for ((seed = START; seed < START + SEEDS; ++seed)); do
+      crash="flip:$seed+flip:$seed:$((seed % 3 + 2))+flip:$seed^point:ckpt_chunk:$((seed % 4 + 1))"
+      echo "fuzz: workload=$workload seed=$seed (flip)"
+      rc=0
+      "$BIN" --workload="$workload" --mode="$mode" --sweep="crash=$crash" \
+        --sweep_jobs="$JOBS" --no_baseline $QUICK >/dev/null || rc=$?
+      if [[ "$rc" -ne 0 ]]; then
+        echo "fuzz.sh: FAILED at workload=$workload seed=$seed flip deck (exit $rc); reproduce with:" >&2
+        echo "  $BIN --workload=$workload --mode=$mode --sweep='crash=$crash' --no_baseline $QUICK" >&2
+        exit "$rc"
+      fi
+      runs=$((runs + 1))
+    done
+  fi
+
   # Asynchronous-checkpointing families (--ckpt_async=1; the *-sim workloads
   # fix their own durability scheme and never reach the async engine, so they
   # skip this deck): a mid-unit fuzz crash landing while a drain may be in

@@ -131,6 +131,16 @@ bool CgWorkload::run_step() {
   // may throw memsim::CrashException mid-unit when ScenarioRunner armed a
   // trigger. All sites precede ++done_ (and the tx commit), so a mid-unit
   // crash never leaves the cursor or the durable image ahead of the crash.
+  //
+  // Online-ABFT silent-fault detection (alg engines only): while a flip: plan
+  // is in flight, re-validate the Eq. 1/2 invariants on the last completed
+  // iteration before starting the next — exactly the checks recovery scans
+  // with, run online. The flip_active() gate is one relaxed atomic load, so
+  // fail-stop and crash-free runs pay nothing.
+  if (engine_ == core::DurabilityKind::kAlgorithm && fault_.flip_active() &&
+      done_ >= 1 && !alg_rows_consistent(done_)) {
+    throw core::SilentFaultDetected("cg:invariant", done_ + 1, fault_.access_count());
+  }
   if (done_ >= cfg_.iters) return false;
   const std::size_t n = cfg_.n;
   switch (engine_) {
@@ -138,6 +148,12 @@ bool CgWorkload::run_step() {
     case core::DurabilityKind::kCheckpoint:
       cg_step(a_, state_);
       fault_.tick(a_.nnz() + 10 * n);
+      // Silent-corruption targets: the state this unit just wrote. Undefended
+      // engines carry the flip to verify() as an honest miss; ckpt engines
+      // even persist it.
+      fault_.corrupt("cg:p", std::span<double>(state_.p));
+      fault_.corrupt("cg:r", std::span<double>(state_.r));
+      fault_.corrupt("cg:z", std::span<double>(state_.z));
       fault_.point(CgCrashConsistent::kPointPUpdated);
       fault_.point(CgCrashConsistent::kPointIterEnd);
       break;
@@ -164,6 +180,9 @@ bool CgWorkload::run_step() {
       tx_rho_ = rho_new;
       linalg::xpay(std::span<const double>(tx_r_), beta, std::span<const double>(tx_p_), tx_p_);
       fault_.tick(3 * n);
+      fault_.corrupt("cg:p", tx_p_);
+      fault_.corrupt("cg:r", tx_r_);
+      fault_.corrupt("cg:z", tx_z_);
       fault_.point(CgCrashConsistent::kPointPUpdated);
       // "iter_end" = end of compute, before the unit's durability action; no
       // sites may follow the commit (the cursor/durable image would run ahead
@@ -192,6 +211,12 @@ bool CgWorkload::run_step() {
       alg_rho_ = rho_new;
       linalg::xpay(crow(hr_, i + 1), beta, crow(hp_, i), row(hp_, i + 1));
       fault_.tick(3 * n);
+      // Flip targets: the history rows this iteration wrote — exactly what
+      // the Eq. 1/2 invariants cover, so the online check above catches the
+      // corruption at the next unit's start (detect_lat = 1).
+      fault_.corrupt("cg:p", row(hp_, i + 1));
+      fault_.corrupt("cg:r", row(hr_, i + 1));
+      fault_.corrupt("cg:z", row(hz_, i + 1));
       fault_.point(CgCrashConsistent::kPointPUpdated);
       fault_.point(CgCrashConsistent::kPointIterEnd);
       break;

@@ -20,6 +20,14 @@
 // (mirroring MemorySimulator::crash + reset_after_crash), so recovery's
 // re-execution of the crashed unit cannot re-fire the same trigger.
 //
+// Beyond fail-stop crashes the surface also hosts *silent* faults (the flip:
+// crash family): arm_flip schedules a seeded XOR bit-flip that the corrupt()
+// instrumentation hook lands inside the workload's tracked state WITHOUT
+// raising — execution continues, and detection must come from the workload's
+// own checksums/invariants (or not at all: an honest silent miss caught only
+// by end-of-run verify()). Flip firings and detections are recorded in
+// FlipStats for the runner's detection-latency accounting.
+//
 // The software-counted backing is internally synchronized: with asynchronous
 // checkpointing the durability engine's drain thread fires "ckpt_drain" points
 // through this surface while the workload's own thread keeps ticking the next
@@ -27,8 +35,11 @@
 // synchronous paths — ticks are per-sub-statement, not per-element).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <span>
+#include <stdexcept>
 #include <string>
 
 #include "memsim/crash.hpp"
@@ -39,6 +50,47 @@ class MemorySimulator;
 
 namespace adcc::core {
 
+/// Thrown by a workload's detection check (not by the surface itself) when an
+/// armed silent flip is caught by a checksum/invariant that cannot repair it
+/// in place: the runner accounts the detection and drives the same
+/// inject_crash / recover / resume path as a fail-stop crash
+/// (detected-and-rolled-back).
+class SilentFaultDetected : public std::runtime_error {
+ public:
+  SilentFaultDetected(std::string check, std::size_t detect_unit, std::uint64_t access)
+      : std::runtime_error("silent fault detected by " + check),
+        check_(std::move(check)),
+        detect_unit_(detect_unit),
+        access_(access) {}
+
+  /// The invariant/checksum check that caught the corruption.
+  const std::string& check() const { return check_; }
+  /// The 1-based work unit whose check fired (the detection point, in units).
+  std::size_t detect_unit() const { return detect_unit_; }
+  /// Announced accesses when the check fired.
+  std::uint64_t access_count() const { return access_; }
+
+ private:
+  std::string check_;
+  std::size_t detect_unit_ = 0;
+  std::uint64_t access_ = 0;
+};
+
+/// Silent-fault accounting: what a flip: arming did and how the workload's
+/// defenses responded. Monotonic within one prepared run (reset_counter
+/// clears it); read by ScenarioRunner's per-iteration poll.
+struct FlipStats {
+  std::uint64_t flips = 0;          ///< Corrupt events fired (one-shot: 0 or 1).
+  std::uint64_t bits = 0;           ///< Bit positions XOR-flipped by the event.
+  std::uint64_t inject_access = 0;  ///< Announced accesses when the flip landed.
+  std::string site;                 ///< corrupt() site name that hosted it.
+  std::uint64_t detected = 0;       ///< Checks that caught it (report_detected).
+  std::uint64_t corrected = 0;      ///< ... and repaired it in place (ABFT).
+};
+
+/// The fault-injection engine: one-shot fail-stop triggers (tick/point) plus
+/// silent-corruption flips (arm_flip/corrupt), shared by the workload thread
+/// and the async drain thread.
 class FaultSurface {
  public:
   /// Binds to (or, with nullptr, unbinds from) an external simulator. While
@@ -55,19 +107,44 @@ class FaultSurface {
   /// Crash at the `occurrence`-th (1-based) hit of point(`name`).
   void arm_at_point(std::string name, std::uint64_t occurrence = 1);
 
+  /// Arms a silent flip: once the announced-access count reaches `at_access`,
+  /// a seed-chosen one of the next few corrupt() calls XOR-flips `bits`
+  /// seeded bit positions inside its span — without raising. One-shot and
+  /// independent of the crash scheduler, so a flip head can compose with an
+  /// armed ^TAIL crash. The seed picks the hosting site (a small seeded skip
+  /// over eligible corrupt() calls) and every flipped bit position, so the
+  /// whole event is a pure function of (seed, workload shape, mode).
+  void arm_flip(std::uint64_t at_access, std::uint64_t seed, std::uint64_t bits = 1);
+
   void disarm();
   bool armed() const;
+
+  /// True while a flip is armed or after it fired: the window in which the
+  /// workload's detection checks must run. Lock-free (one relaxed atomic
+  /// load), so hot run_step paths can gate their checks on it for free.
+  bool flip_active() const {
+    return flip_armed_.load(std::memory_order_relaxed) ||
+           flip_fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the flip accounting (copy: the workload thread may be
+  /// mutating it through corrupt()/report_detected()).
+  FlipStats flip_stats() const;
+
+  /// Records that a workload check caught the injected corruption;
+  /// corrected = true when the check repaired it in place (ABFT correction)
+  /// instead of forcing a rollback. Checks that instead throw
+  /// SilentFaultDetected must NOT also call this — the runner accounts the
+  /// thrown path itself.
+  void report_detected(bool corrected);
 
   /// Accesses announced so far: the simulator's line-granular count when
   /// bound, else the sum of tick() weights since the last reset_counter().
   std::uint64_t access_count() const;
 
-  /// Rewinds the software access counter (workload prepare(); bound surfaces
-  /// get a fresh simulator instead).
-  void reset_counter() {
-    std::lock_guard<std::mutex> lock(mu_);
-    accesses_ = 0;
-  }
+  /// Rewinds the software access counter and clears any armed/fired flip
+  /// (workload prepare(); bound surfaces get a fresh simulator instead).
+  void reset_counter();
 
   // ---- Instrumentation (workload run_step side) ---------------------------
 
@@ -80,15 +157,39 @@ class FaultSurface {
   /// memsim::CrashException at the armed occurrence. No-op while bound.
   void point(const char* name);
 
+  /// Offers `bytes` of tracked workload state as a silent-corruption target.
+  /// Near-free when no flip is armed (one relaxed atomic load); when the armed
+  /// access threshold has been reached, the seed-chosen eligible call XOR-flips
+  /// the armed bit count inside [data, data + bytes) and records FlipStats —
+  /// never throws, never advances the access counter.
+  void corrupt(const char* site, void* data, std::size_t bytes);
+
+  /// Span convenience for the typical double/uint64 state arrays.
+  template <typename T>
+  void corrupt(const char* site, std::span<T> data) {
+    corrupt(site, static_cast<void*>(data.data()), data.size_bytes());
+  }
+
  private:
   [[noreturn]] void fire(const std::string& at, std::uint64_t accesses);
 
   memsim::MemorySimulator* sim_ = nullptr;
-  /// Guards scheduler_ + accesses_ against the drain thread's point() calls
-  /// racing the workload thread's tick()/point() calls (async checkpointing).
+  /// Guards scheduler_ + accesses_ + flip state against the drain thread's
+  /// point() calls racing the workload thread's tick()/point()/corrupt()
+  /// calls (async checkpointing).
   mutable std::mutex mu_;
   memsim::CrashScheduler scheduler_;
   std::uint64_t accesses_ = 0;
+
+  // Silent-flip state (mu_-guarded except the two lock-free gate flags).
+  std::atomic<bool> flip_armed_{false};
+  std::atomic<bool> flip_fired_{false};
+  std::uint64_t flip_at_ = 0;
+  std::uint64_t flip_seed_ = 0;
+  std::uint64_t flip_bits_ = 1;
+  std::uint64_t flip_skip_ = 0;   ///< Eligible corrupt() calls to pass over.
+  std::uint64_t flip_group_ = 0;  ///< Access count of the skip's site group.
+  FlipStats flip_stats_;
 };
 
 }  // namespace adcc::core

@@ -53,6 +53,13 @@ struct RecomputationBreakdown {
                                        ///< retained exchange logs inside recover().
   std::size_t halo_bytes = 0;          ///< Exchange bytes re-fetched by those replays.
 
+  // Silent-corruption (flip: plans) accounting — zero for fail-stop runs.
+  std::size_t flips = 0;               ///< Injected silent bit-flip events.
+  std::size_t flips_detected = 0;      ///< Caught by a checksum/invariant check.
+  std::size_t flips_corrected = 0;     ///< ...and repaired in place (ABFT).
+  std::size_t flips_miscorrected = 0;  ///< In-place repairs that still failed verify.
+  std::size_t detect_latency_units = 0;///< Work units between injection and detection.
+
   /// The paper's "iterations lost" count: destroyed + interrupted units.
   std::size_t units_redone() const { return units_lost + partial_units; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -33,6 +34,14 @@ namespace {
 std::optional<CrashScenario> parse_crash_link(std::string_view spec);
 
 }  // namespace
+
+CrashScenario parse_crash_or_throw(std::string_view spec) {
+  std::optional<CrashScenario> crash = parse_crash(spec);
+  if (!crash) {
+    throw std::invalid_argument("malformed crash plan '" + std::string(spec) + "'");
+  }
+  return *crash;
+}
 
 std::optional<CrashScenario> parse_crash(std::string_view spec) {
   // Shard-scope prefix ([shard:I: | shards:K:SEED: | coord:]PLAN): stripped
@@ -184,6 +193,29 @@ std::optional<CrashScenario> parse_crash_link(std::string_view spec) {
     }
     return c;
   }
+  if (head == "flip") {
+    // flip:SEED[:BITS] — the seed is mandatory (site, tick and every flipped
+    // bit position all derive from it; there is no meaningful default).
+    if (colon == std::string_view::npos || arg.empty()) return std::nullopt;
+    std::string_view seed_part = arg;
+    std::string_view bits_part;
+    const auto c2 = arg.find(':');
+    if (c2 != std::string_view::npos) {
+      seed_part = arg.substr(0, c2);
+      bits_part = arg.substr(c2 + 1);
+      if (bits_part.find(':') != std::string_view::npos) return std::nullopt;
+    }
+    const auto s = parse_u64(seed_part);
+    if (!s) return std::nullopt;
+    c.kind = CrashScenario::Kind::kFlip;
+    c.seed = *s;
+    if (c2 != std::string_view::npos) {
+      const auto b = parse_u64(bits_part);
+      if (!b || *b == 0) return std::nullopt;
+      c.bits = *b;
+    }
+    return c;
+  }
   return std::nullopt;
 }
 
@@ -206,6 +238,15 @@ std::string crash_link_name(const CrashScenario& crash) {
       return out;
     }
     case CrashScenario::Kind::kFuzz: return "fuzz:" + std::to_string(crash.seed);
+    case CrashScenario::Kind::kFlip: {
+      std::string out = "flip:";
+      out += std::to_string(crash.seed);
+      if (crash.bits != 1) {
+        out += ':';
+        out += std::to_string(crash.bits);
+      }
+      return out;
+    }
   }
   ADCC_CHECK(false, "unknown crash kind");
 }
@@ -244,7 +285,8 @@ std::string crash_name(const CrashScenario& crash) {
 bool crash_is_mid_unit(const CrashScenario& crash) {
   return crash.kind == CrashScenario::Kind::kAtAccess ||
          crash.kind == CrashScenario::Kind::kAtPoint ||
-         crash.kind == CrashScenario::Kind::kFuzz;
+         crash.kind == CrashScenario::Kind::kFuzz ||
+         crash.kind == CrashScenario::Kind::kFlip;
 }
 
 std::vector<std::size_t> crash_units(const CrashScenario& crash, std::size_t work_units) {
@@ -405,6 +447,12 @@ void ScenarioRunner::arm_fault(FaultSurface& fault) {
       ADCC_CHECK(fuzz_access_ > 0, "fuzz plan not probed");
       fault.arm_at_access(fuzz_access_);
       break;
+    case CrashScenario::Kind::kFlip:
+      // Same seeded fuzz-style tick; the flip fires silently at a corrupt()
+      // site once the access threshold is reached.
+      ADCC_CHECK(fuzz_access_ > 0, "flip plan not probed");
+      fault.arm_flip(fuzz_access_, cfg_.crash.seed, cfg_.crash.bits);
+      break;
     default:
       break;
   }
@@ -457,11 +505,13 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
   FaultSurface* fault = workload_.fault();
   if (mid_unit || !cfg_.crash.then.empty()) {
     ADCC_CHECK(fault != nullptr,
-               "mid-unit crash plans (access/point/fuzz) and double-fault chains need a "
-               "workload with a fault surface");
+               "mid-unit crash plans (access/point/fuzz/flip) and double-fault chains "
+               "need a workload with a fault surface");
   }
   if (mid_unit) {
-    if (cfg_.crash.kind == CrashScenario::Kind::kFuzz && fuzz_access_ == 0) {
+    const bool seeded_tick = cfg_.crash.kind == CrashScenario::Kind::kFuzz ||
+                             cfg_.crash.kind == CrashScenario::Kind::kFlip;
+    if (seeded_tick && fuzz_access_ == 0) {
       if (cfg_.fuzz_boundaries && cfg_.fuzz_boundaries->size() >= 2) {
         // Shared probe: a sweep deck measured the unit boundaries once for
         // this cell shape; every fuzz seed reuses them.
@@ -499,6 +549,15 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
   std::size_t first_crash_unit = 0;
   std::size_t chain_pos = 0;  // Double-fault chain links fired so far.
 
+  // Silent-flip accounting: the flip fires without raising, so the runner
+  // polls FlipStats each iteration to notice the injection, remember its unit
+  // (the latency baseline), and arm the first ^TAIL link relative to the
+  // injection rather than to a recovery that may never happen.
+  const bool flip_plan = cfg_.crash.kind == CrashScenario::Kind::kFlip;
+  std::uint64_t flips_seen = 0;
+  std::uint64_t detects_seen = 0;
+  std::size_t flip_inject_unit = 0;
+
   // Reset just before the timed region: fuzz probes and prepare() above must
   // not pollute the totals, and after the last repetition the registry holds
   // exactly that rep's stage breakdown (what the sweep columns report).
@@ -509,6 +568,8 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     bool crashed_mid = false;
     bool stepped = false;
     bool finished = false;
+    bool detected_by_throw = false;
+    std::size_t throw_detect_unit = 0;
     try {
       // A unit starting while an asynchronous checkpoint drain is still in
       // flight overlaps the device window with compute — the async engine's
@@ -537,6 +598,54 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
       crashed_mid = true;
       result.crash_access = e.access_count();
       result.crash_site = e.point();
+    } catch (const SilentFaultDetected& e) {
+      // A workload checksum/invariant caught an injected flip it could not
+      // repair in place: detected-and-rolled-back. The runner drives the same
+      // inject/recover/resume path as a fail-stop crash, and the exception
+      // carries the detection unit for the latency accounting below.
+      crashed_mid = true;
+      detected_by_throw = true;
+      throw_detect_unit = e.detect_unit();
+      result.crash_access = e.access_count();
+      result.crash_site = e.check();
+    }
+
+    if (flip_plan && fault != nullptr) {
+      const FlipStats fs = fault->flip_stats();
+      if (fs.flips > flips_seen) {
+        flips_seen = fs.flips;
+        result.recomputation.flips = fs.flips;
+        // The flip landed inside the unit this iteration executed (or its
+        // durability action) — unit `before + 1` either way.
+        flip_inject_unit = before + 1;
+        // flip^TAIL composition: the tail is a crash during the post-flip
+        // execution, armed the moment the flip lands. chain_pos advances so a
+        // later detection rollback does not re-arm the same link.
+        if (chain_pos == 0 && !cfg_.crash.then.empty()) {
+          const CrashScenario& link = cfg_.crash.then[0];
+          if (link.kind == CrashScenario::Kind::kAtAccess) {
+            fault->arm_at_access(fault->access_count() + link.access);
+          } else {
+            fault->arm_at_point(link.point, link.occurrence);
+          }
+          chain_pos = 1;
+        }
+      }
+      if (detected_by_throw) {
+        ++result.recomputation.flips_detected;
+        result.recomputation.detect_latency_units =
+            throw_detect_unit > flip_inject_unit ? throw_detect_unit - flip_inject_unit
+                                                 : 0;
+      } else if (fs.detected > detects_seen) {
+        // Corrected-in-place detections (ABFT repair) never throw; they show
+        // up in the polled stats with the run still on its happy path.
+        detects_seen = fs.detected;
+        result.recomputation.flips_detected = fs.detected;
+        result.recomputation.flips_corrected = fs.corrected;
+        const std::size_t now_unit = workload_.units_done();
+        result.recomputation.detect_latency_units =
+            now_unit > flip_inject_unit ? now_unit - flip_inject_unit : 0;
+      }
     }
 
     std::size_t crash_unit = 0;
@@ -585,9 +694,14 @@ double ScenarioRunner::run_once(ScenarioResult& result) {
     // Resume: re-execute the destroyed units (targets are strictly increasing,
     // so no boundary target re-fires below crash_unit). A mid-unit crash also
     // re-executes the interrupted unit — the paper counts it as lost work.
+    // While a fail-stop trigger is still armed (a flip^TAIL link armed at
+    // injection, with the flip's detection rolling back before the tail
+    // fired), bail to the outer loop instead: its try/catch owns crash
+    // handling, and this bare loop must never have one fire inside it.
     const std::size_t resume_to = crash_unit + (partial ? 1 : 0);
     Timer resume;
-    while (workload_.units_done() < resume_to && workload_.run_step()) {
+    while (workload_.units_done() < resume_to && !(fault != nullptr && fault->armed()) &&
+           workload_.run_step()) {
       workload_.make_durable();
     }
     result.recomputation.resume_seconds += resume.elapsed();
@@ -629,6 +743,11 @@ ScenarioResult ScenarioRunner::run() {
   if (cfg_.verify) {
     result.verify_ran = true;
     result.verified = workload_.verify();
+    // An in-place "correction" that still fails end-of-run verify repaired the
+    // wrong thing: the ABFT literature's miscorrection, accounted honestly.
+    if (!result.verified) {
+      result.recomputation.flips_miscorrected = result.recomputation.flips_corrected;
+    }
   }
   return result;
 }

@@ -21,6 +21,12 @@
 //                     unit (an untimed probe repetition measures the per-unit
 //                     access boundaries first; the plan is deterministic in
 //                     SEED, problem and mode)
+//   flip:SEED[:BITS]— mid-unit *silent* fault: at a fuzz-style seeded access,
+//                     XOR-flip BITS seeded bit positions inside the workload's
+//                     tracked state (FaultSurface::corrupt sites) WITHOUT
+//                     raising — execution continues, and detection must come
+//                     from the workload's checksums/invariants (or end-of-run
+//                     verify() reports the miss honestly). BITS defaults to 1.
 //   PLAN^TAIL^...   — double faults: after each crash of PLAN, the next TAIL
 //                     (access:N — N accesses into recovery — or point:NAME[:K])
 //                     is armed *before* recover() runs, so it lands inside the
@@ -70,14 +76,15 @@ class Telemetry;
 /// A parsed crash plan: when (and how often) the emulated power failure
 /// fires, plus the optional double-fault chain armed inside recovery.
 struct CrashScenario {
-  enum class Kind { kNone, kAtStep, kRandom, kRepeated, kAtAccess, kAtPoint, kFuzz };
+  enum class Kind { kNone, kAtStep, kRandom, kRepeated, kAtAccess, kAtPoint, kFuzz, kFlip };
   Kind kind = Kind::kNone;
   std::size_t step = 0;        ///< kAtStep: crash after this many completed units.
-  std::uint64_t seed = 1;      ///< kRandom / kFuzz: picks the crash site.
+  std::uint64_t seed = 1;      ///< kRandom / kFuzz / kFlip: picks the fault site.
   std::size_t count = 1;       ///< kRepeated: number of crashes.
   std::uint64_t access = 0;    ///< kAtAccess: the triggering access count.
   std::string point;           ///< kAtPoint: crash-point name.
   std::uint64_t occurrence = 1;///< kAtPoint: 1-based hit of `point`.
+  std::uint64_t bits = 1;      ///< kFlip: bit positions XOR-flipped per event.
   /// Double-fault chain ('^' links): after the i-th crash of this plan, then[i]
   /// is armed before recover() so it fires *inside* the recovery. Links must be
   /// kAtAccess (relative to the recovery's start) or kAtPoint, with empty then.
@@ -95,6 +102,11 @@ struct CrashScenario {
 
 /// Parses the CLI spelling; nullopt on malformed input.
 std::optional<CrashScenario> parse_crash(std::string_view spec);
+
+/// parse_crash, but throwing: raises std::invalid_argument naming the
+/// offending spec on malformed input. The eager-validation entry point for
+/// callers that must never silently accept a bad plan (sweep axes, fuzzers).
+CrashScenario parse_crash_or_throw(std::string_view spec);
 
 /// Canonical spelling, round-tripping through parse_crash.
 std::string crash_name(const CrashScenario& crash);

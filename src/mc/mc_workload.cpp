@@ -114,11 +114,31 @@ bool McWorkload::run_step() {
     fault_.tick(kLookupAccessEstimate);
     fault_.point(XsCrashConsistent::kPointLookupEnd);
   }
+  // Silent-corruption targets: the tally counters (guarded by the sum
+  // invariant make_durable checks before publishing) and the macro-XS
+  // accumulator (no invariant covers it — a flip there is an honest miss).
+  fault_.corrupt("mc:counters", counters_.data(), sizeof(counters_));
+  fault_.corrupt("mc:macro", macro_.data(), sizeof(macro_));
   ++done_;
   return true;
 }
 
 void McWorkload::make_durable() {
+  // Tally-invariant silent-fault detection, BEFORE anything is published:
+  // every completed lookup increments exactly one channel counter, so the
+  // counter sum must equal the lookups completed so far. The order matters —
+  // publishing first would persist the corruption into the durable snapshot,
+  // turning every later rollback into a detect-again loop. Gated on
+  // flip_active() (one relaxed load) so fail-stop runs pay nothing.
+  if (fault_.flip_active()) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : counters_) sum += c;
+    const std::uint64_t expect = std::min<std::uint64_t>(
+        cfg_.lookups, static_cast<std::uint64_t>(done_) * cfg_.interval);
+    if (sum != expect) {
+      throw core::SilentFaultDetected("mc:tally", done_, fault_.access_count());
+    }
+  }
   switch (engine_) {
     case core::DurabilityKind::kNone:
       break;  // Test case 1: no durability mechanism at all.

@@ -132,6 +132,38 @@ bool MmWorkload::run_step() {
   // Fault-surface sites (tick/point may throw mid-unit, see cg_workload.cpp):
   // all precede ++done_ and the tx commit, so a crash leaves the durable image
   // at the previous unit boundary.
+  //
+  // Silent-fault detection under a flip: plan, before the end-of-run early
+  // return so a flip in the final unit is still caught. Native re-runs its
+  // Fig. 5 full-checksum test on the accumulator — correcting in place when
+  // the ABFT report isolates a single error (detected-and-corrected), raising
+  // when it cannot (detected-and-rolled-back). Alg engines re-validate the
+  // last completed unit's checksums (temporal matrix in Loop 1, summed block
+  // rows in Loop 2). ckpt/tx carry no checksums: their flips ride to verify()
+  // as honest misses. The flip_active() gate keeps all of this off the
+  // fail-stop and crash-free paths.
+  if (fault_.flip_active() && done_ >= 1) {
+    if (engine_ == core::DurabilityKind::kNone) {
+      const abft::ChecksumReport rep = abft::verify_full_checksums(cf_, cfg_.tol);
+      if (!rep.consistent()) {
+        if (abft::try_correct(cf_, rep, cfg_.tol) > 0) {
+          fault_.report_detected(/*corrected=*/true);
+        } else {
+          throw core::SilentFaultDetected("mm:checksum", done_ + 1,
+                                          fault_.access_count());
+        }
+      }
+    } else if (engine_ == core::DurabilityKind::kAlgorithm) {
+      if (done_ <= panels_) {
+        if (!alg_temporal_consistent(done_)) {
+          throw core::SilentFaultDetected("mm:temporal", done_ + 1,
+                                          fault_.access_count());
+        }
+      } else if (!alg_block_consistent(done_ - panels_)) {
+        throw core::SilentFaultDetected("mm:block", done_ + 1, fault_.access_count());
+      }
+    }
+  }
   if (done_ >= work_units()) return false;
   const std::size_t panel_cost =
       nc_ * nc_ * std::min(cfg_.rank_k, cfg_.n);  // Elements a panel GEMM touches.
@@ -148,12 +180,18 @@ bool MmWorkload::run_step() {
       }
       multiply_panel_into(done_ + 1, cf_.data(), /*accumulate=*/true);
       fault_.tick(panel_cost);
+      // Silent-corruption target: the checksummed accumulator this panel just
+      // updated — the check at the next unit's top corrects or raises.
+      fault_.corrupt("mm:cf", cf_.data(), cf_.size_bytes());
       fault_.point(MmCrashConsistent::kPointMultEnd);
       break;
     }
     case core::DurabilityKind::kCheckpoint:
       multiply_panel_into(done_ + 1, cf_.data(), /*accumulate=*/true);
       fault_.tick(panel_cost);
+      // Undefended: the flip is checkpointed along with the accumulator and
+      // rides to verify() as an honest miss.
+      fault_.corrupt("mm:cf", cf_.data(), cf_.size_bytes());
       fault_.point(MmCrashConsistent::kPointMultEnd);
       break;
     case core::DurabilityKind::kTransaction: {
@@ -163,6 +201,7 @@ bool MmWorkload::run_step() {
       fault_.tick(nc_ * nc_);
       multiply_panel_into(done_ + 1, tx_cf_.data(), /*accumulate=*/true);
       fault_.tick(panel_cost);
+      fault_.corrupt("mm:cf", tx_cf_);
       fault_.point(MmCrashConsistent::kPointMultEnd);
       tx_step_[0] = done_ + 1;
       tx.commit();
@@ -172,10 +211,21 @@ bool MmWorkload::run_step() {
       if (done_ < panels_) {
         multiply_panel_into(done_ + 1, ctemp_s_[done_].data(), /*accumulate=*/false);
         fault_.tick(panel_cost);
+        // Flip target: the temporal matrix this unit wrote; its Eq. 6
+        // checksums catch the corruption at the next unit's top.
+        fault_.corrupt("mm:ctemp", ctemp_s_[done_]);
         fault_.point(MmCrashConsistent::kPointMultEnd);
       } else {
         alg_add_block(done_ - panels_ + 1);
         fault_.tick(cfg_.rank_k * nc_ * (panels_ + 1));
+        {
+          // Flip target: the Loop-2 block rows just summed into ctemp_.
+          const std::size_t blk = done_ - panels_ + 1;
+          const std::size_t r0 = (blk - 1) * cfg_.rank_k;
+          const std::size_t r1 = std::min(nc_, r0 + cfg_.rank_k);
+          fault_.corrupt("mm:cblock",
+                         std::span<double>(ctemp_.data() + r0 * nc_, (r1 - r0) * nc_));
+        }
         fault_.point(MmCrashConsistent::kPointAddEnd);
       }
       break;
@@ -272,6 +322,29 @@ bool MmWorkload::alg_temporal_consistent(std::size_t s) const {
   return true;
 }
 
+bool MmWorkload::alg_block_consistent(std::size_t blk) const {
+  // Row-checksum test of a Loop-2 block: every summed row of ctemp_ must
+  // match its last-column checksum (the temporal matrices' row checksums
+  // carry through panel_sum, so the invariant holds for the sum too — and
+  // for the final block's column-checksum row, whose own "checksum" is the
+  // grand total).
+  const std::size_t r0 = (blk - 1) * cfg_.rank_k;
+  const std::size_t r1 = std::min(nc_, r0 + cfg_.rank_k);
+  const auto close = [&](double sum, double checksum, double scale) {
+    return std::fabs(sum - checksum) <= cfg_.tol.rel * scale + cfg_.tol.abs;
+  };
+  for (std::size_t i = r0; i < r1; ++i) {
+    const double* row = ctemp_.data() + i * nc_;
+    double sum = 0.0, scale = 0.0;
+    for (std::size_t j = 0; j < nc_ - 1; ++j) {
+      sum += row[j];
+      scale += std::fabs(row[j]);
+    }
+    if (!close(sum, row[nc_ - 1], scale)) return false;
+  }
+  return true;
+}
+
 core::WorkloadRecovery MmWorkload::recover() {
   core::WorkloadRecovery rec;
   switch (engine_) {
@@ -309,6 +382,20 @@ core::WorkloadRecovery MmWorkload::recover() {
         if (!alg_temporal_consistent(s)) {
           done_ = s - 1;
           break;
+        }
+      }
+      // Loop-2 corruption (a silent flip in a summed block): rewind to just
+      // before the first inconsistent block so its re-execution — panel_sum
+      // writes, not accumulates — replaces the damaged rows. Without this a
+      // detected Loop-2 flip would survive rollback and re-trip the online
+      // check forever.
+      if (done_ == durable && durable > panels_) {
+        for (std::size_t blk = 1; blk <= durable - panels_; ++blk) {
+          ++rec.candidates_checked;
+          if (!alg_block_consistent(blk)) {
+            done_ = panels_ + blk - 1;
+            break;
+          }
         }
       }
       break;

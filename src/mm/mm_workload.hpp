@@ -65,6 +65,7 @@ class MmWorkload final : public core::Workload {
  private:
   void multiply_panel_into(std::size_t s, double* out, bool accumulate) const;
   bool alg_temporal_consistent(std::size_t s) const;
+  bool alg_block_consistent(std::size_t blk) const;
   void alg_add_block(std::size_t blk);
 
   MmWorkloadConfig cfg_;

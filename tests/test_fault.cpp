@@ -1,9 +1,16 @@
 // Tests for the fault-injection engine: FaultSurface semantics (software
-// counting, point occurrences, one-shot firing, simulator binding) and the
+// counting, point occurrences, one-shot firing, simulator binding, silent
+// flips), a seeded property fuzz over the whole crash-plan grammar, and the
 // memsim-backed *-sim workloads driven through ScenarioRunner.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "cg/cg_sim_workload.hpp"
+#include "common/rng.hpp"
 #include "core/fault.hpp"
 #include "core/scenario.hpp"
 #include "mc/mc_sim_workload.hpp"
@@ -14,6 +21,7 @@
 namespace adcc {
 namespace {
 
+using core::CrashScenario;
 using core::FaultSurface;
 
 TEST(FaultSurface, CountsTicksAndFiresAccessTrigger) {
@@ -88,6 +96,224 @@ TEST(FaultSurface, BindingForwardsArmingToSimulator) {
   EXPECT_EQ(f.access_count(), sim.access_count());
   f.bind(nullptr);
   EXPECT_EQ(f.access_count(), 0u);
+}
+
+// ------------------------------------------------------------ silent flips --
+
+TEST(FaultSurfaceFlip, ArmFireDetectLifecycle) {
+  FaultSurface f;
+  EXPECT_FALSE(f.flip_active());
+  f.tick(100);
+  f.arm_flip(50, 3, 2);  // Seed 3 skips 0 eligible calls (see test_determinism).
+  EXPECT_TRUE(f.flip_active());
+  EXPECT_FALSE(f.armed());  // Flips are independent of the crash scheduler.
+
+  double buf[8] = {};
+  f.corrupt("t", buf, sizeof(buf));
+  core::FlipStats st = f.flip_stats();
+  EXPECT_EQ(st.flips, 1u);
+  EXPECT_EQ(st.bits, 2u);
+  EXPECT_EQ(st.site, "t");
+  EXPECT_EQ(st.inject_access, 100u);
+  EXPECT_TRUE(f.flip_active());  // Stays active after firing: checks must run.
+
+  // The XOR actually landed: some buffer bytes are nonzero now.
+  bool any = false;
+  for (const double v : buf) any = any || v != 0.0;
+  EXPECT_TRUE(any);
+
+  // One-shot: a second corrupt() never fires again.
+  double before[8];
+  std::memcpy(before, buf, sizeof(buf));
+  f.corrupt("t", buf, sizeof(buf));
+  EXPECT_EQ(f.flip_stats().flips, 1u);
+  EXPECT_EQ(std::memcmp(before, buf, sizeof(buf)), 0);
+
+  f.report_detected(false);
+  f.report_detected(true);
+  st = f.flip_stats();
+  EXPECT_EQ(st.detected, 2u);
+  EXPECT_EQ(st.corrected, 1u);
+
+  f.reset_counter();  // prepare() path: everything rewinds.
+  EXPECT_FALSE(f.flip_active());
+  EXPECT_EQ(f.flip_stats().flips, 0u);
+}
+
+TEST(FaultSurfaceFlip, HoldsFireUntilAccessThreshold) {
+  FaultSurface f;
+  f.arm_flip(1000, 3, 1);
+  double buf[8] = {};
+  f.corrupt("early", buf, sizeof(buf));  // 0 accesses announced: must not fire.
+  EXPECT_EQ(f.flip_stats().flips, 0u);
+  f.tick(999);
+  f.corrupt("early", buf, sizeof(buf));  // 999 < 1000: still holds.
+  EXPECT_EQ(f.flip_stats().flips, 0u);
+  f.tick(1);
+  f.corrupt("late", buf, sizeof(buf));
+  EXPECT_EQ(f.flip_stats().flips, 1u);
+  EXPECT_EQ(f.flip_stats().site, "late");
+}
+
+TEST(FaultSurfaceFlip, SiteSkipNeverEscapesTheFirstEligibleGroup) {
+  // Seed 9 draws the maximum skip (3). A workload that offers only ONE
+  // corrupt() site per unit advances the access counter between calls, so
+  // every call is its own group — the skip must collapse and the flip must
+  // land on the SECOND call, not carry past the end of the run.
+  FaultSurface f;
+  f.tick(10);
+  f.arm_flip(5, 9, 1);
+  double buf[8] = {};
+  f.corrupt("unit", buf, sizeof(buf));  // First eligible call opens the group.
+  EXPECT_EQ(f.flip_stats().flips, 0u);
+  f.tick(10);                           // New unit, new access count.
+  f.corrupt("unit", buf, sizeof(buf));  // Later group: fires immediately.
+  EXPECT_EQ(f.flip_stats().flips, 1u);
+}
+
+TEST(FaultSurfaceFlip, EmptySpanIsNeverATarget) {
+  FaultSurface f;
+  f.tick(10);
+  f.arm_flip(1, 3, 1);
+  f.corrupt("empty", nullptr, 0);
+  EXPECT_EQ(f.flip_stats().flips, 0u);
+  EXPECT_TRUE(f.flip_active());  // Still armed, waiting for real state.
+}
+
+// ----------------------------------------------------------- grammar fuzz --
+
+// Seeded generator for syntactically VALID crash plans: every scope prefix x
+// every family x 0-2 ^TAIL links. Point names draw from real instrumented
+// sites (whose segments never end in a bare number, so the name/occurrence
+// split is unambiguous).
+std::string gen_valid_plan(SplitMix64& rng) {
+  const char* kPoints[] = {"cg:iter_end", "cg:p_updated", "mm:loop2_end",
+                           "xs:lookup_end", "ckpt_chunk", "ckpt_restore", "boundary"};
+  auto point = [&] {
+    std::string p = "point:";
+    p += kPoints[rng.next_below(std::size(kPoints))];
+    if (rng.next_below(2) == 0) p += ":" + std::to_string(1 + rng.next_below(20));
+    return p;
+  };
+  auto head = [&]() -> std::string {
+    switch (rng.next_below(7)) {
+      case 0: return "step:" + std::to_string(1 + rng.next_below(99));
+      case 1: return rng.next_below(2) == 0 ? "random"
+                                            : "random:" + std::to_string(rng.next_below(1000));
+      case 2: return "repeat:" + std::to_string(1 + rng.next_below(9));
+      case 3: return "access:" + std::to_string(1 + rng.next_below(1'000'000));
+      case 4: return point();
+      case 5: return rng.next_below(2) == 0 ? "fuzz"
+                                            : "fuzz:" + std::to_string(rng.next_below(1000));
+      default: {
+        std::string f = "flip:" + std::to_string(rng.next_below(1000));
+        if (rng.next_below(2) == 0) f += ":" + std::to_string(1 + rng.next_below(8));
+        return f;
+      }
+    }
+  };
+  std::string plan;
+  switch (rng.next_below(4)) {
+    case 0: break;
+    case 1: plan += "shard:" + std::to_string(rng.next_below(8)) + ":"; break;
+    case 2:
+      plan += "shards:" + std::to_string(1 + rng.next_below(4)) + ":" +
+              std::to_string(rng.next_below(100)) + ":";
+      break;
+    default: plan += "coord:"; break;
+  }
+  plan += head();
+  const std::uint64_t tails = rng.next_below(3);
+  for (std::uint64_t t = 0; t < tails; ++t) {
+    plan += "^";
+    plan += rng.next_below(2) == 0
+                ? "access:" + std::to_string(1 + rng.next_below(100'000))
+                : point();
+  }
+  return plan;
+}
+
+TEST(CrashGrammarFuzz, ValidPlansParseAndRoundTripThroughCrashName) {
+  SplitMix64 rng(20260808);
+  int checked = 0;
+  for (int i = 0; i < 120; ++i) {
+    const std::string spec = gen_valid_plan(rng);
+    const auto c = core::parse_crash(spec);
+    ASSERT_TRUE(c.has_value()) << spec;
+    EXPECT_NO_THROW(core::parse_crash_or_throw(spec)) << spec;
+    // The canonical spelling is a fixed point: parse -> name -> parse -> name
+    // is stable and preserves every field the grammar encodes.
+    const std::string name = core::crash_name(*c);
+    const auto again = core::parse_crash(name);
+    ASSERT_TRUE(again.has_value()) << spec << " -> " << name;
+    EXPECT_EQ(core::crash_name(*again), name) << spec;
+    EXPECT_EQ(again->kind, c->kind) << spec;
+    EXPECT_EQ(again->scope, c->scope) << spec;
+    EXPECT_EQ(again->seed, c->seed) << spec;
+    EXPECT_EQ(again->bits, c->bits) << spec;
+    EXPECT_EQ(again->point, c->point) << spec;
+    EXPECT_EQ(again->occurrence, c->occurrence) << spec;
+    EXPECT_EQ(again->shard, c->shard) << spec;
+    EXPECT_EQ(again->victims, c->victims) << spec;
+    EXPECT_EQ(again->victim_seed, c->victim_seed) << spec;
+    ASSERT_EQ(again->then.size(), c->then.size()) << spec;
+    for (std::size_t t = 0; t < c->then.size(); ++t) {
+      EXPECT_EQ(again->then[t].kind, c->then[t].kind) << spec;
+      EXPECT_EQ(again->then[t].access, c->then[t].access) << spec;
+      EXPECT_EQ(again->then[t].point, c->then[t].point) << spec;
+      EXPECT_EQ(again->then[t].occurrence, c->then[t].occurrence) << spec;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 100);
+}
+
+// Invalid-plan templates: "%s" marks a seeded number substitution that keeps
+// the string invalid for ANY value (the defect is structural, not numeric).
+constexpr const char* kInvalidTemplates[] = {
+    // Missing / malformed / zero arguments per family.
+    "step", "step:", "step:0", "step:x", "step:%s.5",
+    "repeat", "repeat:", "repeat:0", "repeat:-%s",
+    "random:", "random:x", "random:%sz",
+    "access", "access:", "access:0", "access:x",
+    "point", "point:", "point::%s", "point:name:0", "point::",
+    "fuzz:", "fuzz:x", "fuzz:%s!",
+    "flip", "flip:", "flip:x", "flip:%s:0", "flip:%s:x", "flip:%s:2:3",
+    // Unknown families never parse (and never crash).
+    "boom", "flop:%s", "krash:%s", "steps:%s", "flips:%s",
+    // Chain structure: heads must crash, tails must be mid-unit access/point.
+    "none^access:%s", "^access:%s", "step:%s^", "step:%s^step:3",
+    "step:%s^random", "step:%s^repeat:2", "step:%s^fuzz:3", "step:%s^flip:3",
+    "step:%s^none", "access:%s^boom", "step:%s^access:0", "step:%s^point:",
+    // Scope prefixes: incomplete, non-numeric, zero victims, scoped none.
+    "shard", "shard:", "shard:%s", "shard:x:step:1", "shard:%s:none",
+    "shards:%s", "shards:%s:1", "shards:0:%s:step:1", "shards:x:%s:step:1",
+    "shards:%s:x:step:1", "shards:%s:1:none", "coord:", "coord:none",
+};
+
+TEST(CrashGrammarFuzz, InvalidPlansAreRejectedCleanlyNeverAccepted) {
+  SplitMix64 rng(99991);
+  int checked = 0;
+  // Two seeded passes over every template: ~120 distinct invalid strings,
+  // each rejected by the optional parser AND thrown (std::invalid_argument,
+  // nothing else) by the eager one.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const char* tmpl : kInvalidTemplates) {
+      std::string spec;
+      for (const char* p = tmpl; *p != '\0'; ++p) {
+        if (p[0] == '%' && p[1] == 's') {
+          spec += std::to_string(1 + rng.next_below(999));
+          ++p;
+        } else {
+          spec += *p;
+        }
+      }
+      EXPECT_FALSE(core::parse_crash(spec).has_value()) << spec;
+      EXPECT_THROW(core::parse_crash_or_throw(spec), std::invalid_argument) << spec;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 100);
 }
 
 // ------------------------------------------------------------- sim x runner --

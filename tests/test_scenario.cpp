@@ -455,6 +455,136 @@ TEST(ScenarioRunner, CrashDuringRecoveryDoubleFaults) {
   }
 }
 
+TEST(ScenarioRunner, DoubleTailChainInterruptsRecoveryTwice) {
+  // PLAN^TAIL^TAIL: the grammar has accepted double tails since PR 4, but no
+  // test ever drove one. step:3 crashes at the boundary; the first
+  // ckpt_restore tail kills the recovery, and the SECOND tail is armed before
+  // the retry, killing recovery again — three crashes total, then a clean
+  // third recovery completes and the run verifies.
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : {Mode::kCkptNvm, Mode::kCkptDisk}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("step:3^point:ckpt_restore:1^point:ckpt_restore:1");
+    const ScenarioResult res = run_scenario(w, cfg);
+    EXPECT_EQ(res.crashes, 3u) << mode_name(m);
+    EXPECT_EQ(res.crash_site, "ckpt_restore") << mode_name(m);
+    EXPECT_EQ(res.restart_unit, 4u) << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+  // Where recovery never touches checkpoint chunks, neither tail fires and
+  // both must be disarmed harmlessly.
+  ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
+  cfg.crash = *parse_crash("step:3^point:ckpt_restore:1^point:ckpt_restore:1");
+  const ScenarioResult res = run_scenario(w, cfg);
+  EXPECT_EQ(res.crashes, 1u);
+  EXPECT_TRUE(res.verified);
+}
+
+// ------------------------------------------------------------ silent flips --
+
+TEST(ScenarioRunner, FlipDetectedByOnlineAbftInAlgModes) {
+  // Seed 7 lands a flip inside a CG iteration's history rows; the online-ABFT
+  // invariant check at the next unit catches it (latency 1 unit) and rolls
+  // back, so the run still verifies.
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : {Mode::kAlgNvm, Mode::kAlgHetero}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("flip:7");
+    const ScenarioResult res = run_scenario(w, cfg);
+    const RecomputationBreakdown& rb = res.recomputation;
+    EXPECT_EQ(rb.flips, 1u) << mode_name(m);
+    EXPECT_EQ(rb.flips_detected, 1u) << mode_name(m);
+    EXPECT_EQ(rb.detect_latency_units, 1u) << mode_name(m);
+    EXPECT_EQ(rb.flips_miscorrected, 0u) << mode_name(m);
+    EXPECT_EQ(res.crash_site, "cg:invariant") << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, FlipIsAnHonestMissInUndefendedModes) {
+  // The same seed in modes with no integrity checks: the flip fires, nothing
+  // detects it, and end-of-run verify() reports the corruption honestly.
+  cg::CgWorkload w(tiny_cg());
+  for (Mode m : {Mode::kNative, Mode::kCkptNvm, Mode::kPmemTx}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("flip:7");
+    const ScenarioResult res = run_scenario(w, cfg);
+    const RecomputationBreakdown& rb = res.recomputation;
+    EXPECT_EQ(rb.flips, 1u) << mode_name(m);
+    EXPECT_EQ(rb.flips_detected, 0u) << mode_name(m);
+    EXPECT_EQ(res.crashes, 0u) << mode_name(m);
+    EXPECT_TRUE(res.verify_ran) << mode_name(m);
+    EXPECT_FALSE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, FlipCorrectedInPlaceByMmChecksums) {
+  // MM's row/column checksums can REPAIR a single flipped element: detection
+  // without rollback (flips_corrected), and the run verifies.
+  mm::MmWorkload w(tiny_mm());
+  ScenarioConfig cfg = tiny_config(w, Mode::kNative);
+  cfg.crash = *parse_crash("flip:8");  // Seed 8 hits a correctable element here.
+  const ScenarioResult res = run_scenario(w, cfg);
+  const RecomputationBreakdown& rb = res.recomputation;
+  EXPECT_EQ(rb.flips, 1u);
+  EXPECT_EQ(rb.flips_detected, 1u);
+  EXPECT_GE(rb.flips_corrected, 1u);
+  EXPECT_EQ(rb.flips_miscorrected, 0u);
+  EXPECT_EQ(res.crashes, 0u);  // Correction in place: no rollback needed.
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(ScenarioRunner, FlipDetectedByMcTallyInvariantInAllModes) {
+  // The MC tally invariant (counter sum == completed lookups) runs before
+  // every publish in every engine, so a counter flip is caught at latency 0
+  // regardless of mode, and the rollback recovers exact tallies.
+  mc::McWorkload w(tiny_mc());
+  for (Mode m : {Mode::kNative, Mode::kCkptNvm, Mode::kPmemTx, Mode::kAlgNvm}) {
+    ScenarioConfig cfg = tiny_config(w, m);
+    cfg.crash = *parse_crash("flip:7");
+    const ScenarioResult res = run_scenario(w, cfg);
+    const RecomputationBreakdown& rb = res.recomputation;
+    EXPECT_EQ(rb.flips, 1u) << mode_name(m);
+    EXPECT_EQ(rb.flips_detected, 1u) << mode_name(m);
+    EXPECT_EQ(rb.detect_latency_units, 0u) << mode_name(m);
+    EXPECT_EQ(res.crash_site, "mc:tally") << mode_name(m);
+    EXPECT_TRUE(res.verified) << mode_name(m);
+  }
+}
+
+TEST(ScenarioRunner, FlipThenCrashChainComposesWithCheckpointSave) {
+  // flip:SEED^point:ckpt_chunk — the silent head fires WITHOUT raising, the
+  // tail is armed at injection time, and the next checkpoint save's first
+  // chunk crashes. The unit that hosted the flip checkpoints its (corrupted)
+  // state before the tail fires, so the rollback restores corruption the
+  // checkpoint scheme cannot see — the chain composes, the crash recovers,
+  // and verify() reports the persistent miss honestly.
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kCkptNvm);
+  cfg.crash = *parse_crash("flip:7^point:ckpt_chunk:1");
+  const ScenarioResult res = run_scenario(w, cfg);
+  const RecomputationBreakdown& rb = res.recomputation;
+  EXPECT_EQ(rb.flips, 1u);
+  EXPECT_EQ(rb.flips_detected, 0u);
+  EXPECT_EQ(res.crashes, 1u);
+  EXPECT_EQ(res.crash_site, "ckpt_chunk");
+  EXPECT_TRUE(res.verify_ran);
+  EXPECT_FALSE(res.verified);  // The checkpoint itself captured the flip.
+}
+
+TEST(ScenarioRunner, FlipIsDeterministicInSeed) {
+  cg::CgWorkload w(tiny_cg());
+  ScenarioConfig cfg = tiny_config(w, Mode::kAlgNvm);
+  cfg.crash = *parse_crash("flip:7");
+  const ScenarioResult a = run_scenario(w, cfg);
+  const ScenarioResult b = run_scenario(w, cfg);
+  EXPECT_EQ(a.recomputation.flips, b.recomputation.flips);
+  EXPECT_EQ(a.recomputation.flips_detected, b.recomputation.flips_detected);
+  EXPECT_EQ(a.recomputation.detect_latency_units, b.recomputation.detect_latency_units);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.verified, b.verified);
+}
+
 TEST(ScenarioRunner, UnfiredRecoveryChainLinkIsHarmless) {
   // In a mode whose recovery never loads checkpoint chunks, the armed
   // ckpt_restore tail never fires and must be disarmed when recovery
